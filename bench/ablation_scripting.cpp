@@ -1,0 +1,178 @@
+// Ablation: what does per-packet scripting cost?
+//
+// The paper's performance claim (Sections 1, 5) rests on LuaJIT compiling
+// userscripts to machine code: "running Lua code for each packet is
+// feasible and can even be faster than an implementation written in C".
+// This harness quantifies the scripting spectrum on our reproduction:
+//
+//   1. hand-written C++ hot loop          (what LuaJIT-compiled Lua
+//                                          approaches, per the paper)
+//   2. declarative field-modifier program (a restricted "script" compiled
+//                                          to a data structure)
+//   3. generic config-driven generator    (the Pktgen-DPDK architecture)
+//   4. tree-walking interpreter           (per-packet script WITHOUT a JIT)
+//
+// The gap between (4) and (1) is the cost a JIT eliminates — the paper's
+// architectural bet made visible.
+#include <cstdio>
+
+#include "baseline/static_generator.hpp"
+#include "bench_util.hpp"
+#include "core/device.hpp"
+#include "core/task.hpp"
+#include "core/field_modifier.hpp"
+#include "membuf/buf_array.hpp"
+#include "membuf/mempool.hpp"
+#include "proto/packet_view.hpp"
+#include "script/bindings.hpp"
+#include "script/interpreter.hpp"
+
+namespace mc = moongen::core;
+namespace mb = moongen::membuf;
+namespace mp = moongen::proto;
+namespace sc = moongen::script;
+using moongen::bench::measure_cycles_per_packet;
+
+namespace {
+
+constexpr std::size_t kPktSize = 60;
+
+mb::Mempool::InitFn udp_prefill() {
+  return [](mb::PktBuf& buf) {
+    buf.set_length(kPktSize);
+    mp::UdpPacketView view{buf.bytes()};
+    mp::UdpFillOptions opts;
+    opts.packet_length = kPktSize;
+    view.fill(opts);
+  };
+}
+
+}  // namespace
+
+int main() {
+  moongen::bench::pin_measurement_thread();
+  std::printf("Ablation: per-packet scripting cost (vary source IP + send)\n");
+  std::printf("(paper: LuaJIT-compiled scripts match or beat C, Section 5.2;\n");
+  std::printf(" without a JIT the interpretation overhead dominates)\n\n");
+
+  // 1. Hand-written C++ loop.
+  {
+    auto& dev = mc::Device::config(0, 1, 1);
+    dev.disconnect();
+    auto& queue = dev.get_tx_queue(0);
+    queue.reset();
+    mb::Mempool pool(4096, udp_prefill());
+    mb::BufArray bufs(pool, 64);
+    mc::Tausworthe rng(1);
+    const auto s = measure_cycles_per_packet([&]() -> std::uint64_t {
+      std::uint64_t sent = 0;
+      while (sent < 256 * 1024) {
+        bufs.alloc(kPktSize);
+        for (auto* buf : bufs) {
+          mp::UdpPacketView view{buf->bytes()};
+          view.ip().src_be = mp::hton32(0x0a000001 + rng.next() % 256);
+        }
+        sent += queue.send(bufs);
+      }
+      return sent;
+    });
+    std::printf("  %-44s %8.1f +- %.1f cycles/pkt\n", "hand-written C++ loop", s.mean(),
+                s.stddev());
+  }
+
+  // 2. Declarative modifier program.
+  {
+    auto& dev = mc::Device::config(0, 1, 1);
+    dev.disconnect();
+    auto& queue = dev.get_tx_queue(0);
+    queue.reset();
+    mb::Mempool pool(4096, udp_prefill());
+    mb::BufArray bufs(pool, 64);
+    mc::ModifierProgram prog({{.field = {26, 4},
+                               .kind = mc::FieldAction::Kind::kRandom,
+                               .value = 0x0a000001,
+                               .range = 256}});
+    const auto s = measure_cycles_per_packet([&]() -> std::uint64_t {
+      std::uint64_t sent = 0;
+      while (sent < 256 * 1024) {
+        bufs.alloc(kPktSize);
+        for (auto* buf : bufs) prog.apply(buf->data());
+        sent += queue.send(bufs);
+      }
+      return sent;
+    });
+    std::printf("  %-44s %8.1f +- %.1f cycles/pkt\n", "declarative modifier program", s.mean(),
+                s.stddev());
+  }
+
+  // 3. Generic config-driven generator (Pktgen-DPDK architecture).
+  {
+    auto& dev = mc::Device::config(0, 1, 1);
+    dev.disconnect();
+    dev.get_tx_queue(0).reset();
+    moongen::baseline::StaticGenConfig cfg;
+    cfg.packet_size = kPktSize;
+    cfg.src_ip_mode = moongen::baseline::StaticGenConfig::RangeMode::kRandom;
+    cfg.src_ip_count = 256;
+    cfg.checksum_offload = false;
+    moongen::baseline::StaticGenerator gen(dev, 0, cfg);
+    const auto s = measure_cycles_per_packet(
+        [&]() -> std::uint64_t { return gen.run_packets(256 * 1024); });
+    std::printf("  %-44s %8.1f +- %.1f cycles/pkt\n", "generic config-driven generator",
+                s.mean(), s.stddev());
+  }
+
+  // 4. Tree-walking interpreter running the per-packet script.
+  {
+    mc::reset_run_state();
+    const char* script = R"(
+      function run(queue, mem, n)
+        local baseIP = parseIPAddress("10.0.0.1")
+        local bufs = mem:bufArray()
+        local sent = 0
+        while sent < n do
+          bufs:alloc(60)
+          for _, buf in ipairs(bufs) do
+            buf:getUdpPacket().ip.src:set(baseIP + math.random(255) - 1)
+          end
+          sent = sent + queue:send(bufs)
+        end
+        return sent
+      end
+      function master() end
+    )";
+    sc::ScriptRuntime runtime(script);
+    runtime.master().run();
+    auto& dev = mc::Device::config(0, 1, 1);
+    dev.disconnect();
+    dev.get_tx_queue(0).reset();
+    // Build the script-side objects once via the bindings.
+    auto& interp = runtime.master();
+    const auto dev_ud = interp.get_global("device").as_table()->get(
+        sc::Table::Key{"config"});
+    std::vector<sc::Value> cfg_args{sc::Value(0.0)};
+    const auto dev_val = interp.call(dev_ud, cfg_args)[0];
+    auto mem_fn = interp.get_global("memory").as_table()->get(sc::Table::Key{"createMemPool"});
+    // Pool created through the binding, pre-filled once at setup (the
+    // script's init closure runs per buffer, exactly like Listing 2).
+    std::vector<sc::Value> mem_args{};
+    const auto mem_val = interp.call(mem_fn, mem_args)[0];
+
+    const double n_packets = 64 * 1024;
+    std::vector<sc::Value> gq_args{sc::Value(0.0)};
+    auto& dev_ref = *dev_val.as_userdata();
+    const auto queue_val =
+        dev_ref.methods()->methods.at("getTxQueue")(interp, dev_ref, gq_args)[0];
+    const auto run_fn = interp.get_global("run");
+    const auto measured = measure_cycles_per_packet([&]() -> std::uint64_t {
+      std::vector<sc::Value> run_args{queue_val, mem_val, sc::Value(n_packets)};
+      auto r = interp.call(run_fn, std::move(run_args));
+      return static_cast<std::uint64_t>(r.empty() ? 0 : r[0].as_number());
+    }, 5, 1);
+    std::printf("  %-44s %8.1f +- %.1f cycles/pkt\n",
+                "tree-walking interpreter (no JIT)", measured.mean(), measured.stddev());
+    std::printf("\n(the original's LuaJIT closes this gap: the paper measured its\n"
+                " scripted loop at ~101 cycles/pkt — line rate at 1.5 GHz)\n");
+  }
+  return 0;
+}

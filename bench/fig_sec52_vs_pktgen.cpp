@@ -1,0 +1,94 @@
+// Reproduces the Section 5.2 comparison with Pktgen-DPDK.
+//
+// Workload: minimum-sized UDP packets with 256 varying source IPs on one
+// core. The paper gradually raises the CPU frequency until each generator
+// reaches the 10 GbE line rate of 14.88 Mpps:
+//   Pktgen-DPDK: 1.7 GHz needed; 14.12 Mpps at 1.5 GHz
+//   MoonGen:     1.5 GHz needed
+//
+// We cannot change the host clock, so we apply the paper's own methodology
+// (Section 5.1): measure cycles/packet of both generators and convert —
+// required_frequency = cycles_per_packet * 14.88e6. The reproduced claim is
+// the *ordering and ratio*: the specialized per-test loop ("you only pay
+// for what you use") beats the generic configurable main loop.
+#include <cstdio>
+
+#include "baseline/static_generator.hpp"
+#include "bench_util.hpp"
+#include "core/device.hpp"
+#include "core/field_modifier.hpp"
+#include "membuf/buf_array.hpp"
+#include "membuf/mempool.hpp"
+#include "proto/packet_view.hpp"
+
+namespace mc = moongen::core;
+namespace mb = moongen::membuf;
+namespace mp = moongen::proto;
+namespace mbl = moongen::baseline;
+using moongen::bench::measure_cycles_per_packet;
+
+namespace {
+constexpr std::uint64_t kPacketsPerRep = 512 * 1024;
+constexpr std::size_t kPktSize = 60;
+}  // namespace
+
+int main() {
+  std::printf("Section 5.2: MoonGen-style specialized loop vs. Pktgen-DPDK-style\n");
+  std::printf("generic generator (min-size UDP, 256 varying source IPs, 1 core)\n\n");
+
+  // --- MoonGen-style: pre-filled mempool + tight specialized loop ---------
+  auto& dev = mc::Device::config(0, 1, 1);
+  dev.disconnect();
+  auto& queue = dev.get_tx_queue(0);
+  queue.reset();
+  mb::Mempool pool(4096, [](mb::PktBuf& buf) {
+    buf.set_length(kPktSize);
+    mp::UdpPacketView view{buf.bytes()};
+    mp::UdpFillOptions opts;
+    opts.packet_length = kPktSize;
+    opts.udp_src = 1234;
+    opts.udp_dst = 42;
+    view.fill(opts);
+  });
+  mb::BufArray bufs(pool, 64);
+  mc::Tausworthe rng(7);
+  const auto moongen = measure_cycles_per_packet([&]() -> std::uint64_t {
+    std::uint64_t sent = 0;
+    const std::uint32_t base_ip = 0x0a000001;
+    while (sent < kPacketsPerRep) {
+      bufs.alloc(kPktSize);
+      for (auto* buf : bufs) {
+        mp::UdpPacketView view{buf->bytes()};
+        view.ip().src_be = mp::hton32(base_ip + rng.next() % 256);  // Listing 2, line 20
+      }
+      bufs.offload_udp_checksums();  // Listing 2, line 22
+      sent += queue.send(bufs);
+    }
+    return sent;
+  });
+
+  // --- Pktgen-DPDK-style: generic configurable main loop ------------------
+  mbl::StaticGenConfig cfg;
+  cfg.packet_size = kPktSize;
+  cfg.src_ip_mode = mbl::StaticGenConfig::RangeMode::kRandom;
+  cfg.src_ip_count = 256;
+  cfg.checksum_offload = true;
+  mbl::StaticGenerator pktgen(dev, 0, cfg);
+  const auto generic = measure_cycles_per_packet(
+      [&]() -> std::uint64_t { return pktgen.run_packets(kPacketsPerRep); });
+
+  const double line_rate = 14.88e6;
+  const double f_mg = moongen.mean() * line_rate / 1e9;
+  const double f_pg = generic.mean() * line_rate / 1e9;
+  std::printf("  %-28s %10s %28s\n", "generator", "cycles/pkt", "frequency for 14.88 Mpps");
+  std::printf("  %-28s %7.1f +- %4.1f %17.2f GHz\n", "MoonGen-style (specialized)",
+              moongen.mean(), moongen.stddev(), f_mg);
+  std::printf("  %-28s %7.1f +- %4.1f %17.2f GHz\n", "Pktgen-DPDK-style (generic)",
+              generic.mean(), generic.stddev(), f_pg);
+  std::printf("\n  At %.2f GHz the generic generator reaches %.2f Mpps (MoonGen: line rate)\n",
+              f_mg, f_mg * 1e3 / generic.mean());
+  std::printf("  paper: MoonGen 1.5 GHz, Pktgen-DPDK 1.7 GHz (14.12 Mpps at 1.5 GHz)\n");
+  std::printf("  specialization advantage: %.0f %% fewer cycles per packet\n",
+              (1.0 - moongen.mean() / generic.mean()) * 100.0);
+  return 0;
+}

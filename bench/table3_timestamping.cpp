@@ -1,0 +1,180 @@
+// Reproduces Table 3 (timestamping accuracy) and the clock-sync / drift
+// results of Sections 6.2 and 6.3.
+//
+// Paper (Table 3):
+//   82599 (fiber):  t_2m 320, t_8.5m 352 (bimodal 345.6/358.4),
+//                   t_20m 403.2;  k = 310.7 +- 3.9 ns, vp = 0.72 c
+//   X540 (copper):  t_2m 2156.8, t_10m 2195.2, t_50m 2387.2;
+//                   k = 2147.2 +- 4.8 ns, vp = 0.69 c
+// Section 6.2: clock sync within +-1 cycle; Section 6.3: worst drift
+// 35 us/s, turned into a 0.0035 % relative error by per-packet resync.
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "core/rate_control.hpp"
+#include "core/timestamper.hpp"
+#include "nic/chip.hpp"
+#include "nic/port.hpp"
+#include "sim/clock_sync.hpp"
+#include "sim_beds.hpp"
+#include "wire/cable.hpp"
+#include "wire/link.hpp"
+
+namespace mc = moongen::core;
+namespace mn = moongen::nic;
+namespace ms = moongen::sim;
+namespace mw = moongen::wire;
+
+namespace {
+
+struct CableResult {
+  double length_m;
+  double mean_ns;
+  double median_ns;
+  std::map<std::uint64_t, double> value_fractions;  // ns value -> share
+  double within_6_4_of_median;
+  double range_ns;
+};
+
+CableResult measure_cable(const mn::ChipSpec& chip, const mw::CableSpec& cable,
+                          std::uint64_t samples) {
+  ms::EventQueue events;
+  mn::Port a(events, chip, 10'000, 42);
+  mn::Port b(events, chip, 10'000, 43);
+  // Loopback between two ports of one card: both timestamp units run off
+  // the same oscillator, so align the clock phases and sync once.
+  b.ptp_clock() = a.ptp_clock();
+  mw::Link link(a, b, cable, 44);
+
+  mc::TimestamperConfig cfg;
+  cfg.sample_interval_ps = 3'300;  // tight loop; prime-ish to vary MAC phase
+  cfg.sync_clocks_each_sample = false;
+  cfg.hist_bin_ps = 100;  // sub-quantization bins: report raw values
+  cfg.hist_max_ps = 10'000'000;
+  mc::Timestamper ts(events, a, 0, b, mc::make_ptp_ethernet_frame(80), cfg);
+  ts.start();
+  // Each sample takes ~probe wire time + latency + interval.
+  events.run_until(static_cast<ms::SimTime>(samples) * 250'000);
+  ts.stop();
+
+  CableResult r{};
+  r.length_m = cable.length_m;
+  r.mean_ns = ts.latency_ns().mean();
+  const auto& hist = ts.histogram();
+  r.median_ns = static_cast<double>(hist.median()) / 1e3;
+  for (std::size_t i = 0; i < hist.bin_count(); ++i) {
+    if (hist.bin(i) == 0) continue;
+    const double frac = static_cast<double>(hist.bin(i)) / static_cast<double>(hist.total());
+    if (frac > 0.0005)
+      r.value_fractions[hist.bin_lower(i) / 1000] += frac;
+  }
+  const auto med_ps = hist.median();
+  r.within_6_4_of_median = hist.fraction_between(med_ps > 6'400 ? med_ps - 6'400 : 0,
+                                                 med_ps + 6'400);
+  r.range_ns = (ts.latency_ns().max() - ts.latency_ns().min());
+  return r;
+}
+
+/// Least-squares fit t = k + l/vp over the measured means.
+void fit_k_vp(const std::vector<CableResult>& rows, double* k_ns, double* vp_c) {
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  const auto n = static_cast<double>(rows.size());
+  for (const auto& r : rows) {
+    sx += r.length_m;
+    sy += r.mean_ns;
+    sxx += r.length_m * r.length_m;
+    sxy += r.length_m * r.mean_ns;
+  }
+  const double slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);  // ns per meter
+  *k_ns = (sy - slope * sx) / n;
+  *vp_c = 1.0 / slope / 0.299792458;  // (m/ns) / c
+}
+
+void run_chip(const char* name, const mn::ChipSpec& chip,
+              const std::vector<mw::CableSpec>& cables, std::uint64_t samples) {
+  std::printf("\n%s:\n", name);
+  std::vector<CableResult> rows;
+  for (const auto& cable : cables) {
+    auto r = measure_cable(chip, cable, samples);
+    rows.push_back(r);
+    std::printf("  %5.1f m: mean %7.1f ns, median %7.1f ns", r.length_m, r.mean_ns,
+                r.median_ns);
+    if (r.value_fractions.size() > 1 && chip.ptp_increment_ps > 6'400) {
+      std::printf("  [");
+      for (const auto& [v, f] : r.value_fractions) std::printf(" %llu ns: %.1f%%",
+          static_cast<unsigned long long>(v), f * 100.0);
+      std::printf(" ]");
+    }
+    if (chip.ptp_increment_ps == 6'400) {
+      std::printf("  (%.2f%% within +-6.4 ns of median, range %.1f ns)",
+                  r.within_6_4_of_median * 100.0, r.range_ns);
+    }
+    std::printf("\n");
+  }
+  double k_ns = 0, vp_c = 0;
+  fit_k_vp(rows, &k_ns, &vp_c);
+  std::printf("  fit t = k + l/vp:  k = %.1f ns, vp = %.2f c\n", k_ns, vp_c);
+}
+
+}  // namespace
+
+int main() {
+  const auto samples =
+      static_cast<std::uint64_t>(100'000 * moongen::bench::bench_scale());
+  std::printf("Table 3: Timestamping accuracy (loopback cables, %llu samples per cable)\n",
+              static_cast<unsigned long long>(samples));
+  std::printf("(paper: 82599 fiber 320/352/403.2 ns, k=310.7, vp=0.72c;\n");
+  std::printf("        X540 copper 2156.8/2195.2/2387.2 ns, k=2147.2, vp=0.69c)\n");
+
+  run_chip("Intel 82599, 10GBASE-SR fiber (timer increments every 12.8 ns)",
+           mn::intel_82599(),
+           {mw::fiber_om3(2.0), mw::fiber_om3(8.5), mw::fiber_om3(20.0)}, samples);
+
+  run_chip("Intel X540, 10GBASE-T copper (timer increments every 6.4 ns)", mn::intel_x540(),
+           {mw::cat5e_10gbaset(2.0), mw::cat5e_10gbaset(10.0), mw::cat5e_10gbaset(50.0)},
+           samples);
+
+  // --- Section 6.2: clock synchronization ---------------------------------
+  std::printf("\nSection 6.2: clock synchronization between independent ports\n");
+  {
+    std::mt19937_64 rng(2024);
+    moongen::stats::RunningStats residual;
+    int worst = 0;
+    for (int i = 0; i < 1'000; ++i) {
+      ms::PtpClock a({.increment_ps = 6'400}, rng());
+      ms::PtpClock b({.increment_ps = 6'400}, rng());
+      b.adjust(static_cast<std::int64_t>(rng() % 10'000'000));
+      const auto res = ms::synchronize_clocks(a, b, 0, rng);
+      residual.add(static_cast<double>(std::llabs(res.residual_ps)));
+      worst = std::max(worst, static_cast<int>(std::llabs(res.residual_ps)));
+    }
+    std::printf("  1000 syncs: mean |residual| %.1f ns, worst %.1f ns"
+                " (paper: +-1 cycle; multi-port accuracy 19.2 ns)\n",
+                residual.mean() / 1e3, worst / 1e3);
+  }
+
+  // --- Section 6.3: clock drift --------------------------------------------
+  std::printf("\nSection 6.3: clock drift\n");
+  {
+    std::mt19937_64 rng(77);
+    ms::PtpClock a({.increment_ps = 6'400}, 1);
+    ms::PtpClock b({.increment_ps = 6'400, .drift_ppb = 35'000}, 1);
+    ms::ClockSyncConfig cfg;
+    cfg.outlier_probability = 0.0;
+    ms::SimTime cursor = 0;
+    const auto d0 = ms::measure_clock_difference(a, b, &cursor, rng, cfg);
+    cursor = ms::kPsPerSec;  // one second later
+    const auto d1 = ms::measure_clock_difference(a, b, &cursor, rng, cfg);
+    const double drift_us_per_s = static_cast<double>(d1 - d0) / 1e6;
+    std::printf("  measured drift: %.1f us/s (worst case in the paper: 35 us/s)\n",
+                drift_us_per_s);
+    // Drift accumulates only over one packet's flight time when the clocks
+    // are resynchronized before every timestamped packet: the relative
+    // error equals the drift rate itself.
+    std::printf("  with per-packet resync the relative latency error is %.4f %%\n",
+                drift_us_per_s * 1e-6 * 100.0);
+    std::printf("  (paper: 0.0035 %%)\n");
+  }
+  return 0;
+}

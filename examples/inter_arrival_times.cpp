@@ -1,0 +1,81 @@
+// inter-arrival-times: measure a generator's timing precision with an
+// Intel 82580, which can timestamp every received packet in hardware
+// (paper Sections 6 and 7.3).
+//
+// Generates CBR traffic at GbE with a selectable rate-control mechanism and
+// prints the inter-arrival histogram — the measurement behind Table 4 and
+// Figure 8.
+//
+// Usage: inter_arrival_times [kpps] [mechanism: hw|crc|pktgen|zsend]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+
+#include "baseline/sw_paced.hpp"
+#include "core/rate_control.hpp"
+#include "nic/chip.hpp"
+#include "wire/link.hpp"
+#include "wire/recorder.hpp"
+
+namespace mb = moongen::baseline;
+namespace mc = moongen::core;
+namespace mn = moongen::nic;
+namespace ms = moongen::sim;
+namespace mw = moongen::wire;
+
+int main(int argc, char** argv) {
+  const double kpps = argc > 1 ? std::atof(argv[1]) : 500.0;
+  const char* mechanism = argc > 2 ? argv[2] : "hw";
+  const double mpps = kpps / 1e3;
+  std::printf("inter-arrival-times: %.0f kpps via '%s' rate control, GbE, 82580 capture\n\n",
+              kpps, mechanism);
+
+  ms::EventQueue events;
+  mn::Port tx(events, mn::intel_x540(), 1'000, 7);
+  mn::Port rx(events, mn::intel_82580(), 1'000, 8);
+  mw::Link link(tx, rx, mw::cat5e_gbe(2.0), 9);
+  mw::InterArrivalRecorder recorder(rx, 0);
+
+  mc::UdpTemplateOptions opts;
+  opts.frame_size = 60;
+  const auto frame = mc::make_udp_frame(opts);
+
+  std::unique_ptr<mc::SimLoadGen> gen;
+  std::unique_ptr<mb::PktgenLikePacer> pktgen;
+  std::unique_ptr<mb::ZsendLikePacer> zsend;
+  if (std::strcmp(mechanism, "hw") == 0) {
+    tx.tx_queue(0).set_rate_mpps(mpps, 64);
+    gen = mc::SimLoadGen::hardware_paced(tx.tx_queue(0), frame);
+  } else if (std::strcmp(mechanism, "crc") == 0) {
+    gen = mc::SimLoadGen::crc_paced(tx.tx_queue(0), frame,
+                                    std::make_unique<mc::CbrPattern>(mpps), 1'000);
+  } else if (std::strcmp(mechanism, "pktgen") == 0) {
+    pktgen = std::make_unique<mb::PktgenLikePacer>(events, tx.tx_queue(0), frame,
+                                                   mb::PktgenLikePacer::Config{.mpps = mpps});
+    pktgen->start();
+  } else if (std::strcmp(mechanism, "zsend") == 0) {
+    zsend = std::make_unique<mb::ZsendLikePacer>(events, tx.tx_queue(0), frame,
+                                                 mb::ZsendLikePacer::Config{.mpps = mpps});
+    zsend->start();
+  } else {
+    std::fprintf(stderr, "unknown mechanism '%s' (hw|crc|pktgen|zsend)\n", mechanism);
+    return 1;
+  }
+
+  events.run_until(ms::kPsPerSec);  // one second
+
+  const auto target = static_cast<ms::SimTime>(1e6 / mpps);
+  std::printf("%llu packets captured\n",
+              static_cast<unsigned long long>(recorder.samples() + 1));
+  std::printf("micro-bursts: %.2f %%\n", recorder.micro_burst_fraction() * 100.0);
+  for (ms::SimTime w : {64'000u, 128'000u, 256'000u, 512'000u}) {
+    std::printf("within +-%3llu ns of target: %.1f %%\n",
+                static_cast<unsigned long long>(w / 1000),
+                recorder.fraction_within(target, w) * 100.0);
+  }
+  std::printf("\nhistogram (64 ns bins, >0.5%% only):\n");
+  recorder.histogram().print(std::cout, 0.005);
+  return 0;
+}

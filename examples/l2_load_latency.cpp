@@ -1,0 +1,96 @@
+// l2-load-latency: load a device under test and measure its forwarding
+// latency with hardware timestamping — the workhorse script of the paper
+// (used for Figures 10/11 and most latency results).
+//
+// Runs in the virtual-time simulation: an X540 generator port sends CBR
+// load through an Open vSwitch-like forwarder; a timestamping task samples
+// packets of the stream (PTP type flip, Section 6.4) and reports latency
+// percentiles from the hardware timestamps.
+//
+// With `poisson` as the third argument it becomes the paper's
+// l2-poisson-load-latency.lua: the Poisson pattern requires the CRC-based
+// software rate control (Section 8.3).
+//
+// Usage: l2_load_latency [rate_mpps] [seconds] [cbr|poisson]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string_view>
+
+#include "core/rate_control.hpp"
+#include "core/timestamper.hpp"
+#include "dut/forwarder.hpp"
+#include "nic/chip.hpp"
+#include "wire/link.hpp"
+
+namespace mc = moongen::core;
+namespace md = moongen::dut;
+namespace mn = moongen::nic;
+namespace ms = moongen::sim;
+namespace mw = moongen::wire;
+
+int main(int argc, char** argv) {
+  const double rate_mpps = argc > 1 ? std::atof(argv[1]) : 1.0;
+  const double seconds = argc > 2 ? std::atof(argv[2]) : 1.0;
+  const bool poisson = argc > 3 && std::string_view(argv[3]) == "poisson";
+  std::printf("l2-load-latency: %.2f Mpps %s through an OVS-like DuT, %.1f s\n\n", rate_mpps,
+              poisson ? "Poisson" : "CBR", seconds);
+
+  // Testbed: generator -> DuT -> sink (all X540 at 10 GbE).
+  ms::EventQueue events;
+  mn::Port gen_tx(events, mn::intel_x540(), 10'000, 1);
+  mn::Port dut_in(events, mn::intel_x540(), 10'000, 2);
+  mn::Port dut_out(events, mn::intel_x540(), 10'000, 3);
+  mn::Port sink(events, mn::intel_x540(), 10'000, 4);
+  mw::Link l1(gen_tx, dut_in, mw::cat5e_10gbaset(2.0), 5);
+  mw::Link l2(dut_out, sink, mw::cat5e_10gbaset(2.0), 6);
+  md::Forwarder forwarder(events, dut_in, 0, dut_out, 0);
+  sink.rx_queue(0).set_store(false);
+
+  // Background load: UDP packets carrying a PTP payload with a type the
+  // timestamp units ignore.
+  mc::UdpTemplateOptions bg;
+  bg.frame_size = 96;
+  bg.ptp_payload = true;
+  bg.ptp_message_type = 5;
+  auto& queue = gen_tx.tx_queue(0);
+  std::unique_ptr<mc::SimLoadGen> gen;
+  if (poisson) {
+    gen = mc::SimLoadGen::crc_paced(queue, mc::make_udp_frame(bg),
+                                    std::make_unique<mc::PoissonPattern>(rate_mpps, 77),
+                                    10'000);
+  } else {
+    queue.set_rate_mpps(rate_mpps, 100);
+    gen = mc::SimLoadGen::hardware_paced(queue, mc::make_udp_frame(bg));
+  }
+
+  // Timestamping task: flip every sampled packet's PTP type into the
+  // stampable range.
+  mc::UdpTemplateOptions stamped = bg;
+  stamped.ptp_message_type = 0;
+  mc::TimestamperConfig cfg;
+  cfg.sample_interval_ps = 100 * ms::kPsPerUs;
+  cfg.hist_bin_ps = 50'000;
+  mc::Timestamper ts(events, gen_tx, *gen, mc::make_udp_frame(stamped), sink, cfg);
+  ts.start();
+
+  events.run_until(static_cast<ms::SimTime>(seconds * 1e12));
+  ts.stop();
+
+  const auto& h = ts.histogram();
+  std::printf("load:     %.2f Mpps offered, %.2f Mpps forwarded\n", rate_mpps,
+              static_cast<double>(forwarder.forwarded()) / seconds / 1e6);
+  std::printf("samples:  %llu timestamped packets (%llu lost)\n",
+              static_cast<unsigned long long>(ts.samples()),
+              static_cast<unsigned long long>(ts.lost()));
+  std::printf("latency:  min %.2f us / p25 %.2f / median %.2f / p75 %.2f / p99 %.2f / max %.2f\n",
+              ts.latency_ns().min() / 1e3, static_cast<double>(h.percentile(25)) / 1e6,
+              static_cast<double>(h.percentile(50)) / 1e6,
+              static_cast<double>(h.percentile(75)) / 1e6,
+              static_cast<double>(h.percentile(99)) / 1e6, ts.latency_ns().max() / 1e3);
+  std::printf("DuT:      %llu interrupts, %llu polls, RX drops %llu\n",
+              static_cast<unsigned long long>(forwarder.interrupts()),
+              static_cast<unsigned long long>(forwarder.polls()),
+              static_cast<unsigned long long>(dut_in.stats().rx_ring_drops));
+  return 0;
+}

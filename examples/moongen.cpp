@@ -1,0 +1,56 @@
+// moongen: run a userscript, exactly like the original CLI.
+//
+//   moongen <script> [args...]
+//
+// The script must define master(args...); numeric arguments are passed as
+// numbers, everything else as strings (paper Section 4: "MoonGen is
+// controlled through its API instead of configuration files" — the
+// userscript *is* the configuration).
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/task.hpp"
+#include "script/bindings.hpp"
+
+namespace sc = moongen::script;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <script> [args...]\n"
+                 "bundled scripts: examples/scripts/*.lua\n",
+                 argv[0]);
+    return 2;
+  }
+  std::ifstream file(argv[1]);
+  if (!file) {
+    std::fprintf(stderr, "cannot open script '%s'\n", argv[1]);
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+
+  std::vector<sc::Value> args;
+  for (int i = 2; i < argc; ++i) {
+    char* end = nullptr;
+    const double number = std::strtod(argv[i], &end);
+    if (end != argv[i] && *end == '\0') {
+      args.emplace_back(number);
+    } else {
+      args.emplace_back(std::string(argv[i]));
+    }
+  }
+
+  try {
+    sc::ScriptRuntime runtime(buffer.str());
+    runtime.run_master(std::move(args));
+    runtime.wait();
+  } catch (const sc::ScriptError& e) {
+    std::fprintf(stderr, "script error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

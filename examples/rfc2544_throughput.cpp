@@ -1,0 +1,120 @@
+// rfc2544-throughput: binary search for the loss-free forwarding rate of a
+// device under test — the classic benchmark hardware packet generators are
+// bought for (RFC 2544 [3], discussed in Section 2 of the paper).
+//
+// For each frame size, the search offers CBR load for a trial period and
+// halves the interval on loss; latency of the final passing rate is
+// sampled with hardware timestamps. This demonstrates that the commodity
+// generator covers the headline use case of IXIA/Spirent appliances.
+//
+// Usage: rfc2544_throughput [trial_seconds]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "core/rate_control.hpp"
+#include "core/timestamper.hpp"
+#include "dut/forwarder.hpp"
+#include "nic/chip.hpp"
+#include "nic/throughput_model.hpp"
+#include "wire/link.hpp"
+
+namespace mc = moongen::core;
+namespace md = moongen::dut;
+namespace mn = moongen::nic;
+namespace ms = moongen::sim;
+namespace mw = moongen::wire;
+
+namespace {
+
+struct TrialResult {
+  bool loss_free;
+  double forwarded_mpps;
+  double median_latency_us;
+};
+
+TrialResult run_trial(std::size_t frame_size, double mpps, double seconds) {
+  ms::EventQueue events;
+  mn::Port gen_tx(events, mn::intel_x540(), 10'000, 11);
+  mn::Port dut_in(events, mn::intel_x540(), 10'000, 12);
+  mn::Port dut_out(events, mn::intel_x540(), 10'000, 13);
+  mn::Port sink(events, mn::intel_x540(), 10'000, 14);
+  mw::Link l1(gen_tx, dut_in, mw::cat5e_10gbaset(2.0), 15);
+  mw::Link l2(dut_out, sink, mw::cat5e_10gbaset(2.0), 16);
+  md::Forwarder forwarder(events, dut_in, 0, dut_out, 0);
+  sink.rx_queue(0).set_store(false);
+  std::uint64_t sink_count = 0;
+  sink.rx_queue(0).set_callback([&](const mn::RxQueueModel::Entry&) { ++sink_count; });
+
+  mc::UdpTemplateOptions bg;
+  bg.frame_size = frame_size - 4;  // buffer length without FCS
+  bg.ptp_payload = true;
+  bg.ptp_message_type = 5;
+  auto& queue = gen_tx.tx_queue(0);
+  queue.set_rate_mpps(mpps, frame_size);
+  auto gen = mc::SimLoadGen::hardware_paced(queue, mc::make_udp_frame(bg));
+
+  // Timestampable variant of the stream packet. UDP PTP packets below 80 B
+  // are refused by the timestamp units (Section 6.4), so small frames use
+  // PTP-over-Ethernet probes of the same size instead.
+  mn::Frame stamped_frame;
+  if (frame_size >= 84) {
+    mc::UdpTemplateOptions stamped = bg;
+    stamped.ptp_message_type = 0;
+    stamped_frame = mc::make_udp_frame(stamped);
+  } else {
+    stamped_frame = mc::make_ptp_ethernet_frame(frame_size - 4, 0);
+  }
+  mc::TimestamperConfig cfg;
+  cfg.sample_interval_ps = 200 * ms::kPsPerUs;
+  cfg.hist_bin_ps = 50'000;
+  mc::Timestamper ts(events, gen_tx, *gen, stamped_frame, sink, cfg);
+  ts.start();
+
+  events.run_until(static_cast<ms::SimTime>(seconds * 1e12));
+  ts.stop();
+
+  TrialResult r;
+  // RFC 2544 throughput criterion: zero loss. In this testbed the only
+  // loss point is the DuT's RX ring overflowing; packets still in flight in
+  // the pipeline at the end of the trial are not losses.
+  (void)sink_count;
+  r.loss_free = dut_in.stats().rx_ring_drops == 0;
+  r.forwarded_mpps = static_cast<double>(forwarder.forwarded()) / seconds / 1e6;
+  r.median_latency_us = static_cast<double>(ts.histogram().median()) / 1e6;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Short trials under-detect loss (the DuT's 4096-slot ring absorbs the
+  // excess); 0.5 s is enough for the overload backlog to hit the ring.
+  const double trial_s = argc > 1 ? std::atof(argv[1]) : 0.5;
+  std::printf("RFC 2544-style throughput search (loss-free rate, OVS-like DuT)\n");
+  std::printf("trial duration %.2f s, binary search to 1%% resolution\n\n", trial_s);
+  std::printf("  %-10s %16s %16s %18s\n", "frame [B]", "line rate [Mpps]",
+              "loss-free [Mpps]", "median lat. [us]");
+
+  for (std::size_t frame_size : {64u, 128u, 256u, 512u, 1024u, 1518u}) {
+    const double line = mn::line_rate_pps(10'000, frame_size) / 1e6;
+    double lo = 0.0, hi = line;
+    TrialResult best{};
+    // DuT capacity is ~1.94 Mpps: start the search from the line rate.
+    for (int iter = 0; iter < 8 && (hi - lo) / hi > 0.01; ++iter) {
+      const double mid = (lo + hi) / 2.0;
+      const auto r = run_trial(frame_size, mid, trial_s);
+      if (r.loss_free) {
+        lo = mid;
+        best = r;
+      } else {
+        hi = mid;
+      }
+    }
+    std::printf("  %-10zu %16.2f %16.2f %18.2f\n", frame_size, line, lo,
+                best.median_latency_us);
+  }
+  std::printf("\n(the DuT forwards ~1.94 Mpps regardless of frame size: small frames are\n"
+              " CPU-bound; large frames approach their line rate)\n");
+  return 0;
+}

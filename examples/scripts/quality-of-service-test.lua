@@ -1,0 +1,79 @@
+-- quality-of-service-test: the running example of the paper (Listings 1-3).
+--
+-- Generates two UDP flows (background and prioritized foreground traffic,
+-- distinguished by UDP destination port) at different rates and counts the
+-- received traffic per flow. Usage:
+--   moongen quality-of-service-test.lua [txPort] [rxPort] [fgRate] [bgRate]
+--
+-- The code matches the paper's listings; the only additions are the
+-- explicit tDev:connectTo(rDev) (the virtual testbed has no physical
+-- cables) and a bounded runtime.
+
+local PKT_SIZE = 124
+
+function master(txPort, rxPort, fgRate, bgRate)
+	txPort = txPort or 0
+	rxPort = rxPort or 1
+	fgRate = fgRate or 100
+	bgRate = bgRate or 800
+	local tDev = device.config(txPort, 1, 2)
+	local rDev = device.config(rxPort)
+	device.waitForLinks()
+	tDev:connectTo(rDev)
+	tDev:getTxQueue(0):setRate(bgRate)
+	tDev:getTxQueue(1):setRate(fgRate)
+	mg.launchLua("loadSlave", tDev:getTxQueue(0), 42)
+	mg.launchLua("loadSlave", tDev:getTxQueue(1), 43)
+	mg.launchLua("counterSlave", rDev:getRxQueue(0))
+	mg.stopAfter(3)
+	mg.waitForSlaves()
+end
+
+function loadSlave(queue, port)
+	local mem = memory.createMemPool(function(buf)
+		buf:getUdpPacket():fill{
+			pktLength = PKT_SIZE,
+			ethSrc = queue, -- get MAC from device
+			ethDst = "10:11:12:13:14:15",
+			ipDst = "192.168.1.1",
+			udpSrc = 1234,
+			udpDst = port,
+		}
+	end)
+	local txCtr = stats:newManualTxCounter(port, "plain")
+	local baseIP = parseIPAddress("10.0.0.1")
+	local bufs = mem:bufArray()
+	while dpdk.running() do
+		bufs:alloc(PKT_SIZE)
+		for _, buf in ipairs(bufs) do
+			local pkt = buf:getUdpPacket()
+			pkt.ip.src:set(baseIP + math.random(255) - 1)
+		end
+		bufs:offloadUdpChecksums()
+		local sent = queue:send(bufs)
+		txCtr:updateWithSize(sent, PKT_SIZE)
+	end
+	txCtr:finalize()
+end
+
+function counterSlave(queue)
+	local bufs = memory.bufArray()
+	local counters = {}
+	while dpdk.running() do
+		local rx = queue:recv(bufs)
+		for i = 1, rx do
+			local buf = bufs[i]
+			local port = buf:getUdpPacket().udp:getDstPort()
+			local ctr = counters[port]
+			if not ctr then
+				ctr = stats:newPktRxCounter(port, "plain")
+				counters[port] = ctr
+			end
+			ctr:countPacket(buf)
+		end
+		bufs:freeAll()
+	end
+	for _, ctr in pairs(counters) do
+		ctr:finalize()
+	end
+end

@@ -1,0 +1,58 @@
+-- quickstart.lua: minimal load generator userscript.
+--
+--   moongen quickstart.lua [seconds] [rateMbit]
+
+local PKT_SIZE = 60
+
+function master(seconds, rate)
+	seconds = seconds or 2
+	local tDev = device.config(0, 1, 1)
+	local rDev = device.config(1)
+	device.waitForLinks()
+	tDev:connectTo(rDev)
+	if rate then
+		tDev:getTxQueue(0):setRate(rate)
+	end
+	mg.launchLua("loadSlave", tDev:getTxQueue(0))
+	mg.launchLua("counterSlave", rDev:getRxQueue(0))
+	mg.stopAfter(seconds)
+	mg.waitForSlaves()
+	print("done")
+end
+
+function loadSlave(queue)
+	local mem = memory.createMemPool(function(buf)
+		buf:getUdpPacket():fill{
+			pktLength = PKT_SIZE,
+			ethDst = "10:11:12:13:14:15",
+			ipDst = "192.168.1.1",
+			udpSrc = 1234,
+			udpDst = 319,
+		}
+	end)
+	local txCtr = stats:newManualTxCounter("tx", "plain")
+	local baseIP = parseIPAddress("10.0.0.1")
+	local bufs = mem:bufArray()
+	while dpdk.running() do
+		bufs:alloc(PKT_SIZE)
+		for _, buf in ipairs(bufs) do
+			buf:getUdpPacket().ip.src:set(baseIP + math.random(255) - 1)
+		end
+		bufs:offloadUdpChecksums()
+		txCtr:updateWithSize(queue:send(bufs), PKT_SIZE)
+	end
+	txCtr:finalize()
+end
+
+function counterSlave(queue)
+	local bufs = memory.bufArray()
+	local rxCtr = stats:newPktRxCounter("rx", "plain")
+	while dpdk.running() do
+		local rx = queue:recv(bufs)
+		for i = 1, rx do
+			rxCtr:countPacket(bufs[i])
+		end
+		bufs:freeAll()
+	end
+	rxCtr:finalize()
+end

@@ -1,0 +1,61 @@
+// timestamps: measure latency over a cable with hardware timestamping —
+// the equivalent of the paper's timestamps.lua (Section 9, used for the
+// Table 3 accuracy evaluation).
+//
+// Usage: timestamps [cable_m] [fiber|copper] [samples]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/rate_control.hpp"
+#include "core/timestamper.hpp"
+#include "nic/chip.hpp"
+#include "wire/link.hpp"
+
+namespace mc = moongen::core;
+namespace mn = moongen::nic;
+namespace ms = moongen::sim;
+namespace mw = moongen::wire;
+
+int main(int argc, char** argv) {
+  const double cable_m = argc > 1 ? std::atof(argv[1]) : 8.5;
+  const bool fiber = argc <= 2 || std::strcmp(argv[2], "fiber") == 0;
+  const auto samples = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 100'000ull;
+  std::printf("timestamps: %.1f m %s loopback, %llu samples\n\n", cable_m,
+              fiber ? "OM3 fiber (82599)" : "Cat 5e copper (X540)",
+              static_cast<unsigned long long>(samples));
+
+  ms::EventQueue events;
+  const auto chip = fiber ? mn::intel_82599() : mn::intel_x540();
+  mn::Port a(events, chip, 10'000, 1);
+  mn::Port b(events, chip, 10'000, 2);
+  b.ptp_clock() = a.ptp_clock();  // one oscillator per card
+  mw::Link link(a, b, fiber ? mw::fiber_om3(cable_m) : mw::cat5e_10gbaset(cable_m), 3);
+
+  mc::TimestamperConfig cfg;
+  cfg.sample_interval_ps = 3'300;
+  cfg.sync_clocks_each_sample = false;
+  cfg.hist_bin_ps = 100;
+  mc::Timestamper ts(events, a, 0, b, mc::make_ptp_ethernet_frame(80), cfg);
+  ts.start();
+  events.run_until(static_cast<ms::SimTime>(samples) * 250'000);
+  ts.stop();
+
+  std::printf("samples: %llu (lost %llu)\n",
+              static_cast<unsigned long long>(ts.samples()),
+              static_cast<unsigned long long>(ts.lost()));
+  std::printf("latency: mean %.1f ns, median %.1f ns, min %.1f, max %.1f\n",
+              ts.latency_ns().mean(), static_cast<double>(ts.histogram().median()) / 1e3,
+              ts.latency_ns().min(), ts.latency_ns().max());
+  std::printf("\ndistribution (NIC timer granularity: %.1f ns):\n",
+              static_cast<double>(chip.ptp_increment_ps) / 1e3);
+  const auto& h = ts.histogram();
+  for (std::size_t i = 0; i < h.bin_count(); ++i) {
+    if (h.bin(i) == 0) continue;
+    const double frac = static_cast<double>(h.bin(i)) / static_cast<double>(h.total());
+    if (frac < 0.001) continue;
+    std::printf("  %7.1f ns  %5.1f %%\n", static_cast<double>(h.bin_lower(i)) / 1e3,
+                frac * 100.0);
+  }
+  return 0;
+}

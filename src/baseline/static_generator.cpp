@@ -1,0 +1,155 @@
+#include "baseline/static_generator.hpp"
+
+#include <cstring>
+
+#include "proto/checksum.hpp"
+#include "proto/packet_view.hpp"
+
+namespace moongen::baseline {
+
+namespace {
+
+std::uint32_t step_range(StaticGenConfig::RangeMode mode, std::uint32_t base,
+                         std::uint32_t count, std::uint32_t& cursor, core::Tausworthe& rng) {
+  switch (mode) {
+    case StaticGenConfig::RangeMode::kFixed:
+      return base;
+    case StaticGenConfig::RangeMode::kIncrement: {
+      const std::uint32_t v = base + cursor;
+      if (++cursor >= count) cursor = 0;
+      return v;
+    }
+    case StaticGenConfig::RangeMode::kRandom:
+    default:
+      return base + (count > 1 ? rng.next() % count : 0);
+  }
+}
+
+}  // namespace
+
+StaticGenerator::StaticGenerator(core::Device& device, int tx_queue, StaticGenConfig config)
+    : device_(device), tx_queue_(tx_queue), cfg_(config), pool_(2048), rng_(0xbead5eed) {}
+
+void StaticGenerator::craft(membuf::PktBuf& buf) {
+  // Generic crafting path: every feature is consulted per packet, as in a
+  // runtime-configured generator. The packet is rebuilt from the
+  // configuration each time because any field may be range-controlled.
+  std::size_t size = cfg_.packet_size;
+  if (cfg_.size_mode != StaticGenConfig::RangeMode::kFixed) {
+    std::uint32_t cur = static_cast<std::uint32_t>(size_cur_);
+    size = cfg_.size_min +
+           step_range(cfg_.size_mode, 0, static_cast<std::uint32_t>(cfg_.size_max - cfg_.size_min + 1),
+                      cur, rng_);
+    size_cur_ = cur;
+  }
+  buf.set_length(size);
+
+  std::uint8_t* data = buf.data();
+  std::size_t l3_offset = sizeof(proto::EthernetHeader);
+
+  auto* eth = reinterpret_cast<proto::EthernetHeader*>(data);
+  eth->src = device_.mac();
+  eth->dst = proto::MacAddress::from_uint64(0x101112131415ull);
+
+  if (cfg_.vlan_enabled) {
+    eth->set_ether_type(proto::EtherType::kVlan);
+    auto* vlan = reinterpret_cast<proto::VlanTag*>(data + l3_offset);
+    vlan->set(cfg_.vlan_id, 0);
+    vlan->ether_type_be =
+        proto::hton16(static_cast<std::uint16_t>(cfg_.l3 == StaticGenConfig::L3::kIpv4
+                                                     ? proto::EtherType::kIPv4
+                                                     : proto::EtherType::kIPv6));
+    l3_offset += sizeof(proto::VlanTag);
+  } else {
+    eth->set_ether_type(cfg_.l3 == StaticGenConfig::L3::kIpv4 ? proto::EtherType::kIPv4
+                                                              : proto::EtherType::kIPv6);
+  }
+
+  const std::uint32_t src_ip =
+      step_range(cfg_.src_ip_mode, cfg_.src_ip_base, cfg_.src_ip_count, src_ip_cur_, rng_);
+  const std::uint32_t dst_ip =
+      step_range(cfg_.dst_ip_mode, cfg_.dst_ip_base, cfg_.dst_ip_count, dst_ip_cur_, rng_);
+
+  std::size_t l4_offset;
+  if (cfg_.l3 == StaticGenConfig::L3::kIpv4) {
+    auto* ip = reinterpret_cast<proto::Ipv4Header*>(data + l3_offset);
+    ip->set_defaults();
+    ip->protocol = static_cast<std::uint8_t>(
+        cfg_.l4 == StaticGenConfig::L4::kUdp ? proto::IpProtocol::kUdp : proto::IpProtocol::kTcp);
+    ip->set_total_length(static_cast<std::uint16_t>(size - l3_offset));
+    ip->src_be = proto::hton32(src_ip);
+    ip->dst_be = proto::hton32(dst_ip);
+    if (!cfg_.checksum_offload) proto::update_ipv4_checksum(*ip);
+    l4_offset = l3_offset + sizeof(proto::Ipv4Header);
+  } else {
+    auto* ip6 = reinterpret_cast<proto::Ipv6Header*>(data + l3_offset);
+    ip6->set_defaults();
+    ip6->next_header = static_cast<std::uint8_t>(
+        cfg_.l4 == StaticGenConfig::L4::kUdp ? proto::IpProtocol::kUdp : proto::IpProtocol::kTcp);
+    ip6->set_payload_length(
+        static_cast<std::uint16_t>(size - l3_offset - sizeof(proto::Ipv6Header)));
+    // Map the 32-bit range values into the low bytes of static prefixes.
+    std::memset(ip6->src.bytes.data(), 0, 16);
+    std::memset(ip6->dst.bytes.data(), 0, 16);
+    ip6->src.bytes[0] = 0x20;
+    ip6->dst.bytes[0] = 0x20;
+    const std::uint32_t s_be = proto::hton32(src_ip);
+    const std::uint32_t d_be = proto::hton32(dst_ip);
+    std::memcpy(ip6->src.bytes.data() + 12, &s_be, 4);
+    std::memcpy(ip6->dst.bytes.data() + 12, &d_be, 4);
+    l4_offset = l3_offset + sizeof(proto::Ipv6Header);
+  }
+
+  std::uint32_t sp = src_port_cur_, dp = dst_port_cur_;
+  const auto src_port = static_cast<std::uint16_t>(
+      step_range(cfg_.src_port_mode, cfg_.src_port_base, cfg_.src_port_count, sp, rng_));
+  const auto dst_port = static_cast<std::uint16_t>(
+      step_range(cfg_.dst_port_mode, cfg_.dst_port_base, cfg_.dst_port_count, dp, rng_));
+  src_port_cur_ = static_cast<std::uint16_t>(sp);
+  dst_port_cur_ = static_cast<std::uint16_t>(dp);
+
+  std::size_t payload_offset;
+  if (cfg_.l4 == StaticGenConfig::L4::kUdp) {
+    auto* udp = reinterpret_cast<proto::UdpHeader*>(data + l4_offset);
+    udp->set_src_port(src_port);
+    udp->set_dst_port(dst_port);
+    udp->set_length(static_cast<std::uint16_t>(size - l4_offset));
+    udp->checksum_be = 0;
+    payload_offset = l4_offset + sizeof(proto::UdpHeader);
+  } else {
+    auto* tcp = reinterpret_cast<proto::TcpHeader*>(data + l4_offset);
+    std::memset(tcp, 0, sizeof(*tcp));
+    tcp->set_defaults();
+    tcp->set_src_port(src_port);
+    tcp->set_dst_port(dst_port);
+    payload_offset = l4_offset + sizeof(proto::TcpHeader);
+  }
+
+  if (cfg_.fill_payload_pattern && payload_offset < size) {
+    std::memset(data + payload_offset, 0x5a, size - payload_offset);
+  }
+}
+
+std::uint64_t StaticGenerator::run_packets(std::uint64_t packets) {
+  auto& queue = device_.get_tx_queue(tx_queue_);
+  membuf::BufArray bufs(pool_, cfg_.batch_size);
+  std::uint64_t sent = 0;
+  while (sent < packets) {
+    const std::size_t n =
+        bufs.alloc(cfg_.packet_size, static_cast<std::size_t>(packets - sent));
+    if (n == 0) break;
+    for (auto* buf : bufs) craft(*buf);
+    if (cfg_.checksum_offload) {
+      if (cfg_.l3 == StaticGenConfig::L3::kIpv4 && cfg_.l4 == StaticGenConfig::L4::kUdp &&
+          !cfg_.vlan_enabled) {
+        bufs.offload_udp_checksums();
+      } else {
+        bufs.offload_ip_checksums();
+      }
+    }
+    sent += queue.send(bufs);
+  }
+  return sent;
+}
+
+}  // namespace moongen::baseline

@@ -1,0 +1,172 @@
+#include "core/device.hpp"
+
+#include <array>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+#include "proto/headers.hpp"
+
+namespace moongen::core {
+
+namespace {
+
+std::uint64_t nanotime() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+std::array<std::unique_ptr<Device>, Device::kMaxDevices>& registry() {
+  static std::array<std::unique_ptr<Device>, Device::kMaxDevices> devices;
+  return devices;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Device
+// ---------------------------------------------------------------------------
+
+Device::Device(int id, int rx_queues, int tx_queues) : id_(id), rx_pool_(4096) {
+  for (int i = 0; i < tx_queues; ++i)
+    tx_queues_.push_back(std::unique_ptr<TxQueue>(new TxQueue(*this)));
+  for (int i = 0; i < rx_queues; ++i)
+    rx_queues_.push_back(std::unique_ptr<RxQueue>(new RxQueue(*this, 4096)));
+}
+
+Device& Device::config(int id, int rx_queues, int tx_queues) {
+  if (id < 0 || static_cast<std::size_t>(id) >= kMaxDevices)
+    throw std::out_of_range("Device id out of range");
+  auto& slot = registry()[static_cast<std::size_t>(id)];
+  if (!slot || slot->num_rx_queues() < rx_queues || slot->num_tx_queues() < tx_queues) {
+    slot.reset(new Device(id, rx_queues, tx_queues));
+  }
+  return *slot;
+}
+
+proto::MacAddress Device::mac() const {
+  // Locally administered address derived from the port id.
+  return proto::MacAddress::from_uint64(0x020000000000ull + static_cast<std::uint64_t>(id_));
+}
+
+void Device::connect_to(Device& peer) { peer_ = &peer; }
+
+// ---------------------------------------------------------------------------
+// TxQueue
+// ---------------------------------------------------------------------------
+
+TxQueue::TxQueue(Device& dev, std::size_t ring_size) : dev_(dev) {
+  std::size_t cap = 1;
+  while (cap < ring_size) cap <<= 1;
+  ring_.assign(cap, Descriptor{});
+  recycle_batch_.reserve(64);
+}
+
+void TxQueue::reset() {
+  for (auto& slot : ring_) slot = Descriptor{};
+  recycle_batch_.clear();
+  head_ = 0;
+  pace_next_ns_ = 0;
+}
+
+TxQueue::~TxQueue() {
+  // Buffers still referenced by descriptors are NOT returned to their
+  // mempools here: the pools own the buffer storage outright and may
+  // already be gone (devices are process-lifetime objects, pools are not).
+  // Dropping the references is safe and leak-free.
+}
+
+void TxQueue::recycle(membuf::PktBuf* buf) {
+  recycle_batch_.push_back(buf);
+  if (recycle_batch_.size() >= 64) flush_recycle();
+}
+
+void TxQueue::flush_recycle() {
+  // Free in runs that share a pool so the pool lock is taken per run, not
+  // per buffer.
+  std::size_t start = 0;
+  while (start < recycle_batch_.size()) {
+    membuf::Mempool* pool = recycle_batch_[start]->pool();
+    std::size_t end = start + 1;
+    while (end < recycle_batch_.size() && recycle_batch_[end]->pool() == pool) ++end;
+    pool->free_batch({recycle_batch_.data() + start, end - start});
+    start = end;
+  }
+  recycle_batch_.clear();
+}
+
+void TxQueue::pace(std::size_t wire_bytes) {
+  if (rate_mbit_ <= 0.0) return;
+  std::uint64_t now = nanotime();
+  if (pace_next_ns_ == 0) pace_next_ns_ = now;
+  // Sleep through long waits (frees the core for other tasks on small
+  // hosts), busy-wait the last stretch for precision.
+  if (pace_next_ns_ > now + 200'000) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(pace_next_ns_ - now - 100'000));
+    now = nanotime();
+  }
+  while (now < pace_next_ns_) now = nanotime();
+  pace_next_ns_ += static_cast<std::uint64_t>(static_cast<double>(wire_bytes) * 8.0 * 1e3 /
+                                              rate_mbit_);
+}
+
+std::uint16_t TxQueue::send(membuf::BufArray& bufs) {
+  const auto packets = bufs.packets();
+  std::size_t total_wire = 0;
+  for (auto* buf : packets) total_wire += proto::wire_size(buf->length() + proto::kFcsSize);
+  pace(total_wire);
+
+  Device* peer = dev_.peer_;
+  const std::size_t mask = ring_.size() - 1;
+  for (auto* buf : packets) {
+    // DPDK semantics: placing the descriptor recycles the buffer that
+    // previously occupied the slot (it was sent long ago).
+    Descriptor& slot = ring_[head_ & mask];
+    if (slot.buf != nullptr) recycle(slot.buf);
+    const auto& fl = buf->flags();
+    slot.buf = buf;
+    slot.length = static_cast<std::uint32_t>(buf->length());
+    slot.flags = static_cast<std::uint32_t>(fl.ip_checksum) |
+                 static_cast<std::uint32_t>(fl.udp_checksum) << 1 |
+                 static_cast<std::uint32_t>(fl.tcp_checksum) << 2 |
+                 static_cast<std::uint32_t>(fl.invalid_crc) << 3;
+    ++head_;
+    sent_packets_ += 1;
+    sent_bytes_ += buf->length();
+
+    if (peer != nullptr) {
+      // A frame on a wire is a copy: materialize into the peer's RX pool.
+      auto& rxq = *peer->rx_queues_[0];
+      membuf::PktBuf* rb = peer->rx_pool_.alloc(buf->length());
+      if (rb == nullptr) {
+        rxq.ring_drops_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        std::memcpy(rb->data(), buf->data(), buf->length());
+        if (!rxq.ring_.push(rb)) {
+          peer->rx_pool_.free(rb);
+          rxq.ring_drops_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  }
+  const auto n = static_cast<std::uint16_t>(packets.size());
+  bufs.set_size(0);  // buffers now belong to the queue until recycled
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// RxQueue
+// ---------------------------------------------------------------------------
+
+RxQueue::RxQueue(Device& dev, std::size_t ring_size) : dev_(dev), ring_(ring_size) {}
+
+std::uint16_t RxQueue::recv(membuf::BufArray& bufs) {
+  const std::size_t n = ring_.pop_burst(bufs.storage().data(), bufs.capacity());
+  bufs.set_size(n);
+  rx_packets_.fetch_add(n, std::memory_order_relaxed);
+  return static_cast<std::uint16_t>(n);
+}
+
+}  // namespace moongen::core

@@ -1,0 +1,62 @@
+#include "core/flow_tracker.hpp"
+
+namespace moongen::core {
+
+bool SequenceTracker::feed(const std::uint8_t* data, std::size_t length,
+                           std::size_t payload_offset) {
+  if (length < payload_offset + sizeof(SequenceMarker)) return false;
+  SequenceMarker marker;
+  std::memcpy(&marker, data + payload_offset, sizeof(marker));
+  if (proto::ntoh32(marker.magic_be) != SequenceMarker::kMagic) return false;
+  feed_sequence(proto::ntoh64(marker.sequence_be));
+  return true;
+}
+
+void SequenceTracker::feed_sequence(std::uint64_t seq) {
+  ++received_;
+  const std::uint64_t window_bits = seen_.size() * 64;
+
+  if (!any_ || seq > highest_) {
+    // Advancing the window: clear the bitmap positions the window slides
+    // over so old epochs do not alias as duplicates. A jump larger than
+    // the window invalidates the whole bitmap at once.
+    if (any_ && seq - highest_ > window_bits) {
+      for (auto& word : seen_) word = 0;
+    } else {
+      const std::uint64_t start = any_ ? highest_ + 1 : 0;
+      for (std::uint64_t s = start; s < seq; ++s) clear_bit(s);
+    }
+    set_bit(seq);
+    highest_ = seq;
+    any_ = true;
+    ++unique_;
+    return;
+  }
+
+  if (highest_ - seq >= window_bits) {
+    ++stale_;  // too old to classify precisely
+    return;
+  }
+  if (get_bit(seq)) {
+    ++duplicates_;
+  } else {
+    set_bit(seq);
+    ++unique_;
+    ++reordered_;  // arrived after a higher sequence number
+  }
+}
+
+SequenceTracker::Report SequenceTracker::report() const {
+  Report r;
+  r.received = received_;
+  r.unique = unique_;
+  r.duplicates = duplicates_;
+  r.reordered = reordered_;
+  r.stale = stale_;
+  r.highest_seq = any_ ? highest_ : 0;
+  const std::uint64_t expected = any_ ? highest_ + 1 : 0;
+  r.lost = expected > unique_ + stale_ ? expected - unique_ - stale_ : 0;
+  return r;
+}
+
+}  // namespace moongen::core

@@ -1,0 +1,102 @@
+// Sequence-numbered flows: loss, reorder and duplication accounting.
+//
+// Packet generators relate generated to received traffic (paper Section 2);
+// for that, load packets carry an embedded flow id and sequence number in
+// their payload. The stamper writes them per packet in the transmit loop;
+// the tracker reconstructs per-flow delivery statistics on the receive
+// side — the basis for loss measurements such as RFC 2544 runs.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "proto/byte_order.hpp"
+
+namespace moongen::core {
+
+/// Wire layout of the embedded marker (network byte order).
+struct [[gnu::packed]] SequenceMarker {
+  std::uint32_t magic_be;    ///< identifies marked packets
+  std::uint32_t flow_id_be;
+  std::uint64_t sequence_be;
+
+  static constexpr std::uint32_t kMagic = 0x4d6f6f4e;  // "MooN"
+};
+static_assert(sizeof(SequenceMarker) == 16);
+
+/// Writes flow id + running sequence number at a fixed payload offset.
+class SequenceStamper {
+ public:
+  SequenceStamper(std::uint32_t flow_id, std::size_t payload_offset)
+      : flow_id_(flow_id), offset_(payload_offset) {}
+
+  /// Stamps the next sequence number into `data` (packet buffer bytes).
+  /// No bounds check — the caller sizes packets to fit (Section 5 tradeoff).
+  void stamp(std::uint8_t* data) {
+    SequenceMarker marker;
+    marker.magic_be = proto::hton32(SequenceMarker::kMagic);
+    marker.flow_id_be = proto::hton32(flow_id_);
+    marker.sequence_be = proto::hton64(next_++);
+    std::memcpy(data + offset_, &marker, sizeof(marker));
+  }
+
+  [[nodiscard]] std::uint64_t stamped() const { return next_; }
+  [[nodiscard]] std::uint32_t flow_id() const { return flow_id_; }
+  [[nodiscard]] std::size_t payload_offset() const { return offset_; }
+
+ private:
+  std::uint32_t flow_id_;
+  std::size_t offset_;
+  std::uint64_t next_ = 0;
+};
+
+/// Receive-side accounting for one flow.
+///
+/// Sequence numbers are tracked against a sliding window bitmap: arrivals
+/// above the highest seen advance the window; arrivals below it are
+/// classified as reordered (first time) or duplicate (seen before); stale
+/// arrivals beyond the window are counted separately.
+class SequenceTracker {
+ public:
+  explicit SequenceTracker(std::size_t window = 4096) : seen_(window, 0) {}
+
+  struct Report {
+    std::uint64_t received = 0;    ///< marker-carrying packets fed
+    std::uint64_t unique = 0;      ///< distinct sequence numbers
+    std::uint64_t duplicates = 0;
+    std::uint64_t reordered = 0;   ///< arrived after a higher sequence
+    std::uint64_t stale = 0;       ///< below the tracking window
+    std::uint64_t lost = 0;        ///< gaps: highest+1 - unique - stale
+    std::uint64_t highest_seq = 0;
+  };
+
+  /// Feeds one packet's bytes; returns false if no marker was found at the
+  /// given offset.
+  bool feed(const std::uint8_t* data, std::size_t length, std::size_t payload_offset);
+
+  /// Feeds a parsed sequence number directly.
+  void feed_sequence(std::uint64_t seq);
+
+  [[nodiscard]] Report report() const;
+
+ private:
+  [[nodiscard]] bool get_bit(std::uint64_t seq) const {
+    return (seen_[(seq / 64) % seen_.size()] >> (seq % 64)) & 1;
+  }
+  void set_bit(std::uint64_t seq) { seen_[(seq / 64) % seen_.size()] |= 1ull << (seq % 64); }
+  void clear_bit(std::uint64_t seq) {
+    seen_[(seq / 64) % seen_.size()] &= ~(1ull << (seq % 64));
+  }
+
+  std::vector<std::uint64_t> seen_;  // bitmap over sequence space, windowed
+  bool any_ = false;
+  std::uint64_t highest_ = 0;
+  std::uint64_t received_ = 0;
+  std::uint64_t unique_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t reordered_ = 0;
+  std::uint64_t stale_ = 0;
+};
+
+}  // namespace moongen::core

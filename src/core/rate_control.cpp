@@ -1,0 +1,146 @@
+#include "core/rate_control.hpp"
+
+#include <cstring>
+
+#include "proto/packet_view.hpp"
+
+namespace moongen::core {
+
+// ---------------------------------------------------------------------------
+// CrcGapFiller
+// ---------------------------------------------------------------------------
+
+std::vector<std::size_t> CrcGapFiller::fill(std::size_t gap_bytes) {
+  std::size_t gap = gap_bytes + carry_;
+  carry_ = 0;
+  std::vector<std::size_t> out;
+  if (gap == 0) return out;
+  if (gap < cfg_.min_wire_len) {
+    // Unrepresentable short gap (0.8-60.8 ns at 10 GbE): skip the filler
+    // here and lengthen a later gap instead; the average rate stays exact
+    // (Section 8.4).
+    carry_ = gap;
+    ++skipped_;
+    return out;
+  }
+  while (gap > 0) {
+    std::size_t take;
+    if (gap <= cfg_.max_wire_len) {
+      take = gap;
+    } else {
+      // Leave at least a representable remainder.
+      take = std::min(cfg_.max_wire_len, gap - cfg_.min_wire_len);
+    }
+    out.push_back(take);
+    gap -= take;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// SimLoadGen
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<SimLoadGen> SimLoadGen::hardware_paced(nic::TxQueueModel& queue,
+                                                       nic::Frame frame) {
+  auto gen = std::unique_ptr<SimLoadGen>(new SimLoadGen());
+  gen->frame_ = std::move(frame);
+  SimLoadGen* raw = gen.get();
+  // Keep the FIFO lookahead short so a marked (timestamped) frame reaches
+  // the wire promptly even at low paced rates.
+  queue.set_fifo_capacity(8);
+  queue.set_refill([raw] { return raw->next_frame(); });
+  return gen;
+}
+
+std::unique_ptr<SimLoadGen> SimLoadGen::crc_paced(nic::TxQueueModel& queue, nic::Frame frame,
+                                                  std::unique_ptr<DeparturePattern> pattern,
+                                                  std::uint64_t link_mbit,
+                                                  GapFillerConfig config) {
+  auto gen = std::unique_ptr<SimLoadGen>(new SimLoadGen());
+  gen->frame_ = std::move(frame);
+  gen->pattern_ = std::move(pattern);
+  gen->filler_ = std::make_unique<CrcGapFiller>(config);
+  gen->byte_time_ps_ = sim::byte_time_ps(link_mbit);
+  SimLoadGen* raw = gen.get();
+  queue.set_refill([raw] { return raw->next_frame(); });
+  return gen;
+}
+
+void SimLoadGen::mark_next_valid(nic::Frame stamped, int n) {
+  marked_frame_ = std::move(stamped);
+  marked_remaining_ = n;
+}
+
+nic::Frame SimLoadGen::next_frame() {
+  // CRC mode: emit pending gap frames between valid packets.
+  if (filler_ && pending_index_ < pending_gaps_.size()) {
+    ++gap_frames_;
+    return nic::make_gap_frame(pending_gaps_[pending_index_++], ++frame_seq_);
+  }
+
+  nic::Frame out = frame_;
+  if (marked_remaining_ > 0) {
+    out = marked_frame_;
+    --marked_remaining_;
+  }
+  out.seq = ++frame_seq_;
+  ++valid_frames_;
+
+  if (filler_) {
+    // Compute the wire gap until the next valid packet and pre-plan the
+    // invalid frames that fill it.
+    acc_ps_ += static_cast<double>(pattern_->next_gap_ps());
+    const double bytes_f = acc_ps_ / static_cast<double>(byte_time_ps_);
+    auto gap_total = static_cast<std::size_t>(bytes_f);
+    acc_ps_ -= static_cast<double>(gap_total) * static_cast<double>(byte_time_ps_);
+    const std::size_t valid_wire = out.wire_bytes();
+    const std::size_t filler_bytes = gap_total > valid_wire ? gap_total - valid_wire : 0;
+    pending_gaps_ = filler_->fill(filler_bytes);
+    pending_index_ = 0;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Frame templates
+// ---------------------------------------------------------------------------
+
+nic::Frame make_udp_frame(const UdpTemplateOptions& opts) {
+  std::vector<std::uint8_t> bytes(opts.frame_size, 0);
+  proto::UdpPacketView view{{bytes.data(), bytes.size()}};
+  proto::UdpFillOptions fill;
+  fill.packet_length = opts.frame_size;
+  fill.eth_src = proto::MacAddress::from_uint64(0x020000000001ull);
+  fill.eth_dst = proto::MacAddress::from_uint64(0x020000000002ull);
+  fill.udp_src = opts.udp_src;
+  fill.udp_dst = opts.ptp_payload ? proto::PtpHeader::kUdpEventPort : opts.udp_dst;
+  view.fill(fill);
+
+  if (opts.ptp_payload) {
+    auto payload = view.udp_payload();
+    if (payload.size() >= sizeof(proto::PtpHeader)) {
+      auto* ptp = reinterpret_cast<proto::PtpHeader*>(payload.data());
+      std::memset(ptp, 0, sizeof(*ptp));
+      ptp->set_message_type(static_cast<proto::PtpMessageType>(opts.ptp_message_type));
+      ptp->set_version(proto::PtpHeader::kVersion2);
+    }
+  }
+  return nic::make_frame(std::move(bytes));
+}
+
+nic::Frame make_ptp_ethernet_frame(std::size_t frame_size, std::uint8_t message_type) {
+  std::vector<std::uint8_t> bytes(frame_size, 0);
+  proto::EthPacketView view{{bytes.data(), bytes.size()}};
+  view.eth().dst = proto::MacAddress::from_uint64(0x020000000002ull);
+  view.eth().src = proto::MacAddress::from_uint64(0x020000000001ull);
+  view.eth().set_ether_type(proto::EtherType::kPtp);
+  auto payload = view.payload();
+  auto* ptp = reinterpret_cast<proto::PtpHeader*>(payload.data());
+  std::memset(ptp, 0, std::min(payload.size(), sizeof(proto::PtpHeader)));
+  ptp->set_message_type(static_cast<proto::PtpMessageType>(message_type));
+  ptp->set_version(proto::PtpHeader::kVersion2);
+  return nic::make_frame(std::move(bytes));
+}
+
+}  // namespace moongen::core

@@ -1,0 +1,62 @@
+#include "core/task.hpp"
+
+#include <chrono>
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace moongen::core {
+
+namespace {
+
+std::atomic<bool>& run_flag() {
+  static std::atomic<bool> flag{true};
+  return flag;
+}
+
+void pin_to_core(int core) {
+#ifdef __linux__
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(core) % hw, &set);
+  pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)core;
+#endif
+}
+
+}  // namespace
+
+bool running() { return run_flag().load(std::memory_order_relaxed); }
+
+void request_stop() { run_flag().store(false, std::memory_order_relaxed); }
+
+void reset_run_state() { run_flag().store(true, std::memory_order_relaxed); }
+
+void stop_after(double seconds) {
+  std::thread([seconds] {
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    request_stop();
+  }).detach();
+}
+
+void TaskSet::launch_impl(std::string name, std::function<void()> body) {
+  const int core = next_core_++;
+  threads_.emplace_back([core, name = std::move(name), body = std::move(body)] {
+    pin_to_core(core);
+    body();
+  });
+}
+
+void TaskSet::wait() {
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+}  // namespace moongen::core

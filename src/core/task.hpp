@@ -1,0 +1,118 @@
+// Task system: the C++ face of `mg.launchLua` / `mg.waitForSlaves`.
+//
+// MoonGen spawns each slave as an independent LuaJIT VM pinned to a CPU
+// core; tasks share nothing except explicit pipes (paper Section 3.4).
+// Here every task is a pinned thread running a plain function; the global
+// run flag mirrors `dpdk.running()` and pipes mirror MoonGen's inter-task
+// communication facilities.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace moongen::core {
+
+/// Equivalent of `dpdk.running()`: transmit/receive loops poll this.
+bool running();
+
+/// Asks all tasks to wind down (mirrors MoonGen's SIGINT handling).
+void request_stop();
+
+/// Re-arms the run flag (between experiments in one process).
+void reset_run_state();
+
+/// Requests stop after `seconds` of wall-clock time, from a helper thread.
+/// Returns immediately.
+void stop_after(double seconds);
+
+class TaskSet {
+ public:
+  TaskSet() = default;
+  TaskSet(const TaskSet&) = delete;
+  TaskSet& operator=(const TaskSet&) = delete;
+  ~TaskSet() { wait(); }
+
+  /// Launches `fn(args...)` in a new task pinned to the next CPU core
+  /// (round-robin). Mirrors `mg.launchLua("slave", args...)`.
+  template <typename F, typename... Args>
+  void launch(std::string name, F&& fn, Args&&... args) {
+    launch_impl(std::move(name),
+                [fn = std::forward<F>(fn),
+                 tup = std::make_tuple(std::forward<Args>(args)...)]() mutable {
+                  std::apply(fn, std::move(tup));
+                });
+  }
+
+  /// Joins all tasks (mirrors `mg.waitForSlaves()`).
+  void wait();
+
+  [[nodiscard]] std::size_t task_count() const { return threads_.size(); }
+
+ private:
+  void launch_impl(std::string name, std::function<void()> body);
+
+  std::vector<std::thread> threads_;
+  int next_core_ = 0;
+};
+
+/// Bounded MPMC pipe for inter-task communication (MoonGen's `pipe`).
+template <typename T>
+class Pipe {
+ public:
+  explicit Pipe(std::size_t capacity = 1024) : capacity_(capacity) {}
+
+  /// Blocks while full (unless stop was requested; then drops and returns
+  /// false).
+  bool push(T value) {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock, [&] { return queue_.size() < capacity_ || !running(); });
+    if (queue_.size() >= capacity_) return false;
+    queue_.push_back(std::move(value));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Pops with a timeout; empty optional on timeout or shutdown.
+  std::optional<T> pop(std::chrono::nanoseconds timeout = std::chrono::milliseconds(100)) {
+    std::unique_lock lock(mutex_);
+    if (!not_empty_.wait_for(lock, timeout, [&] { return !queue_.empty(); }))
+      return std::nullopt;
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::scoped_lock lock(mutex_);
+    if (queue_.empty()) return std::nullopt;
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    not_full_.notify_one();
+    return value;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::scoped_lock lock(mutex_);
+    return queue_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> queue_;
+  std::size_t capacity_;
+};
+
+}  // namespace moongen::core

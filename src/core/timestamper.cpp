@@ -1,0 +1,100 @@
+#include "core/timestamper.hpp"
+
+namespace moongen::core {
+
+Timestamper::Timestamper(sim::EventQueue& events, nic::Port& tx_port, int tx_queue,
+                         nic::Port& rx_port, nic::Frame probe, TimestamperConfig config)
+    : events_(events),
+      tx_port_(tx_port),
+      rx_port_(rx_port),
+      tx_queue_(tx_queue),
+      probe_(std::move(probe)),
+      cfg_(config),
+      rng_(config.seed),
+      hist_(config.hist_bin_ps, config.hist_max_ps) {
+  init(rx_port);
+}
+
+Timestamper::Timestamper(sim::EventQueue& events, nic::Port& tx_port, SimLoadGen& gen,
+                         nic::Frame stamped, nic::Port& rx_port, TimestamperConfig config)
+    : events_(events),
+      tx_port_(tx_port),
+      rx_port_(rx_port),
+      probe_(std::move(stamped)),
+      stream_gen_(&gen),
+      cfg_(config),
+      rng_(config.seed),
+      hist_(config.hist_bin_ps, config.hist_max_ps) {
+  init(rx_port);
+}
+
+void Timestamper::init(nic::Port& rx_port) {
+  rx_port.set_rx_stamp_callback([this](std::uint64_t) { on_rx_stamp(); });
+}
+
+void Timestamper::start() {
+  running_ = true;
+  events_.schedule_in(0, [this] { take_sample(); });
+}
+
+void Timestamper::take_sample() {
+  if (!running_) return;
+  // Clear stale registers (e.g. from a lost packet's TX stamp).
+  (void)tx_port_.read_tx_timestamp();
+  (void)rx_port_.read_rx_timestamp();
+
+  // Resynchronizing before each timestamped packet reduces drift to a
+  // ~0.0035 % relative error (Section 6.3).
+  if (cfg_.sync_clocks_each_sample) {
+    sim::synchronize_clocks(tx_port_.ptp_clock(), rx_port_.ptp_clock(), events_.now(), rng_,
+                            cfg_.sync);
+  }
+
+  armed_ = true;
+  const std::uint64_t token = ++arm_token_;
+
+  if (stream_gen_ != nullptr) {
+    stream_gen_->mark_next_valid(probe_, 1);
+  } else {
+    tx_port_.tx_queue(tx_queue_).post(probe_);
+  }
+
+  events_.schedule_in(cfg_.timeout_ps, [this, token] {
+    if (armed_ && token == arm_token_) {
+      ++lost_;
+      finish_sample(false);
+    }
+  });
+}
+
+void Timestamper::on_rx_stamp() {
+  if (!armed_) {
+    (void)rx_port_.read_rx_timestamp();  // stray stamp, discard
+    return;
+  }
+  const auto rx = rx_port_.read_rx_timestamp();
+  const auto tx = tx_port_.read_tx_timestamp();
+  if (!rx.has_value() || !tx.has_value()) {
+    // TX stamp missing (register was occupied when our packet left) —
+    // abandon this sample.
+    finish_sample(false);
+    return;
+  }
+  const auto delta = static_cast<std::int64_t>(*rx) - static_cast<std::int64_t>(*tx);
+  if (delta >= 0) {
+    hist_.add(static_cast<std::uint64_t>(delta));
+    latency_ns_.add(static_cast<double>(delta) / 1e3);
+    ++samples_;
+    finish_sample(true);
+  } else {
+    finish_sample(false);
+  }
+}
+
+void Timestamper::finish_sample(bool /*success*/) {
+  armed_ = false;
+  if (!running_) return;
+  events_.schedule_in(cfg_.sample_interval_ps, [this] { take_sample(); });
+}
+
+}  // namespace moongen::core

@@ -1,0 +1,91 @@
+// Hardware-assisted latency measurement (paper Section 6).
+//
+// The Timestamper reproduces MoonGen's sampling design:
+//  * clocks of the TX and RX ports are (re)synchronized before every
+//    timestamped packet, turning clock drift into a negligible relative
+//    error (Section 6.3);
+//  * only one timestamped packet is in flight at a time because the NICs
+//    latch TX/RX timestamps in single registers that must be read back
+//    (Section 6.4);
+//  * in stream mode, the timestamped packet is an ordinary packet of the
+//    load stream whose PTP type byte was flipped into the timestampable
+//    range — the device under test cannot distinguish it, so MoonGen
+//    effectively samples random packets of the data stream.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "core/rate_control.hpp"
+#include "nic/port.hpp"
+#include "sim/clock_sync.hpp"
+#include "sim/event_queue.hpp"
+#include "stats/histogram.hpp"
+#include "stats/running_stats.hpp"
+
+namespace moongen::core {
+
+struct TimestamperConfig {
+  /// Pause between samples (the paper stamps thousands per second).
+  sim::SimTime sample_interval_ps = 200 * sim::kPsPerUs;
+  /// Give up on a sample after this time (packet lost, e.g. overload).
+  sim::SimTime timeout_ps = 20 * sim::kPsPerMs;
+  /// Re-synchronize the port clocks before every sample (Section 6.3).
+  bool sync_clocks_each_sample = true;
+  sim::ClockSyncConfig sync;
+  /// Histogram geometry for latency values (in ps).
+  sim::SimTime hist_bin_ps = 6'400;
+  sim::SimTime hist_max_ps = 5 * sim::kPsPerMs;
+  std::uint64_t seed = 0x7151bead;
+};
+
+class Timestamper {
+ public:
+  /// Inject mode: posts `probe` to (`tx_port`, `tx_queue`) for each sample.
+  /// Used for direct loopback measurements (Table 3) and alongside
+  /// hardware-rate-limited load on another queue.
+  Timestamper(sim::EventQueue& events, nic::Port& tx_port, int tx_queue, nic::Port& rx_port,
+              nic::Frame probe, TimestamperConfig config = {});
+
+  /// Stream mode: asks `gen` to replace the next valid frame of its stream
+  /// with `stamped` (same size, timestampable PTP type). Used through a DuT
+  /// so the measured packets are part of the load (Sections 8.2, 8.3).
+  Timestamper(sim::EventQueue& events, nic::Port& tx_port, SimLoadGen& gen, nic::Frame stamped,
+              nic::Port& rx_port, TimestamperConfig config = {});
+
+  /// Begins sampling at the current simulation time.
+  void start();
+  /// Stops scheduling further samples.
+  void stop() { running_ = false; }
+
+  [[nodiscard]] const stats::Histogram& histogram() const { return hist_; }
+  [[nodiscard]] const stats::RunningStats& latency_ns() const { return latency_ns_; }
+  [[nodiscard]] std::uint64_t samples() const { return samples_; }
+  [[nodiscard]] std::uint64_t lost() const { return lost_; }
+
+ private:
+  void init(nic::Port& rx_port);
+  void take_sample();
+  void on_rx_stamp();
+  void finish_sample(bool success);
+
+  sim::EventQueue& events_;
+  nic::Port& tx_port_;
+  nic::Port& rx_port_;
+  int tx_queue_ = 0;
+  nic::Frame probe_;
+  SimLoadGen* stream_gen_ = nullptr;
+  TimestamperConfig cfg_;
+  std::mt19937_64 rng_;
+
+  bool running_ = false;
+  bool armed_ = false;
+  std::uint64_t arm_token_ = 0;
+
+  stats::Histogram hist_;
+  stats::RunningStats latency_ns_;
+  std::uint64_t samples_ = 0;
+  std::uint64_t lost_ = 0;
+};
+
+}  // namespace moongen::core

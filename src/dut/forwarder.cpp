@@ -1,0 +1,106 @@
+#include "dut/forwarder.hpp"
+
+namespace moongen::dut {
+
+Forwarder::Forwarder(sim::EventQueue& events, nic::Port& in_port, int in_queue,
+                     nic::Port& out_port, int out_queue, ForwarderConfig config)
+    : events_(events),
+      in_port_(in_port),
+      rx_(in_port.rx_queue(in_queue)),
+      tx_(out_port.tx_queue(out_queue)),
+      cfg_(config),
+      service_ps_(static_cast<sim::SimTime>(cfg_.cycles_per_packet / cfg_.cpu_hz * 1e12)),
+      rng_(config.seed) {
+  rx_.set_callback([this](const nic::RxQueueModel::Entry&) { packet_arrived(); });
+}
+
+sim::SimTime Forwarder::current_itr_gap() const {
+  switch (itr_class_) {
+    case 0:
+      return cfg_.itr_gap_lowest_ps;
+    case 1:
+      return cfg_.itr_gap_low_ps;
+    default:
+      return cfg_.itr_gap_bulk_ps;
+  }
+}
+
+void Forwarder::packet_arrived() {
+  if (polling_ || interrupt_scheduled_) return;
+  interrupt_scheduled_ = true;
+  // The interrupt fires after IRQ delivery latency, but no earlier than the
+  // ITR re-arm time relative to the previous interrupt. Both delays carry
+  // OS-timer jitter, which keeps a CBR packet train from phase-locking to
+  // the interrupt cadence.
+  std::uniform_real_distribution<double> jitter(1.0 - cfg_.timer_jitter,
+                                                1.0 + cfg_.timer_jitter);
+  const auto gap = static_cast<sim::SimTime>(static_cast<double>(current_itr_gap()) * jitter(rng_));
+  const auto lat =
+      static_cast<sim::SimTime>(static_cast<double>(cfg_.interrupt_latency_ps) * jitter(rng_));
+  const sim::SimTime earliest = last_interrupt_ps_ + gap;
+  const sim::SimTime at = std::max(events_.now() + lat, earliest);
+  events_.schedule_at(at, [this] { fire_interrupt(); });
+}
+
+void Forwarder::fire_interrupt() {
+  interrupt_scheduled_ = false;
+  if (polling_) return;  // a poll loop took over in the meantime
+  ++interrupts_;
+  last_interrupt_ps_ = events_.now();
+  polling_ = true;
+  poll();
+}
+
+void Forwarder::poll() {
+  ++polls_;
+  const auto entries = rx_.drain(static_cast<std::size_t>(cfg_.poll_budget));
+
+  sim::SimTime t = events_.now();
+  std::size_t pairs = 0;
+  for (const auto& entry : entries) {
+    // Back-to-back detection: arrival spacing equal to the frame's own
+    // wire time (within one MAC cycle) marks a micro-burst.
+    const sim::SimTime wire_ps = entry.frame.wire_bytes() * in_port_.byte_time_ps();
+    if (last_arrival_ps_ != 0 &&
+        entry.complete_ps - last_arrival_ps_ <= wire_ps + in_port_.spec().mac_cycle_ps) {
+      ++pairs;
+    }
+    last_arrival_ps_ = entry.complete_ps;
+
+    t += service_ps_;  // single core: packets are processed sequentially
+    const sim::SimTime out_time = t + cfg_.base_pipeline_ps;
+    latency_ns_.add(sim::to_ns(out_time - entry.complete_ps));
+    events_.schedule_at(out_time, [this, frame = entry.frame] { tx_.post(frame); });
+    ++forwarded_;
+  }
+  if (!entries.empty()) update_itr(pairs, entries.size());
+
+  const bool budget_exhausted = entries.size() >= static_cast<std::size_t>(cfg_.poll_budget);
+  if (budget_exhausted || rx_.pending() > 0) {
+    // Stay in polling mode (interrupts remain disabled); next pass after
+    // this batch has been processed.
+    events_.schedule_at(t, [this] { poll(); });
+    return;
+  }
+  // Ring drained: leave polling, re-enable interrupts at the end of the
+  // processing pass.
+  events_.schedule_at(t, [this] {
+    polling_ = false;
+    if (rx_.pending() > 0) packet_arrived();  // packets raced in meanwhile
+  });
+}
+
+void Forwarder::update_itr(std::size_t pairs, std::size_t packets) {
+  constexpr double kAlpha = 0.2;  // EWMA weight of the newest poll
+  const double share = static_cast<double>(pairs) / static_cast<double>(packets);
+  burst_share_ewma_ = (1.0 - kAlpha) * burst_share_ewma_ + kAlpha * share;
+  if (burst_share_ewma_ > cfg_.burst_bulk_threshold) {
+    itr_class_ = 2;
+  } else if (burst_share_ewma_ > cfg_.burst_low_threshold) {
+    itr_class_ = 1;
+  } else {
+    itr_class_ = 0;
+  }
+}
+
+}  // namespace moongen::dut

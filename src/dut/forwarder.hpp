@@ -1,0 +1,111 @@
+// Device-under-test model: a Linux server forwarding packets with Open
+// vSwitch (the DuT of paper Sections 7.4, 8.2, 8.3).
+//
+// Models the parts of the software stack whose reactions the paper
+// measures:
+//  * NAPI: an interrupt schedules a poll loop; the poll drains up to a
+//    budget of packets per pass and keeps polling while the ring is
+//    non-empty, with interrupts disabled — so at overload the interrupt
+//    rate collapses (Figure 7, right edge).
+//  * Dynamic interrupt throttling (ixgbe ITR + Linux dynamic adaption
+//    [10, 25]): the driver classifies traffic per poll and re-arms the
+//    interrupt only after a class-dependent gap. Micro-bursts push the
+//    estimator into the bulk class and its long re-arm gap, which is why
+//    bursty generators produce a *low* interrupt rate (Figure 7) and
+//    higher latencies.
+//  * A single-core datapath with a fixed per-packet cost: the DuT saturates
+//    at ~1.9-2.0 Mpps; beyond that the RX ring (4096 descriptors) fills and
+//    the forwarding latency is bounded by the buffer, ~2 ms (Figure 11).
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "nic/port.hpp"
+#include "sim/event_queue.hpp"
+#include "stats/running_stats.hpp"
+
+namespace moongen::dut {
+
+struct ForwarderConfig {
+  double cpu_hz = 3.3e9;             ///< Xeon E3-1230 v2 (Section 9)
+  double cycles_per_packet = 1'700;  ///< OVS datapath cost -> ~1.94 Mpps capacity
+  /// IRQ delivery + handler entry until the poll starts.
+  sim::SimTime interrupt_latency_ps = 2'000'000;
+  /// Fixed kernel path pipeline latency (skb handling, OVS lookup layers)
+  /// added outside the CPU bottleneck.
+  sim::SimTime base_pipeline_ps = 8'000'000;
+  int poll_budget = 64;
+
+  // Dynamic ITR: re-arm gaps per class. The classifier watches for
+  // back-to-back arrivals (micro-bursts): polls that contain wire-adjacent
+  // packets push the estimator toward the bulk class and its long re-arm
+  // gap — this is how bad rate control collapses the DuT's interrupt rate
+  // (Section 7.4, Figure 7).
+  sim::SimTime itr_gap_lowest_ps = 8'000'000;    // ~125 k int/s ceiling
+  sim::SimTime itr_gap_low_ps = 40'000'000;      // 25 k int/s
+  sim::SimTime itr_gap_bulk_ps = 120'000'000;    // ~8 k int/s
+  /// Relative jitter of the re-arm timer and IRQ delivery. Linux's dynamic
+  /// interrupt adaption [25] re-tunes the throttle per interrupt and OS
+  /// timers are not cycle-accurate; the resulting variation prevents phase
+  /// locking between a CBR packet train and the interrupt cadence.
+  double timer_jitter = 0.25;
+  std::uint64_t seed = 0xd0075ffULL;
+  double burst_low_threshold = 0.15;   ///< b2b-pair share above -> low class
+  double burst_bulk_threshold = 0.45;  ///< b2b-pair share above -> bulk class
+};
+
+class Forwarder {
+ public:
+  /// Forwards every frame arriving on (`in_port`, `in_queue`) out of
+  /// (`out_port`, `out_queue`), like OVS with a single static OpenFlow rule.
+  Forwarder(sim::EventQueue& events, nic::Port& in_port, int in_queue, nic::Port& out_port,
+            int out_queue, ForwarderConfig config = {});
+
+  [[nodiscard]] std::uint64_t interrupts() const { return interrupts_; }
+  [[nodiscard]] std::uint64_t forwarded() const { return forwarded_; }
+  [[nodiscard]] std::uint64_t polls() const { return polls_; }
+  /// Per-packet residence time inside the DuT (ring wait + service +
+  /// pipeline), recorded for diagnostics; end-to-end latency is measured by
+  /// the generator's timestamper as in the paper.
+  [[nodiscard]] const stats::RunningStats& internal_latency_ns() const { return latency_ns_; }
+  [[nodiscard]] int itr_class() const { return itr_class_; }
+
+  /// Interrupt count can be sampled and reset to compute rates per window.
+  std::uint64_t take_interrupt_count() {
+    const std::uint64_t n = interrupts_;
+    interrupts_since_sample_ = interrupts_ - interrupts_since_sample_;
+    return n;
+  }
+
+ private:
+  void packet_arrived();
+  void fire_interrupt();
+  void poll();
+  [[nodiscard]] sim::SimTime current_itr_gap() const;
+  void update_itr(std::size_t pairs, std::size_t packets);
+
+  sim::EventQueue& events_;
+  nic::Port& in_port_;
+  nic::RxQueueModel& rx_;
+  nic::TxQueueModel& tx_;
+  ForwarderConfig cfg_;
+  sim::SimTime service_ps_;
+
+  bool polling_ = false;
+  bool interrupt_scheduled_ = false;
+  sim::SimTime last_interrupt_ps_ = 0;
+
+  int itr_class_ = 0;  // 0 = lowest latency, 1 = low latency, 2 = bulk
+  double burst_share_ewma_ = 0.0;
+  sim::SimTime last_arrival_ps_ = 0;
+  std::mt19937_64 rng_;
+
+  std::uint64_t interrupts_ = 0;
+  std::uint64_t interrupts_since_sample_ = 0;
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t polls_ = 0;
+  stats::RunningStats latency_ns_;
+};
+
+}  // namespace moongen::dut

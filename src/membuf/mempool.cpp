@@ -1,0 +1,58 @@
+#include "membuf/mempool.hpp"
+
+#include <algorithm>
+
+namespace moongen::membuf {
+
+Mempool::Mempool(std::size_t capacity, InitFn init) {
+  storage_.reserve(capacity);
+  free_list_.reserve(capacity);
+  for (std::size_t i = 0; i < capacity; ++i) {
+    auto buf = std::make_unique<PktBuf>();
+    buf->pool_ = this;
+    if (init) init(*buf);
+    free_list_.push_back(buf.get());
+    storage_.push_back(std::move(buf));
+  }
+  low_watermark_ = capacity;
+}
+
+std::size_t Mempool::alloc_batch(std::span<PktBuf*> out, std::size_t frame_length) {
+  lock();
+  const std::size_t n = std::min(out.size(), free_list_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    PktBuf* buf = free_list_.back();
+    free_list_.pop_back();
+    buf->set_length(frame_length);
+    buf->flags_ = OffloadFlags{};
+    out[i] = buf;
+  }
+  low_watermark_ = std::min(low_watermark_, free_list_.size());
+  unlock();
+  return n;
+}
+
+PktBuf* Mempool::alloc(std::size_t frame_length) {
+  PktBuf* buf = nullptr;
+  (void)alloc_batch({&buf, 1}, frame_length);
+  return buf;
+}
+
+void Mempool::free_batch(std::span<PktBuf* const> bufs) {
+  lock();
+  for (PktBuf* buf : bufs) {
+    if (buf != nullptr) free_list_.push_back(buf);
+  }
+  unlock();
+}
+
+void Mempool::free(PktBuf* buf) { free_batch({&buf, 1}); }
+
+std::size_t Mempool::available() const {
+  lock();
+  const std::size_t n = free_list_.size();
+  unlock();
+  return n;
+}
+
+}  // namespace moongen::membuf

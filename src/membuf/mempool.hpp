@@ -1,0 +1,63 @@
+// Fixed-size packet-buffer pool with a pre-fill callback.
+//
+// Equivalent of `memory.createMemPool(function(buf) ... end)` in MoonGen
+// (paper Listing 2): every buffer is initialized once at pool creation, so
+// the transmit loop only needs to touch the fields that change per packet.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "membuf/pktbuf.hpp"
+
+namespace moongen::membuf {
+
+class Mempool {
+ public:
+  /// Called once per buffer at construction to pre-fill default contents.
+  using InitFn = std::function<void(PktBuf&)>;
+
+  /// Creates a pool of `capacity` buffers. `init` may be empty.
+  explicit Mempool(std::size_t capacity = kDefaultCapacity, InitFn init = {});
+
+  Mempool(const Mempool&) = delete;
+  Mempool& operator=(const Mempool&) = delete;
+
+  /// DPDK's default per-queue pool size.
+  static constexpr std::size_t kDefaultCapacity = 2048;
+
+  /// Allocates up to `out.size()` buffers with `frame_length` set.
+  /// Returns the number actually allocated (< out.size() if exhausted).
+  std::size_t alloc_batch(std::span<PktBuf*> out, std::size_t frame_length);
+
+  /// Allocates a single buffer; nullptr if the pool is exhausted.
+  PktBuf* alloc(std::size_t frame_length);
+
+  /// Returns buffers to the pool. Flags are reset; contents are *not*
+  /// erased (as in DPDK, recycled packets keep their previous bytes).
+  void free_batch(std::span<PktBuf* const> bufs);
+  void free(PktBuf* buf);
+
+  [[nodiscard]] std::size_t capacity() const { return storage_.size(); }
+  [[nodiscard]] std::size_t available() const;
+  /// Smallest number of free buffers ever observed (diagnostic watermark).
+  [[nodiscard]] std::size_t low_watermark() const { return low_watermark_; }
+
+ private:
+  void lock() const {
+    while (lock_.test_and_set(std::memory_order_acquire)) { /* spin */
+    }
+  }
+  void unlock() const { lock_.clear(std::memory_order_release); }
+
+  std::vector<std::unique_ptr<PktBuf>> storage_;
+  std::vector<PktBuf*> free_list_;
+  std::size_t low_watermark_;
+  mutable std::atomic_flag lock_ = ATOMIC_FLAG_INIT;
+};
+
+}  // namespace moongen::membuf

@@ -1,0 +1,75 @@
+// Lock-free single-producer/single-consumer ring.
+//
+// The fast-path equivalent of a DPDK rte_ring in SP/SC mode: used for the
+// loopback wiring between fast-path devices and for inter-task pipes where
+// exactly one producer and one consumer task exist (the normal MoonGen
+// task topology).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+namespace moongen::membuf {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// `capacity` is rounded up to a power of two; one slot is reserved to
+  /// distinguish full from empty.
+  explicit SpscRing(std::size_t capacity = 1024) {
+    std::size_t cap = 2;
+    while (cap < capacity + 1) cap <<= 1;
+    mask_ = cap - 1;
+    slots_.resize(cap);
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. Returns false when full.
+  bool push(T value) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t next = (head + 1) & mask_;
+    if (next == tail_.load(std::memory_order_acquire)) return false;
+    slots_[head] = std::move(value);
+    head_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when empty.
+  bool pop(T& out) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_.load(std::memory_order_acquire)) return false;
+    out = std::move(slots_[tail]);
+    tail_.store((tail + 1) & mask_, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer-side burst pop into `out`; returns number popped.
+  std::size_t pop_burst(T* out, std::size_t max) {
+    std::size_t n = 0;
+    while (n < max && pop(out[n])) ++n;
+    return n;
+  }
+
+  [[nodiscard]] bool empty() const {
+    return tail_.load(std::memory_order_acquire) == head_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    return (head - tail) & mask_;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return mask_; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_;
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace moongen::membuf

@@ -1,0 +1,51 @@
+// Frames travelling through the simulated hardware.
+//
+// Simulated frames carry real header bytes (so PTP filters, RSS and the
+// DuT's forwarding logic can parse them) shared via shared_ptr: generators
+// build one template and send it millions of times without copying.
+// The FCS is represented by a validity flag rather than literal trailing
+// bytes; the CRC32 math itself is exercised by the proto module and its
+// tests.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "proto/headers.hpp"
+
+namespace moongen::nic {
+
+struct Frame {
+  /// Frame bytes excluding the 4-byte FCS.
+  std::shared_ptr<const std::vector<std::uint8_t>> data;
+  /// False for the deliberately corrupted frames of the CRC-based rate
+  /// control (paper Section 8); receivers drop these in hardware.
+  bool fcs_valid = true;
+  /// Generator-assigned sequence number for end-to-end matching.
+  std::uint64_t seq = 0;
+
+  /// Frame size including FCS (the "packet size" of the paper).
+  [[nodiscard]] std::size_t frame_size() const { return data->size() + proto::kFcsSize; }
+  /// Bytes occupied on the wire: frame + preamble + SFD + IFG.
+  [[nodiscard]] std::size_t wire_bytes() const { return frame_size() + proto::kWireOverhead; }
+};
+
+inline Frame make_frame(std::vector<std::uint8_t> bytes, bool fcs_valid = true,
+                        std::uint64_t seq = 0) {
+  return Frame{std::make_shared<const std::vector<std::uint8_t>>(std::move(bytes)), fcs_valid,
+               seq};
+}
+
+/// Builds an opaque filler frame of `wire_len` bytes on the wire (>= 33),
+/// used as an invalid gap frame by the software rate control.
+inline Frame make_gap_frame(std::size_t wire_len, std::uint64_t seq = 0) {
+  const std::size_t data_len =
+      wire_len >= proto::kWireOverhead + proto::kFcsSize + 1
+          ? wire_len - proto::kWireOverhead - proto::kFcsSize
+          : 1;
+  return Frame{std::make_shared<const std::vector<std::uint8_t>>(data_len, std::uint8_t{0}),
+               /*fcs_valid=*/false, seq};
+}
+
+}  // namespace moongen::nic

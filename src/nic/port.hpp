@@ -1,0 +1,265 @@
+// Event-driven behavioural model of a NIC port.
+//
+// Models the TX/RX paths of the Intel NICs the paper builds on:
+//
+//   software --post()--> memory descriptor ring --DMA--> on-chip FIFO
+//       --per-queue HW rate limiter--> MAC serialization --> wire sink
+//
+//   wire --deliver_frame()--> FCS check (hardware drop of invalid frames)
+//       --> PTP timestamp unit / RX-all timestamping --> steering --> RX ring
+//
+// The model reproduces exactly the hardware behaviours the paper's
+// experiments depend on:
+//  * the asynchronous push-pull TX model that makes software rate control
+//    imprecise (Section 7.1): DMA fetches add jitter the software cannot
+//    control;
+//  * per-queue hardware rate limiting with quantized pacing (Section 7.2),
+//    including the non-linear behaviour above ~9 Mpps (Section 7.5);
+//  * PTP register timestamping with single-packet-in-flight semantics and
+//    RX-all timestamping on the 82580 (Section 6);
+//  * early hardware drop of frames with a bad FCS, incrementing only an
+//    error counter (Section 8.1).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <random>
+#include <vector>
+
+#include "nic/chip.hpp"
+#include "nic/flow_director.hpp"
+#include "nic/frame.hpp"
+#include "nic/rss.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/ptp_clock.hpp"
+
+namespace moongen::nic {
+
+class Port;
+
+/// Destination of transmitted frames (implemented by wire::Link).
+class FrameSink {
+ public:
+  virtual ~FrameSink() = default;
+  /// `tx_start_ps` is the time the first preamble bit left the MAC.
+  virtual void on_frame(const Frame& frame, sim::SimTime tx_start_ps) = 0;
+};
+
+/// PTP packet filter configuration (Section 6): which message types are
+/// timestamped. MoonGen's sampling trick sets the PTP type of background
+/// packets to a value outside this mask.
+struct PtpFilterConfig {
+  bool enabled = true;
+  /// Bitmask over PtpMessageType values 0-15; default: event messages.
+  std::uint32_t message_type_mask = 0x0f;
+  std::uint8_t version = 2;
+  std::uint16_t udp_port = 319;
+};
+
+struct PortStats {
+  std::uint64_t tx_packets = 0;
+  std::uint64_t tx_bytes = 0;  // wire bytes including overhead
+  std::uint64_t rx_packets = 0;
+  std::uint64_t rx_bytes = 0;
+  /// Frames dropped in hardware before queue assignment (bad FCS / runts).
+  std::uint64_t crc_errors = 0;
+  /// Frames dropped because the RX ring was full.
+  std::uint64_t rx_ring_drops = 0;
+};
+
+/// One hardware transmit queue.
+class TxQueueModel {
+ public:
+  /// Posts a frame descriptor from "software" (tail-pointer write). The
+  /// frame is fetched by DMA asynchronously. Returns false if the
+  /// descriptor ring is full.
+  bool post(Frame frame);
+
+  /// Number of free descriptor slots.
+  [[nodiscard]] std::size_t ring_free() const { return ring_capacity_ - mem_ring_.size(); }
+
+  /// Configures the hardware rate limiter to `wire_mbit` Mbit/s measured on
+  /// the wire (including preamble/IFG). 0 disables rate control.
+  void set_rate_wire_mbit(double wire_mbit);
+
+  /// Convenience: configures the limiter for `mpps` packets/s of
+  /// `frame_size`-byte frames.
+  void set_rate_mpps(double mpps, std::size_t frame_size);
+
+  /// Installs an infinite frame supply: the queue refills itself whenever
+  /// its FIFO drains, modelling software that keeps the ring full (the only
+  /// sensible mode under hardware rate control, Section 7.2).
+  void set_refill(std::function<Frame()> generator);
+
+  /// Bounds the on-chip FIFO lookahead (frames pulled from the refill
+  /// source ahead of transmission). A small value keeps the generator's
+  /// stream marking (timestamp sampling) responsive at low paced rates.
+  void set_fifo_capacity(std::size_t frames) { fifo_capacity_frames_ = frames; }
+
+  [[nodiscard]] double rate_wire_mbit() const { return rate_wire_mbit_; }
+
+ private:
+  friend class Port;
+
+  Port* port_ = nullptr;
+  int index_ = 0;
+  std::size_t ring_capacity_ = 1024;
+  std::deque<Frame> mem_ring_;  // descriptors in main memory
+  std::deque<Frame> fifo_;      // frames fetched into the on-chip FIFO
+  std::size_t fifo_capacity_frames_ = 128;
+  bool fetch_scheduled_ = false;
+
+  double rate_wire_mbit_ = 0.0;      // 0 = uncontrolled
+  double next_target_start_ps_ = 0;  // pacing target (exact accumulation)
+  sim::SimTime next_allowed_ps_ = 0;
+  bool pacing_initialized_ = false;
+
+  std::function<Frame()> refill_;
+};
+
+/// One hardware receive queue.
+class RxQueueModel {
+ public:
+  struct Entry {
+    Frame frame;
+    /// True arrival time of the last bit (when the frame is complete).
+    sim::SimTime complete_ps = 0;
+    /// Hardware RX timestamp (rx_timestamp_all chips): quantized PTP clock
+    /// reading latched early in the receive path. 0 if not stamped.
+    std::uint64_t hw_timestamp = 0;
+  };
+
+  using Callback = std::function<void(const Entry&)>;
+
+  /// Invoked for every frame placed into the ring (used to wire up
+  /// recorders and the DuT model).
+  void set_callback(Callback cb) { callback_ = std::move(cb); }
+
+  /// Removes and returns up to `max` frames from the ring (app-side recv).
+  std::vector<Entry> drain(std::size_t max = SIZE_MAX);
+
+  [[nodiscard]] std::size_t pending() const { return ring_.size(); }
+  void set_ring_capacity(std::size_t n) { ring_capacity_ = n; }
+
+  /// Sink mode: entries go to the callback only and are not stored in the
+  /// ring (for measurement taps like the inter-arrival recorder that would
+  /// otherwise have to drain continuously).
+  void set_store(bool store) { store_ = store; }
+
+ private:
+  friend class Port;
+
+  std::deque<Entry> ring_;
+  std::size_t ring_capacity_ = 4096;
+  bool store_ = true;
+  Callback callback_;
+};
+
+/// Timing parameters of the PCIe/DMA path.
+struct DmaTiming {
+  sim::SimTime latency_ps = 400'000;        ///< descriptor fetch round trip (400 ns)
+  sim::SimTime jitter_ps = 300'000;         ///< uniform extra delay (0..300 ns)
+  std::size_t fetch_batch = 32;             ///< descriptors moved per DMA read
+  sim::SimTime fetch_interval_ps = 100'000; ///< pause between chained fetches
+};
+
+class Port {
+ public:
+  Port(sim::EventQueue& events, ChipSpec spec, std::uint64_t link_mbit, std::uint64_t seed);
+
+  Port(const Port&) = delete;
+  Port& operator=(const Port&) = delete;
+
+  [[nodiscard]] const ChipSpec& spec() const { return spec_; }
+  [[nodiscard]] std::uint64_t link_mbit() const { return link_mbit_; }
+  [[nodiscard]] sim::SimTime byte_time_ps() const { return byte_time_ps_; }
+
+  [[nodiscard]] TxQueueModel& tx_queue(int i) { return *tx_queues_.at(static_cast<std::size_t>(i)); }
+  [[nodiscard]] RxQueueModel& rx_queue(int i) { return *rx_queues_.at(static_cast<std::size_t>(i)); }
+  [[nodiscard]] int num_queues() const { return spec_.num_queues; }
+
+  void set_tx_sink(FrameSink* sink) { sink_ = sink; }
+  [[nodiscard]] FrameSink* tx_sink() const { return sink_; }
+
+  /// Called by the attached link when a frame's first bit reaches this
+  /// port's PHY (after cable propagation and (de)modulation).
+  void deliver_frame(const Frame& frame, sim::SimTime first_bit_ps);
+
+  [[nodiscard]] const PortStats& stats() const { return stats_; }
+  [[nodiscard]] sim::PtpClock& ptp_clock() { return ptp_clock_; }
+
+  // --- PTP timestamp registers (single-slot, read-to-clear; Section 6) -----
+  PtpFilterConfig& ptp_filter() { return ptp_filter_; }
+  /// Reads and clears the TX timestamp register. Until read, no further TX
+  /// packet is timestamped.
+  std::optional<std::uint64_t> read_tx_timestamp();
+  std::optional<std::uint64_t> read_rx_timestamp();
+
+  /// Invoked (in the simulation) whenever the RX timestamp register latches
+  /// a value — the model's stand-in for the interrupt/poll a driver uses to
+  /// learn that a timestamp is available.
+  void set_rx_stamp_callback(std::function<void(std::uint64_t)> cb) {
+    rx_stamp_callback_ = std::move(cb);
+  }
+
+  /// Selects the RX queue for a frame with a custom function (overrides
+  /// RSS when set; Flow Director rules still take precedence).
+  void set_rx_steering(std::function<int(const Frame&)> steer) { steering_ = std::move(steer); }
+
+  /// Enables Toeplitz RSS over the first `queues` receive queues.
+  void enable_rss(int queues, RssHashType type = RssHashType::kIpv4Udp);
+  [[nodiscard]] const RssUnit* rss() const { return rss_.get(); }
+
+  /// Perfect-match flow steering; rules take precedence over RSS
+  /// (Section 3.3: "configurable filters (e.g., Intel Flow Director)").
+  [[nodiscard]] FlowDirector& flow_director() { return flow_director_; }
+
+  DmaTiming& dma_timing() { return dma_; }
+
+  /// True while the MAC is serializing a frame.
+  [[nodiscard]] bool transmitting() const { return serializer_busy_; }
+
+ private:
+  friend class TxQueueModel;
+
+  void notify_tx_work(int queue_index);
+  void schedule_fetch(TxQueueModel& q);
+  void fetch_descriptors(TxQueueModel& q);
+  void try_transmit();
+  void start_transmission(TxQueueModel& q);
+  void apply_rate_limit(TxQueueModel& q, const Frame& frame, sim::SimTime tx_start);
+  [[nodiscard]] bool frame_matches_ptp_filter(const Frame& frame) const;
+
+  sim::EventQueue& events_;
+  ChipSpec spec_;
+  std::uint64_t link_mbit_;
+  sim::SimTime byte_time_ps_;
+  sim::SimTime rate_tick_ps_;
+  std::mt19937_64 rng_;
+
+  std::vector<std::unique_ptr<TxQueueModel>> tx_queues_;
+  std::vector<std::unique_ptr<RxQueueModel>> rx_queues_;
+  FrameSink* sink_ = nullptr;
+
+  bool serializer_busy_ = false;
+  sim::SimTime last_busy_end_ = UINT64_MAX;  // sentinel: first frame aligns
+  bool wake_scheduled_ = false;
+  sim::SimTime scheduled_wake_ps_ = 0;
+  int rr_next_ = 0;  // round-robin arbiter position
+
+  PortStats stats_;
+  sim::PtpClock ptp_clock_;
+  PtpFilterConfig ptp_filter_;
+  std::optional<std::uint64_t> tx_stamp_register_;
+  std::optional<std::uint64_t> rx_stamp_register_;
+  std::function<void(std::uint64_t)> rx_stamp_callback_;
+  std::function<int(const Frame&)> steering_;
+  std::unique_ptr<RssUnit> rss_;
+  FlowDirector flow_director_;
+  DmaTiming dma_;
+};
+
+}  // namespace moongen::nic

@@ -1,0 +1,67 @@
+// Receive Side Scaling: Toeplitz hash and indirection table.
+//
+// Incoming traffic is distributed over receive queues by hashing protocol
+// headers (paper Section 3.3). This is the Microsoft-specified Toeplitz
+// hash used by the Intel NICs, with the standard 40-byte secret key and a
+// 128-entry indirection table, as on the 82599/X540.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "nic/frame.hpp"
+
+namespace moongen::nic {
+
+/// The de-facto standard RSS key (used in Microsoft's verification suite
+/// and as the default by many drivers).
+inline constexpr std::array<std::uint8_t, 40> kDefaultRssKey = {
+    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67,
+    0x25, 0x3d, 0x43, 0xa3, 0x8f, 0xb0, 0xd0, 0xca, 0x2b, 0xcb,
+    0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30,
+    0xf2, 0x0c, 0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa};
+
+/// Toeplitz hash over `input` with `key` (key must be at least
+/// input.size() + 4 bytes long).
+std::uint32_t toeplitz_hash(std::span<const std::uint8_t> input,
+                            std::span<const std::uint8_t> key = kDefaultRssKey);
+
+/// RSS hash input selection, as configurable on the Intel chips.
+enum class RssHashType {
+  kIpv4,     ///< src IP + dst IP
+  kIpv4Udp,  ///< src IP + dst IP + src port + dst port
+  kIpv4Tcp,
+};
+
+/// Hardware RSS unit: computes the hash of a frame and maps it through the
+/// indirection table to a queue index. Frames the configured hash type
+/// does not cover (non-IP, fragments) go to queue 0, as in hardware.
+class RssUnit {
+ public:
+  RssUnit(int num_queues, RssHashType type = RssHashType::kIpv4Udp,
+          std::span<const std::uint8_t> key = kDefaultRssKey);
+
+  /// Queue index for a frame.
+  [[nodiscard]] int steer(const Frame& frame) const;
+
+  /// Raw hash for a frame; 0 if the frame is not hashable.
+  [[nodiscard]] std::uint32_t hash(const Frame& frame) const;
+
+  /// The 128-entry indirection table (hash & 0x7f -> queue), retarget-able
+  /// like the hardware RETA register.
+  [[nodiscard]] int indirection(std::size_t slot) const {
+    return reta_[slot % kRetaSize];
+  }
+  void set_indirection(std::size_t slot, int queue) { reta_[slot % kRetaSize] = queue; }
+
+  static constexpr std::size_t kRetaSize = 128;
+
+ private:
+  RssHashType type_;
+  std::array<std::uint8_t, 52> key_{};
+  std::size_t key_len_;
+  std::array<int, kRetaSize> reta_{};
+};
+
+}  // namespace moongen::nic

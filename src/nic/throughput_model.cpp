@@ -1,0 +1,43 @@
+#include "nic/throughput_model.hpp"
+
+#include <algorithm>
+
+#include "proto/headers.hpp"
+
+namespace moongen::nic {
+
+double line_rate_pps(std::uint64_t link_mbit, std::size_t frame_size) {
+  const double wire_bits = static_cast<double>(proto::wire_size(frame_size)) * 8.0;
+  return static_cast<double>(link_mbit) * 1e6 / wire_bits;
+}
+
+ThroughputResult predict_throughput(const ThroughputQuery& q) {
+  const double cpu_pps = static_cast<double>(q.cores) * q.cpu_hz / q.cycles_per_packet;
+  const double line_pps = static_cast<double>(q.ports) * line_rate_pps(q.link_mbit, q.frame_size);
+
+  double hw_pps = line_pps;  // no extra hardware cap by default
+  if (q.chip != nullptr) {
+    if (q.chip->port_pps_cap.has_value())
+      hw_pps = std::min(hw_pps, *q.chip->port_pps_cap * q.ports);
+    if (q.ports > 1 && q.chip->aggregate_pps_cap.has_value())
+      hw_pps = std::min(hw_pps, *q.chip->aggregate_pps_cap);
+    if (q.ports > 1 && q.chip->aggregate_mbit_cap.has_value()) {
+      const double wire_bits = static_cast<double>(proto::wire_size(q.frame_size)) * 8.0;
+      hw_pps = std::min(hw_pps, static_cast<double>(*q.chip->aggregate_mbit_cap) * 1e6 / wire_bits);
+    }
+  }
+
+  ThroughputResult r;
+  r.total_pps = std::min({cpu_pps, line_pps, hw_pps});
+  if (r.total_pps == cpu_pps)
+    r.bottleneck = Bottleneck::kCpu;
+  else if (r.total_pps == line_pps)
+    r.bottleneck = Bottleneck::kLineRate;
+  else
+    r.bottleneck = Bottleneck::kNicHardware;
+  r.total_wire_mbit =
+      r.total_pps * static_cast<double>(proto::wire_size(q.frame_size)) * 8.0 / 1e6;
+  return r;
+}
+
+}  // namespace moongen::nic

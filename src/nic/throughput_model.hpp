@@ -1,0 +1,44 @@
+// Analytic throughput/capacity model.
+//
+// Implements the paper's own performance methodology (Sections 5.1, 5.6.3):
+// make the CPU the bottleneck, express generator cost as cycles/packet, and
+// predict throughput as the minimum of the CPU budget, the line rate, and
+// the NIC's hardware caps. The scaling benchmarks (Figures 2-4) measure the
+// real cycles/packet of our hot loops with the TSC and feed them through
+// this model, exactly as Section 5.6.3 validates (predicted 10.47 +- 0.18
+// Mpps vs. measured 10.3 Mpps).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "nic/chip.hpp"
+
+namespace moongen::nic {
+
+/// Line rate in packets/s for `frame_size`-byte frames (incl. FCS) on a
+/// `link_mbit` link, accounting for preamble/SFD/IFG.
+double line_rate_pps(std::uint64_t link_mbit, std::size_t frame_size);
+
+struct ThroughputQuery {
+  std::size_t frame_size = 64;      ///< including FCS
+  int cores = 1;
+  double cycles_per_packet = 200;   ///< measured per-core generator cost
+  double cpu_hz = 2.4e9;
+  std::uint64_t link_mbit = 10'000; ///< per port
+  int ports = 1;                    ///< traffic is spread evenly over ports
+  const ChipSpec* chip = nullptr;   ///< optional hardware caps (XL710)
+};
+
+enum class Bottleneck { kCpu, kLineRate, kNicHardware };
+
+struct ThroughputResult {
+  double total_pps = 0;
+  double total_wire_mbit = 0;  ///< L1 rate including per-frame overhead
+  Bottleneck bottleneck = Bottleneck::kCpu;
+};
+
+/// Predicts achievable generator throughput for the given configuration.
+ThroughputResult predict_throughput(const ThroughputQuery& query);
+
+}  // namespace moongen::nic

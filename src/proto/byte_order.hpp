@@ -1,0 +1,46 @@
+// Byte-order helpers for wire-format headers.
+//
+// All multi-byte fields in the header structs of this library are stored in
+// network byte order (big endian).  These helpers convert between host and
+// network order without pulling in platform socket headers, and are
+// constexpr so they can be used in static initializers of packet templates.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace moongen::proto {
+
+constexpr std::uint16_t byteswap16(std::uint16_t v) noexcept {
+  return static_cast<std::uint16_t>((v >> 8) | (v << 8));
+}
+
+constexpr std::uint32_t byteswap32(std::uint32_t v) noexcept {
+  return ((v & 0xff000000u) >> 24) | ((v & 0x00ff0000u) >> 8) |
+         ((v & 0x0000ff00u) << 8) | ((v & 0x000000ffu) << 24);
+}
+
+constexpr std::uint64_t byteswap64(std::uint64_t v) noexcept {
+  return (static_cast<std::uint64_t>(byteswap32(static_cast<std::uint32_t>(v))) << 32) |
+         byteswap32(static_cast<std::uint32_t>(v >> 32));
+}
+
+constexpr bool kHostIsLittleEndian = (std::endian::native == std::endian::little);
+
+/// Host to network (big-endian) conversion.
+constexpr std::uint16_t hton16(std::uint16_t v) noexcept {
+  return kHostIsLittleEndian ? byteswap16(v) : v;
+}
+constexpr std::uint32_t hton32(std::uint32_t v) noexcept {
+  return kHostIsLittleEndian ? byteswap32(v) : v;
+}
+constexpr std::uint64_t hton64(std::uint64_t v) noexcept {
+  return kHostIsLittleEndian ? byteswap64(v) : v;
+}
+
+/// Network (big-endian) to host conversion.
+constexpr std::uint16_t ntoh16(std::uint16_t v) noexcept { return hton16(v); }
+constexpr std::uint32_t ntoh32(std::uint32_t v) noexcept { return hton32(v); }
+constexpr std::uint64_t ntoh64(std::uint64_t v) noexcept { return hton64(v); }
+
+}  // namespace moongen::proto

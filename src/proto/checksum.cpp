@@ -1,0 +1,88 @@
+#include "proto/checksum.hpp"
+
+#include <cstring>
+
+namespace moongen::proto {
+
+std::uint32_t checksum_partial(std::span<const std::uint8_t> data, std::uint32_t initial) {
+  std::uint32_t sum = initial;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2)
+    sum += static_cast<std::uint32_t>(data[i]) << 8 | data[i + 1];
+  if (i < data.size()) sum += static_cast<std::uint32_t>(data[i]) << 8;  // pad odd byte
+  return sum;
+}
+
+std::uint16_t checksum_finish(std::uint32_t partial) {
+  while (partial >> 16) partial = (partial & 0xffff) + (partial >> 16);
+  return hton16(static_cast<std::uint16_t>(~partial & 0xffff));
+}
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
+  return checksum_finish(checksum_partial(data));
+}
+
+void update_ipv4_checksum(Ipv4Header& ip) {
+  ip.header_checksum_be = 0;
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(&ip);
+  ip.header_checksum_be = internet_checksum({bytes, ip.header_length()});
+}
+
+bool verify_ipv4_checksum(const Ipv4Header& ip) {
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(&ip);
+  // Checksum over a header including its checksum field must fold to zero.
+  return checksum_finish(checksum_partial({bytes, ip.header_length()})) == 0;
+}
+
+std::uint32_t ipv4_pseudo_header_sum(const Ipv4Header& ip, std::uint16_t l4_length) {
+  const std::uint32_t src = ntoh32(ip.src_be);
+  const std::uint32_t dst = ntoh32(ip.dst_be);
+  return (src >> 16) + (src & 0xffff) + (dst >> 16) + (dst & 0xffff) + ip.protocol + l4_length;
+}
+
+std::uint32_t ipv6_pseudo_header_sum(const Ipv6Header& ip, std::uint32_t l4_length,
+                                     std::uint8_t next_header) {
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i < 16; i += 2) {
+    sum += static_cast<std::uint32_t>(ip.src.bytes[i]) << 8 | ip.src.bytes[i + 1];
+    sum += static_cast<std::uint32_t>(ip.dst.bytes[i]) << 8 | ip.dst.bytes[i + 1];
+  }
+  sum += (l4_length >> 16) + (l4_length & 0xffff);
+  sum += next_header;
+  return sum;
+}
+
+namespace {
+
+std::uint16_t l4_checksum_ipv4(const Ipv4Header& ip, std::span<const std::uint8_t> l4,
+                               std::size_t checksum_offset) {
+  std::uint32_t sum = ipv4_pseudo_header_sum(ip, static_cast<std::uint16_t>(l4.size()));
+  sum = checksum_partial(l4.first(checksum_offset), sum);
+  // Skip the checksum field itself (treated as zero).
+  sum = checksum_partial(l4.subspan(checksum_offset + 2), sum);
+  return checksum_finish(sum);
+}
+
+}  // namespace
+
+std::uint16_t udp_checksum_ipv4(const Ipv4Header& ip, std::span<const std::uint8_t> l4) {
+  const std::uint16_t csum = l4_checksum_ipv4(ip, l4, offsetof(UdpHeader, checksum_be));
+  // RFC 768: a computed checksum of zero is transmitted as all ones.
+  return csum == 0 ? 0xffff : csum;
+}
+
+std::uint16_t tcp_checksum_ipv4(const Ipv4Header& ip, std::span<const std::uint8_t> l4) {
+  return l4_checksum_ipv4(ip, l4, offsetof(TcpHeader, checksum_be));
+}
+
+std::uint16_t udp_checksum_ipv6(const Ipv6Header& ip, std::span<const std::uint8_t> l4) {
+  std::uint32_t sum = ipv6_pseudo_header_sum(ip, static_cast<std::uint32_t>(l4.size()),
+                                             static_cast<std::uint8_t>(IpProtocol::kUdp));
+  constexpr std::size_t kCsumOffset = offsetof(UdpHeader, checksum_be);
+  sum = checksum_partial(l4.first(kCsumOffset), sum);
+  sum = checksum_partial(l4.subspan(kCsumOffset + 2), sum);
+  const std::uint16_t csum = checksum_finish(sum);
+  return csum == 0 ? 0xffff : csum;
+}
+
+}  // namespace moongen::proto

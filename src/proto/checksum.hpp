@@ -1,0 +1,54 @@
+// RFC 1071 Internet checksum and the IPv4/IPv6 pseudo-header sums used by
+// UDP/TCP checksum offloading.
+//
+// The NIC models emulate hardware checksum offload: as on the Intel X540,
+// the driver (here: the generator core) must precompute the pseudo-header
+// checksum, and the "hardware" finishes the sum over the payload
+// (paper Section 5.6.1).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "proto/headers.hpp"
+
+namespace moongen::proto {
+
+/// Sums `data` as 16-bit big-endian words (without final fold/complement).
+/// `initial` allows chaining partial sums.
+std::uint32_t checksum_partial(std::span<const std::uint8_t> data, std::uint32_t initial = 0);
+
+/// Folds a partial sum to 16 bits and complements it (ready for the wire,
+/// big-endian).
+std::uint16_t checksum_finish(std::uint32_t partial);
+
+/// One-shot Internet checksum over `data` (returns wire/big-endian value).
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+/// Computes and stores the IPv4 header checksum in place.
+void update_ipv4_checksum(Ipv4Header& ip);
+
+/// Verifies the IPv4 header checksum.
+bool verify_ipv4_checksum(const Ipv4Header& ip);
+
+/// Partial sum of the IPv4 pseudo header (src, dst, protocol, L4 length).
+/// This is the part the X540 cannot compute itself and MoonGen calculates
+/// in software before enabling UDP/TCP offloading.
+std::uint32_t ipv4_pseudo_header_sum(const Ipv4Header& ip, std::uint16_t l4_length);
+
+/// Partial sum of the IPv6 pseudo header.
+std::uint32_t ipv6_pseudo_header_sum(const Ipv6Header& ip, std::uint32_t l4_length,
+                                     std::uint8_t next_header);
+
+/// Full software UDP-over-IPv4 checksum over header+payload.
+/// `l4` must point at the UDP header followed by `l4_length` total bytes.
+std::uint16_t udp_checksum_ipv4(const Ipv4Header& ip, std::span<const std::uint8_t> l4);
+
+/// Full software TCP-over-IPv4 checksum.
+std::uint16_t tcp_checksum_ipv4(const Ipv4Header& ip, std::span<const std::uint8_t> l4);
+
+/// Full software UDP-over-IPv6 checksum (mandatory in IPv6; RFC 2460).
+std::uint16_t udp_checksum_ipv6(const Ipv6Header& ip, std::span<const std::uint8_t> l4);
+
+}  // namespace moongen::proto

@@ -1,0 +1,51 @@
+#include "proto/crc32.hpp"
+
+#include <array>
+
+namespace moongen::proto {
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t crc, std::span<const std::uint8_t> data) {
+  for (std::uint8_t byte : data) crc = kTable[(crc ^ byte) & 0xff] ^ (crc >> 8);
+  return crc;
+}
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  return ~crc32_update(0xFFFFFFFFu, data);
+}
+
+void write_fcs(std::span<std::uint8_t> frame) {
+  const std::uint32_t fcs = crc32(frame.first(frame.size() - 4));
+  auto tail = frame.last(4);
+  tail[0] = static_cast<std::uint8_t>(fcs & 0xff);
+  tail[1] = static_cast<std::uint8_t>(fcs >> 8 & 0xff);
+  tail[2] = static_cast<std::uint8_t>(fcs >> 16 & 0xff);
+  tail[3] = static_cast<std::uint8_t>(fcs >> 24 & 0xff);
+}
+
+bool verify_fcs(std::span<const std::uint8_t> frame) {
+  if (frame.size() < 5) return false;
+  const std::uint32_t fcs = crc32(frame.first(frame.size() - 4));
+  auto tail = frame.last(4);
+  const std::uint32_t stored = static_cast<std::uint32_t>(tail[0]) |
+                               static_cast<std::uint32_t>(tail[1]) << 8 |
+                               static_cast<std::uint32_t>(tail[2]) << 16 |
+                               static_cast<std::uint32_t>(tail[3]) << 24;
+  return fcs == stored;
+}
+
+}  // namespace moongen::proto

@@ -1,0 +1,27 @@
+// IEEE 802.3 CRC32 (frame check sequence).
+//
+// The CRC-based software rate control (paper Section 8) deliberately
+// transmits frames with an *incorrect* FCS so the device under test drops
+// them in hardware; the NIC models use these routines to validate frames.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace moongen::proto {
+
+/// Reflected CRC-32 (polynomial 0xEDB88320) over `data`, as used for the
+/// Ethernet FCS. Returns the value to be appended little-endian.
+std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+/// Incremental form: feed chunks with `crc` initialized to 0xFFFFFFFF and
+/// finalize by complementing.
+std::uint32_t crc32_update(std::uint32_t crc, std::span<const std::uint8_t> data);
+
+/// Appends the FCS for `data[0 .. size-4]` into the last 4 bytes of `data`.
+void write_fcs(std::span<std::uint8_t> frame);
+
+/// Checks that the last 4 bytes of `frame` hold the correct FCS.
+bool verify_fcs(std::span<const std::uint8_t> frame);
+
+}  // namespace moongen::proto

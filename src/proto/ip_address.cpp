@@ -1,0 +1,141 @@
+#include "proto/ip_address.hpp"
+
+#include <cstdio>
+#include <vector>
+
+#include "proto/byte_order.hpp"
+
+namespace moongen::proto {
+
+std::optional<IPv4Address> IPv4Address::parse(std::string_view text) {
+  std::uint32_t octets[4];
+  std::size_t pos = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (pos >= text.size() || text[pos] < '0' || text[pos] > '9') return std::nullopt;
+    std::uint32_t v = 0;
+    std::size_t digits = 0;
+    while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') {
+      v = v * 10 + static_cast<std::uint32_t>(text[pos] - '0');
+      if (v > 255 || ++digits > 3) return std::nullopt;
+      ++pos;
+    }
+    octets[i] = v;
+    if (i < 3) {
+      if (pos >= text.size() || text[pos] != '.') return std::nullopt;
+      ++pos;
+    }
+  }
+  if (pos != text.size()) return std::nullopt;
+  return IPv4Address{static_cast<std::uint8_t>(octets[0]), static_cast<std::uint8_t>(octets[1]),
+                     static_cast<std::uint8_t>(octets[2]), static_cast<std::uint8_t>(octets[3])};
+}
+
+std::uint32_t IPv4Address::to_network() const { return hton32(value); }
+
+IPv4Address IPv4Address::from_network(std::uint32_t net_order) {
+  return IPv4Address{ntoh32(net_order)};
+}
+
+std::string IPv4Address::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", value >> 24, (value >> 16) & 0xff,
+                (value >> 8) & 0xff, value & 0xff);
+  return buf;
+}
+
+namespace {
+
+std::optional<std::uint16_t> parse_hex_group(std::string_view s) {
+  if (s.empty() || s.size() > 4) return std::nullopt;
+  std::uint32_t v = 0;
+  for (char c : s) {
+    int d;
+    if (c >= '0' && c <= '9')
+      d = c - '0';
+    else if (c >= 'a' && c <= 'f')
+      d = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F')
+      d = c - 'A' + 10;
+    else
+      return std::nullopt;
+    v = v << 4 | static_cast<std::uint32_t>(d);
+  }
+  return static_cast<std::uint16_t>(v);
+}
+
+}  // namespace
+
+std::optional<IPv6Address> IPv6Address::parse(std::string_view text) {
+  // Split at "::" if present, then parse colon-separated 16-bit groups on
+  // each side and pad the middle with zeros.
+  std::size_t dc = text.find("::");
+  std::string_view head = (dc == std::string_view::npos) ? text : text.substr(0, dc);
+  std::string_view tail = (dc == std::string_view::npos) ? std::string_view{} : text.substr(dc + 2);
+  if (dc != std::string_view::npos && text.find("::", dc + 1) != std::string_view::npos)
+    return std::nullopt;  // at most one "::"
+
+  auto split_groups = [](std::string_view part) -> std::optional<std::vector<std::uint16_t>> {
+    std::vector<std::uint16_t> groups;
+    if (part.empty()) return groups;
+    std::size_t start = 0;
+    while (true) {
+      std::size_t colon = part.find(':', start);
+      std::string_view g =
+          (colon == std::string_view::npos) ? part.substr(start) : part.substr(start, colon - start);
+      auto v = parse_hex_group(g);
+      if (!v) return std::nullopt;
+      groups.push_back(*v);
+      if (colon == std::string_view::npos) break;
+      start = colon + 1;
+    }
+    return groups;
+  };
+
+  auto head_groups = split_groups(head);
+  auto tail_groups = split_groups(tail);
+  if (!head_groups || !tail_groups) return std::nullopt;
+
+  const std::size_t total = head_groups->size() + tail_groups->size();
+  if (dc == std::string_view::npos) {
+    if (total != 8) return std::nullopt;
+  } else {
+    if (total > 7) return std::nullopt;  // "::" must stand for >= 1 group
+  }
+
+  IPv6Address out{};
+  std::size_t idx = 0;
+  for (std::uint16_t g : *head_groups) {
+    out.bytes[idx++] = static_cast<std::uint8_t>(g >> 8);
+    out.bytes[idx++] = static_cast<std::uint8_t>(g & 0xff);
+  }
+  idx = 16 - tail_groups->size() * 2;
+  for (std::uint16_t g : *tail_groups) {
+    out.bytes[idx++] = static_cast<std::uint8_t>(g >> 8);
+    out.bytes[idx++] = static_cast<std::uint8_t>(g & 0xff);
+  }
+  return out;
+}
+
+std::string IPv6Address::to_string() const {
+  // Canonical form without zero compression (sufficient for diagnostics).
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%x:%x:%x:%x:%x:%x:%x:%x",
+                bytes[0] << 8 | bytes[1], bytes[2] << 8 | bytes[3], bytes[4] << 8 | bytes[5],
+                bytes[6] << 8 | bytes[7], bytes[8] << 8 | bytes[9], bytes[10] << 8 | bytes[11],
+                bytes[12] << 8 | bytes[13], bytes[14] << 8 | bytes[15]);
+  return buf;
+}
+
+IPv6Address IPv6Address::plus(std::uint64_t offset) const {
+  IPv6Address out = *this;
+  std::uint64_t low = 0;
+  for (int i = 8; i < 16; ++i) low = low << 8 | out.bytes[static_cast<std::size_t>(i)];
+  low += offset;
+  for (int i = 15; i >= 8; --i) {
+    out.bytes[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(low & 0xff);
+    low >>= 8;
+  }
+  return out;
+}
+
+}  // namespace moongen::proto

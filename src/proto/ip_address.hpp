@@ -1,0 +1,72 @@
+// IPv4 / IPv6 address value types with parsing and arithmetic.
+//
+// Mirrors MoonGen's `parseIPAddress` / `ip.src:set(base + offset)` idiom:
+// addresses support integer offsets so generator scripts can randomize or
+// sweep source addresses cheaply.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace moongen::proto {
+
+/// IPv4 address held in *host* byte order so arithmetic is natural; use
+/// `to_network()` / `from_network()` at the wire boundary.
+struct IPv4Address {
+  std::uint32_t value = 0;  // host byte order
+
+  constexpr IPv4Address() = default;
+  constexpr explicit IPv4Address(std::uint32_t host_order) : value(host_order) {}
+  constexpr IPv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : value(static_cast<std::uint32_t>(a) << 24 | static_cast<std::uint32_t>(b) << 16 |
+              static_cast<std::uint32_t>(c) << 8 | d) {}
+
+  /// Parses dotted-quad notation ("192.168.1.1").
+  static std::optional<IPv4Address> parse(std::string_view text);
+
+  [[nodiscard]] std::uint32_t to_network() const;
+  static IPv4Address from_network(std::uint32_t net_order);
+
+  [[nodiscard]] std::string to_string() const;
+
+  constexpr IPv4Address operator+(std::uint32_t offset) const {
+    return IPv4Address{value + offset};
+  }
+  constexpr IPv4Address operator-(std::uint32_t offset) const {
+    return IPv4Address{value - offset};
+  }
+  constexpr IPv4Address& operator+=(std::uint32_t offset) {
+    value += offset;
+    return *this;
+  }
+
+  [[nodiscard]] constexpr bool is_multicast() const { return (value >> 28) == 0xe; }
+
+  friend constexpr auto operator<=>(const IPv4Address&, const IPv4Address&) = default;
+};
+
+/// IPv6 address stored in wire (big-endian) order.
+struct IPv6Address {
+  // No default member initializer (see MacAddress); value-initialize for
+  // zeroed bytes.
+  std::array<std::uint8_t, 16> bytes;
+
+  /// Parses the canonical textual forms including "::" compression
+  /// ("2001:db8::1"). Does not support embedded IPv4 notation.
+  static std::optional<IPv6Address> parse(std::string_view text);
+
+  [[nodiscard]] std::string to_string() const;
+
+  /// Adds `offset` to the low 64 bits (sufficient for address sweeps).
+  [[nodiscard]] IPv6Address plus(std::uint64_t offset) const;
+
+  friend constexpr auto operator<=>(const IPv6Address&, const IPv6Address&) = default;
+};
+
+static_assert(sizeof(IPv6Address) == 16);
+
+}  // namespace moongen::proto

@@ -1,0 +1,43 @@
+#include "proto/mac_address.hpp"
+
+#include <cstdio>
+
+namespace moongen::proto {
+namespace {
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::optional<MacAddress> MacAddress::parse(std::string_view text) {
+  MacAddress out{};
+  std::size_t pos = 0;
+  for (std::size_t octet = 0; octet < 6; ++octet) {
+    if (pos + 2 > text.size()) return std::nullopt;
+    const int hi = hex_digit(text[pos]);
+    const int lo = hex_digit(text[pos + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out.bytes[octet] = static_cast<std::uint8_t>(hi << 4 | lo);
+    pos += 2;
+    if (octet < 5) {
+      if (pos >= text.size() || (text[pos] != ':' && text[pos] != '-')) return std::nullopt;
+      ++pos;
+    }
+  }
+  if (pos != text.size()) return std::nullopt;
+  return out;
+}
+
+std::string MacAddress::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", bytes[0], bytes[1],
+                bytes[2], bytes[3], bytes[4], bytes[5]);
+  return buf;
+}
+
+}  // namespace moongen::proto

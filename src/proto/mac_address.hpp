@@ -1,0 +1,63 @@
+// 48-bit IEEE MAC address value type.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace moongen::proto {
+
+/// A 48-bit Ethernet MAC address stored in transmission (wire) order.
+///
+/// The type is a trivially copyable aggregate so it can be embedded directly
+/// in packed wire-format header structs.
+struct MacAddress {
+  // No default member initializer: that would make the type non-POD in the
+  // sense GCC's packed-layout check requires for embedding in headers.
+  // Value-initialize (MacAddress{}) where zeroed bytes are needed.
+  std::array<std::uint8_t, 6> bytes;
+
+  /// Builds an address from the low 48 bits of `value`, most significant
+  /// byte first (i.e. 0x101112131415 -> "10:11:12:13:14:15").
+  static constexpr MacAddress from_uint64(std::uint64_t value) {
+    MacAddress m;
+    for (int i = 5; i >= 0; --i) {
+      m.bytes[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(value & 0xff);
+      value >>= 8;
+    }
+    return m;
+  }
+
+  /// Parses "aa:bb:cc:dd:ee:ff" (case-insensitive, also accepts '-').
+  /// Returns std::nullopt on malformed input.
+  static std::optional<MacAddress> parse(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint64_t to_uint64() const {
+    std::uint64_t v = 0;
+    for (auto b : bytes) v = (v << 8) | b;
+    return v;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] constexpr bool is_broadcast() const {
+    for (auto b : bytes)
+      if (b != 0xff) return false;
+    return true;
+  }
+
+  [[nodiscard]] constexpr bool is_multicast() const { return (bytes[0] & 0x01) != 0; }
+
+  friend constexpr auto operator<=>(const MacAddress&, const MacAddress&) = default;
+};
+
+static_assert(sizeof(MacAddress) == 6);
+
+/// The all-ones broadcast address ff:ff:ff:ff:ff:ff.
+inline constexpr MacAddress kBroadcastMac =
+    MacAddress{{{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}}};
+
+}  // namespace moongen::proto

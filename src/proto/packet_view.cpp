@@ -1,0 +1,150 @@
+#include "proto/packet_view.hpp"
+
+#include <cstring>
+
+#include "proto/checksum.hpp"
+
+namespace moongen::proto {
+
+void UdpPacketView::fill(const UdpFillOptions& opts) const {
+  auto& e = eth();
+  e.dst = opts.eth_dst;
+  e.src = opts.eth_src;
+  e.set_ether_type(EtherType::kIPv4);
+
+  auto& i = ip();
+  i.set_defaults();
+  i.ttl = opts.ip_ttl;
+  i.protocol = static_cast<std::uint8_t>(IpProtocol::kUdp);
+  i.set_total_length(static_cast<std::uint16_t>(opts.packet_length - sizeof(EthernetHeader)));
+  i.set_src(opts.ip_src);
+  i.set_dst(opts.ip_dst);
+  update_ipv4_checksum(i);
+
+  auto& u = udp();
+  u.set_src_port(opts.udp_src);
+  u.set_dst_port(opts.udp_dst);
+  u.set_length(static_cast<std::uint16_t>(opts.packet_length - sizeof(EthernetHeader) -
+                                          sizeof(Ipv4Header)));
+  u.checksum_be = 0;
+}
+
+void TcpPacketView::fill(const TcpFillOptions& opts) const {
+  auto& e = eth();
+  e.dst = opts.eth_dst;
+  e.src = opts.eth_src;
+  e.set_ether_type(EtherType::kIPv4);
+
+  auto& i = ip();
+  i.set_defaults();
+  i.protocol = static_cast<std::uint8_t>(IpProtocol::kTcp);
+  i.set_total_length(static_cast<std::uint16_t>(opts.packet_length - sizeof(EthernetHeader)));
+  i.set_src(opts.ip_src);
+  i.set_dst(opts.ip_dst);
+  update_ipv4_checksum(i);
+
+  auto& t = tcp();
+  std::memset(&t, 0, sizeof(t));
+  t.set_defaults();
+  t.set_src_port(opts.tcp_src);
+  t.set_dst_port(opts.tcp_dst);
+  t.set_seq(opts.tcp_seq);
+  t.flags = opts.tcp_flags;
+}
+
+void Udp6PacketView::fill(std::size_t packet_length, MacAddress eth_src, MacAddress eth_dst,
+                          const IPv6Address& src, const IPv6Address& dst, std::uint16_t udp_src,
+                          std::uint16_t udp_dst) const {
+  auto& e = eth();
+  e.dst = eth_dst;
+  e.src = eth_src;
+  e.set_ether_type(EtherType::kIPv6);
+
+  auto& i = ip6();
+  i.set_defaults();
+  i.next_header = static_cast<std::uint8_t>(IpProtocol::kUdp);
+  i.set_payload_length(static_cast<std::uint16_t>(packet_length - sizeof(EthernetHeader) -
+                                                  sizeof(Ipv6Header)));
+  i.src = src;
+  i.dst = dst;
+
+  auto& u = udp();
+  u.set_src_port(udp_src);
+  u.set_dst_port(udp_dst);
+  u.set_length(i.payload_length());
+  u.checksum_be = 0;
+}
+
+void EspPacketView::fill(std::size_t packet_length, MacAddress eth_src, MacAddress eth_dst,
+                         IPv4Address ip_src, IPv4Address ip_dst, std::uint32_t spi,
+                         std::uint32_t sequence) const {
+  auto& e = eth();
+  e.dst = eth_dst;
+  e.src = eth_src;
+  e.set_ether_type(EtherType::kIPv4);
+
+  auto& i = ip();
+  i.set_defaults();
+  i.protocol = static_cast<std::uint8_t>(IpProtocol::kEsp);
+  i.set_total_length(static_cast<std::uint16_t>(packet_length - sizeof(EthernetHeader)));
+  i.set_src(ip_src);
+  i.set_dst(ip_dst);
+  update_ipv4_checksum(i);
+
+  auto& s = esp();
+  s.set_spi(spi);
+  s.set_sequence(sequence);
+}
+
+std::optional<PacketClass> classify(std::span<const std::uint8_t> frame) {
+  if (frame.size() < sizeof(EthernetHeader)) return std::nullopt;
+  PacketClass pc;
+  const auto* eth = reinterpret_cast<const EthernetHeader*>(frame.data());
+  std::size_t offset = sizeof(EthernetHeader);
+  std::uint16_t etype = ntoh16(eth->ether_type_be);
+
+  if (etype == static_cast<std::uint16_t>(EtherType::kVlan)) {
+    if (frame.size() < offset + sizeof(VlanTag)) return std::nullopt;
+    const auto* vlan = reinterpret_cast<const VlanTag*>(frame.data() + offset);
+    pc.has_vlan = true;
+    etype = ntoh16(vlan->ether_type_be);
+    offset += sizeof(VlanTag);
+  }
+  pc.ether_type = static_cast<EtherType>(etype);
+  pc.l3_offset = offset;
+
+  if (pc.ether_type == EtherType::kPtp) {
+    pc.is_ptp_ethernet = true;
+    return pc;
+  }
+
+  if (pc.ether_type == EtherType::kIPv4) {
+    if (frame.size() < offset + sizeof(Ipv4Header)) return std::nullopt;
+    const auto* ip = reinterpret_cast<const Ipv4Header*>(frame.data() + offset);
+    if (ip->version() != 4 || ip->header_length() < sizeof(Ipv4Header)) return std::nullopt;
+    pc.l4_protocol = ip->ip_protocol();
+    pc.l4_offset = offset + ip->header_length();
+  } else if (pc.ether_type == EtherType::kIPv6) {
+    if (frame.size() < offset + sizeof(Ipv6Header)) return std::nullopt;
+    const auto* ip6 = reinterpret_cast<const Ipv6Header*>(frame.data() + offset);
+    if (ip6->version() != 6) return std::nullopt;
+    pc.l4_protocol = static_cast<IpProtocol>(ip6->next_header);
+    pc.l4_offset = offset + sizeof(Ipv6Header);
+  } else {
+    return pc;  // unclassified L3, still a valid Ethernet frame
+  }
+
+  if (pc.l4_protocol == IpProtocol::kUdp && frame.size() >= pc.l4_offset + sizeof(UdpHeader)) {
+    const auto* udp = reinterpret_cast<const UdpHeader*>(frame.data() + pc.l4_offset);
+    pc.is_udp = true;
+    pc.udp_dst_port = udp->dst_port();
+    pc.l7_offset = pc.l4_offset + sizeof(UdpHeader);
+  } else if (pc.l4_protocol == IpProtocol::kTcp &&
+             frame.size() >= pc.l4_offset + sizeof(TcpHeader)) {
+    const auto* tcp = reinterpret_cast<const TcpHeader*>(frame.data() + pc.l4_offset);
+    pc.l7_offset = pc.l4_offset + tcp->header_length();
+  }
+  return pc;
+}
+
+}  // namespace moongen::proto

@@ -1,0 +1,130 @@
+// Abstract syntax tree of the embedded language.
+//
+// The AST is immutable after parsing and shared by all interpreter
+// instances: MoonGen's `launchLua` spawns an independent VM per slave task
+// (paper Section 3.4), and all of them execute the same parsed chunk.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace moongen::script {
+
+struct Expr;
+struct Stmt;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+using Block = std::vector<StmtPtr>;
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExprKind {
+  kNil, kTrue, kFalse, kNumber, kString,
+  kName, kIndex, kCall, kMethodCall, kFunction, kBinary, kUnary, kTable,
+};
+
+struct FunctionDecl {
+  std::string name;  // for diagnostics
+  std::vector<std::string> params;
+  Block body;
+};
+
+struct TableItem {
+  // Exactly one of `name_key` / `expr_key` set for record entries; neither
+  // for positional (array) entries.
+  std::optional<std::string> name_key;
+  ExprPtr expr_key;
+  ExprPtr value;
+};
+
+struct Expr {
+  ExprKind kind;
+  int line = 0;
+
+  // kNumber / kString
+  double number = 0;
+  std::string string;
+
+  // kName
+  std::string name;
+
+  // kIndex: object[key]
+  ExprPtr object;
+  ExprPtr key;
+
+  // kCall / kMethodCall
+  ExprPtr callee;       // kCall
+  std::string method;   // kMethodCall (object in `object`)
+  std::vector<ExprPtr> args;
+
+  // kFunction
+  std::shared_ptr<FunctionDecl> function;
+
+  // kBinary / kUnary (op encoded as lexer TokenType in `op`)
+  int op = 0;
+  ExprPtr lhs;
+  ExprPtr rhs;  // also unary operand
+
+  // kTable
+  std::vector<TableItem> items;
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StmtKind {
+  kLocal, kAssign, kExpr, kIf, kWhile, kRepeat, kNumericFor, kGenericFor,
+  kFunctionDecl, kReturn, kBreak, kDo,
+};
+
+struct IfBranch {
+  ExprPtr condition;
+  Block body;
+};
+
+struct Stmt {
+  StmtKind kind;
+  int line = 0;
+
+  // kLocal
+  std::vector<std::string> names;
+  // kLocal / kAssign / kReturn / kGenericFor: value expressions
+  std::vector<ExprPtr> exprs;
+  // kAssign targets (kName or kIndex expressions)
+  std::vector<ExprPtr> targets;
+
+  // kExpr
+  ExprPtr expr;
+
+  // kIf
+  std::vector<IfBranch> branches;
+  Block else_body;
+  bool has_else = false;
+
+  // kWhile / kRepeat / loops / kDo
+  ExprPtr condition;
+  Block body;
+
+  // kNumericFor
+  std::string loop_var;
+  ExprPtr for_start;
+  ExprPtr for_stop;
+  ExprPtr for_step;
+
+  // kFunctionDecl: `function a.b.c(...)` / `local function f(...)`
+  std::vector<std::string> func_path;
+  bool is_local_function = false;
+  std::shared_ptr<FunctionDecl> function;
+};
+
+struct Program {
+  Block block;
+};
+
+}  // namespace moongen::script

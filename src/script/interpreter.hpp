@@ -1,0 +1,104 @@
+// Tree-walking interpreter for the embedded Lua-subset language.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "script/ast.hpp"
+#include "script/value.hpp"
+
+namespace moongen::script {
+
+/// Lexical environment: locals of one scope plus a parent chain ending in
+/// the interpreter's global table.
+class Environment : public std::enable_shared_from_this<Environment> {
+ public:
+  explicit Environment(std::shared_ptr<Environment> parent = nullptr)
+      : parent_(std::move(parent)) {}
+
+  /// Declares a local in this scope (shadows outer scopes).
+  void declare(const std::string& name, Value value) { values_[name] = std::move(value); }
+
+  /// Looks `name` up through the scope chain; nil if absent everywhere.
+  [[nodiscard]] Value get(const std::string& name) const;
+
+  /// Assigns to the nearest scope declaring `name`; returns false when no
+  /// scope declares it (the caller then writes a global).
+  bool assign(const std::string& name, const Value& value);
+
+ private:
+  std::map<std::string, Value> values_;
+  std::shared_ptr<Environment> parent_;
+};
+
+class Interpreter {
+ public:
+  /// Creates an interpreter over a parsed chunk with the base library
+  /// (print, math, string helpers, ipairs/pairs, tostring/tonumber...).
+  explicit Interpreter(std::shared_ptr<const Program> program);
+
+  /// Executes the top-level block (declares functions, runs statements).
+  void run();
+
+  /// Calls a global function by name (the `master`/slave entry points).
+  std::vector<Value> call_global(const std::string& name, std::vector<Value> args);
+
+  /// Calls any callable value.
+  std::vector<Value> call(const Value& callee, std::vector<Value> args, int line = 0);
+
+  /// Registers a host value in the global scope (binding modules).
+  void set_global(const std::string& name, Value value);
+  [[nodiscard]] Value get_global(const std::string& name) const;
+
+  /// Shared program (for spawning further interpreters on the same chunk).
+  [[nodiscard]] const std::shared_ptr<const Program>& program() const { return program_; }
+
+  /// Statement execution budget: aborts runaway scripts in tests. 0 = off.
+  void set_step_limit(std::uint64_t limit) { step_limit_ = limit; }
+
+  /// 1-based element access used by ipairs(): tables and userdata with a
+  /// numeric-index hook.
+  Value index_for_iteration(const Value& container, double index);
+
+ private:
+  struct Flow {
+    enum class Kind { kNormal, kBreak, kReturn } kind = Kind::kNormal;
+    std::vector<Value> values;
+  };
+
+  Flow execute_block(const Block& block, const std::shared_ptr<Environment>& env);
+  Flow execute(const Stmt& stmt, const std::shared_ptr<Environment>& env);
+
+  Value evaluate(const Expr& expr, const std::shared_ptr<Environment>& env);
+  std::vector<Value> evaluate_multi(const Expr& expr, const std::shared_ptr<Environment>& env);
+  std::vector<Value> evaluate_list(const std::vector<ExprPtr>& exprs,
+                                   const std::shared_ptr<Environment>& env);
+
+  Value binary_op(int op, const Expr& lhs_expr, const Expr& rhs_expr,
+                  const std::shared_ptr<Environment>& env, int line);
+  Value index_value(const Value& object, const Value& key, int line);
+  void assign_target(const Expr& target, const Value& value,
+                     const std::shared_ptr<Environment>& env);
+
+  void install_base_library();
+  void count_step(int line);
+
+  std::shared_ptr<const Program> program_;
+  std::shared_ptr<Environment> globals_;
+  std::uint64_t step_limit_ = 0;
+  std::uint64_t steps_ = 0;
+};
+
+/// Convenience: number/string/table argument extraction with diagnostics.
+double arg_number(const std::vector<Value>& args, std::size_t index, const char* what);
+std::string arg_string(const std::vector<Value>& args, std::size_t index, const char* what);
+std::shared_ptr<Table> arg_table(const std::vector<Value>& args, std::size_t index,
+                                 const char* what);
+std::shared_ptr<UserData> arg_userdata(const std::vector<Value>& args, std::size_t index,
+                                       const char* what, const MethodTable* expected = nullptr);
+
+/// Wraps a NativeFn into a Value.
+Value make_native(std::string name, NativeFn fn);
+
+}  // namespace moongen::script

@@ -1,0 +1,217 @@
+#include "script/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+#include "script/value.hpp"
+
+namespace moongen::script {
+
+namespace {
+
+const std::map<std::string, TokenType, std::less<>>& keywords() {
+  static const std::map<std::string, TokenType, std::less<>> kw = {
+      {"and", TokenType::kAnd},       {"break", TokenType::kBreak},
+      {"do", TokenType::kDo},         {"else", TokenType::kElse},
+      {"elseif", TokenType::kElseif}, {"end", TokenType::kEnd},
+      {"false", TokenType::kFalse},   {"for", TokenType::kFor},
+      {"function", TokenType::kFunction},
+      {"if", TokenType::kIf},         {"in", TokenType::kIn},
+      {"local", TokenType::kLocal},   {"nil", TokenType::kNil},
+      {"not", TokenType::kNot},       {"or", TokenType::kOr},
+      {"repeat", TokenType::kRepeat}, {"return", TokenType::kReturn},
+      {"then", TokenType::kThen},     {"true", TokenType::kTrue},
+      {"until", TokenType::kUntil},   {"while", TokenType::kWhile},
+  };
+  return kw;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> tokens;
+    while (true) {
+      skip_whitespace_and_comments();
+      if (at_end()) break;
+      tokens.push_back(next_token());
+    }
+    tokens.push_back(Token{TokenType::kEof, "", 0, line_});
+    return tokens;
+  }
+
+ private:
+  [[nodiscard]] bool at_end() const { return pos_ >= src_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char advance() { return src_[pos_++]; }
+  bool match(char c) {
+    if (peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void skip_whitespace_and_comments() {
+    while (!at_end()) {
+      const char c = peek();
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '-' && peek(1) == '-') {
+        pos_ += 2;
+        if (peek() == '[' && peek(1) == '[') {  // long comment --[[ ... ]]
+          pos_ += 2;
+          while (!at_end() && !(peek() == ']' && peek(1) == ']')) {
+            if (peek() == '\n') ++line_;
+            ++pos_;
+          }
+          if (!at_end()) pos_ += 2;
+        } else {
+          while (!at_end() && peek() != '\n') ++pos_;
+        }
+      } else {
+        return;
+      }
+    }
+  }
+
+  Token make(TokenType type, std::string text = "") {
+    return Token{type, std::move(text), 0, line_};
+  }
+
+  Token next_token() {
+    const char c = peek();
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      return number();
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') return name();
+    if (c == '"' || c == '\'') return string_literal();
+
+    advance();
+    switch (c) {
+      case '+': return make(TokenType::kPlus);
+      case '-': return make(TokenType::kMinus);
+      case '*': return make(TokenType::kStar);
+      case '/': return make(TokenType::kSlash);
+      case '%': return make(TokenType::kPercent);
+      case '^': return make(TokenType::kCaret);
+      case '#': return make(TokenType::kHash);
+      case '(': return make(TokenType::kLParen);
+      case ')': return make(TokenType::kRParen);
+      case '{': return make(TokenType::kLBrace);
+      case '}': return make(TokenType::kRBrace);
+      case '[': return make(TokenType::kLBracket);
+      case ']': return make(TokenType::kRBracket);
+      case ';': return make(TokenType::kSemicolon);
+      case ':': return make(TokenType::kColon);
+      case ',': return make(TokenType::kComma);
+      case '=': return make(match('=') ? TokenType::kEq : TokenType::kAssign);
+      case '<': return make(match('=') ? TokenType::kLe : TokenType::kLt);
+      case '>': return make(match('=') ? TokenType::kGe : TokenType::kGt);
+      case '~':
+        if (match('=')) return make(TokenType::kNe);
+        throw ScriptError("unexpected '~'", line_);
+      case '.':
+        if (match('.')) {
+          if (match('.')) return make(TokenType::kEllipsis);
+          return make(TokenType::kConcat);
+        }
+        return make(TokenType::kDot);
+      default:
+        throw ScriptError(std::string("unexpected character '") + c + "'", line_);
+    }
+  }
+
+  Token number() {
+    const std::size_t start = pos_;
+    if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+      pos_ += 2;
+      while (std::isxdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    } else {
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+      if (peek() == '.') {
+        ++pos_;
+        while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+      }
+      if (peek() == 'e' || peek() == 'E') {
+        ++pos_;
+        if (peek() == '+' || peek() == '-') ++pos_;
+        while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+      }
+    }
+    Token tok = make(TokenType::kNumber);
+    const std::string text(src_.substr(start, pos_ - start));
+    tok.number = std::strtod(text.c_str(), nullptr);
+    return tok;
+  }
+
+  Token name() {
+    const std::size_t start = pos_;
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_') ++pos_;
+    const std::string text(src_.substr(start, pos_ - start));
+    const auto it = keywords().find(text);
+    if (it != keywords().end()) return make(it->second, text);
+    return make(TokenType::kName, text);
+  }
+
+  Token string_literal() {
+    const char quote = advance();
+    std::string out;
+    while (!at_end() && peek() != quote) {
+      char c = advance();
+      if (c == '\n') throw ScriptError("unterminated string", line_);
+      if (c == '\\') {
+        if (at_end()) break;
+        const char esc = advance();
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case '\\': c = '\\'; break;
+          case '"': c = '"'; break;
+          case '\'': c = '\''; break;
+          case '0': c = '\0'; break;
+          default: throw ScriptError(std::string("unknown escape '\\") + esc + "'", line_);
+        }
+      }
+      out.push_back(c);
+    }
+    if (at_end()) throw ScriptError("unterminated string", line_);
+    advance();  // closing quote
+    return make(TokenType::kString, std::move(out));
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view source) { return Lexer(source).run(); }
+
+std::string token_type_name(TokenType type) {
+  switch (type) {
+    case TokenType::kNumber: return "number";
+    case TokenType::kString: return "string";
+    case TokenType::kName: return "name";
+    case TokenType::kEof: return "<eof>";
+    case TokenType::kEnd: return "'end'";
+    case TokenType::kThen: return "'then'";
+    case TokenType::kDo: return "'do'";
+    case TokenType::kAssign: return "'='";
+    case TokenType::kLParen: return "'('";
+    case TokenType::kRParen: return "')'";
+    default: return "token";
+  }
+}
+
+}  // namespace moongen::script

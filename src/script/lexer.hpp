@@ -1,0 +1,39 @@
+// Lexer for the embedded Lua-subset language.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace moongen::script {
+
+enum class TokenType {
+  // literals / identifiers
+  kNumber,
+  kString,
+  kName,
+  // keywords
+  kAnd, kBreak, kDo, kElse, kElseif, kEnd, kFalse, kFor, kFunction, kIf, kIn,
+  kLocal, kNil, kNot, kOr, kRepeat, kReturn, kThen, kTrue, kUntil, kWhile,
+  // symbols
+  kPlus, kMinus, kStar, kSlash, kPercent, kCaret, kHash,
+  kEq, kNe, kLe, kGe, kLt, kGt, kAssign,
+  kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+  kSemicolon, kColon, kComma, kDot, kConcat, kEllipsis,
+  kEof,
+};
+
+struct Token {
+  TokenType type;
+  std::string text;   // identifier / string contents
+  double number = 0;  // kNumber value
+  int line = 1;
+};
+
+/// Tokenizes `source`; throws ScriptError on malformed input.
+std::vector<Token> tokenize(std::string_view source);
+
+/// Keyword/symbol name for diagnostics.
+std::string token_type_name(TokenType type);
+
+}  // namespace moongen::script

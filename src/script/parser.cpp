@@ -1,0 +1,439 @@
+#include "script/parser.hpp"
+
+#include "script/lexer.hpp"
+#include "script/value.hpp"
+
+namespace moongen::script {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  std::shared_ptr<Program> run() {
+    auto program = std::make_shared<Program>();
+    program->block = block({TokenType::kEof});
+    expect(TokenType::kEof);
+    return program;
+  }
+
+ private:
+  // --- token helpers -------------------------------------------------------
+
+  [[nodiscard]] const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  [[nodiscard]] bool check(TokenType t) const { return peek().type == t; }
+  const Token& advance() { return tokens_[pos_++]; }
+  bool match(TokenType t) {
+    if (check(t)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  const Token& expect(TokenType t) {
+    if (!check(t)) {
+      throw ScriptError("expected " + token_type_name(t) + " near '" + peek().text + "' (" +
+                            token_type_name(peek().type) + ")",
+                        peek().line);
+    }
+    return advance();
+  }
+
+  [[nodiscard]] static bool block_end(TokenType t) {
+    return t == TokenType::kEnd || t == TokenType::kEof || t == TokenType::kElse ||
+           t == TokenType::kElseif || t == TokenType::kUntil;
+  }
+
+  // --- statements -----------------------------------------------------------
+
+  Block block(std::initializer_list<TokenType> /*until*/ = {}) {
+    Block stmts;
+    while (!block_end(peek().type)) {
+      if (match(TokenType::kSemicolon)) continue;
+      stmts.push_back(statement());
+      // `return` must be the last statement of a block.
+      if (stmts.back()->kind == StmtKind::kReturn) break;
+    }
+    return stmts;
+  }
+
+  StmtPtr statement() {
+    const int line = peek().line;
+    switch (peek().type) {
+      case TokenType::kLocal: return local_statement();
+      case TokenType::kIf: return if_statement();
+      case TokenType::kWhile: return while_statement();
+      case TokenType::kRepeat: return repeat_statement();
+      case TokenType::kFor: return for_statement();
+      case TokenType::kFunction: return function_statement();
+      case TokenType::kReturn: return return_statement();
+      case TokenType::kDo: {
+        advance();
+        auto stmt = make_stmt(StmtKind::kDo, line);
+        stmt->body = block();
+        expect(TokenType::kEnd);
+        return stmt;
+      }
+      case TokenType::kBreak: {
+        advance();
+        return make_stmt(StmtKind::kBreak, line);
+      }
+      default: return expr_or_assign_statement();
+    }
+  }
+
+  static StmtPtr make_stmt(StmtKind kind, int line) {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = kind;
+    stmt->line = line;
+    return stmt;
+  }
+
+  StmtPtr local_statement() {
+    const int line = advance().line;  // 'local'
+    if (check(TokenType::kFunction)) {
+      advance();
+      auto stmt = make_stmt(StmtKind::kFunctionDecl, line);
+      stmt->is_local_function = true;
+      const std::string name = expect(TokenType::kName).text;
+      stmt->func_path = {name};
+      stmt->function = function_body(name);
+      return stmt;
+    }
+    auto stmt = make_stmt(StmtKind::kLocal, line);
+    stmt->names.push_back(expect(TokenType::kName).text);
+    while (match(TokenType::kComma)) stmt->names.push_back(expect(TokenType::kName).text);
+    if (match(TokenType::kAssign)) {
+      stmt->exprs.push_back(expression());
+      while (match(TokenType::kComma)) stmt->exprs.push_back(expression());
+    }
+    return stmt;
+  }
+
+  StmtPtr if_statement() {
+    const int line = advance().line;  // 'if'
+    auto stmt = make_stmt(StmtKind::kIf, line);
+    IfBranch first;
+    first.condition = expression();
+    expect(TokenType::kThen);
+    first.body = block();
+    stmt->branches.push_back(std::move(first));
+    while (check(TokenType::kElseif)) {
+      advance();
+      IfBranch branch;
+      branch.condition = expression();
+      expect(TokenType::kThen);
+      branch.body = block();
+      stmt->branches.push_back(std::move(branch));
+    }
+    if (match(TokenType::kElse)) {
+      stmt->has_else = true;
+      stmt->else_body = block();
+    }
+    expect(TokenType::kEnd);
+    return stmt;
+  }
+
+  StmtPtr while_statement() {
+    const int line = advance().line;
+    auto stmt = make_stmt(StmtKind::kWhile, line);
+    stmt->condition = expression();
+    expect(TokenType::kDo);
+    stmt->body = block();
+    expect(TokenType::kEnd);
+    return stmt;
+  }
+
+  StmtPtr repeat_statement() {
+    const int line = advance().line;
+    auto stmt = make_stmt(StmtKind::kRepeat, line);
+    stmt->body = block();
+    expect(TokenType::kUntil);
+    stmt->condition = expression();
+    return stmt;
+  }
+
+  StmtPtr for_statement() {
+    const int line = advance().line;  // 'for'
+    const std::string first = expect(TokenType::kName).text;
+    if (match(TokenType::kAssign)) {
+      auto stmt = make_stmt(StmtKind::kNumericFor, line);
+      stmt->loop_var = first;
+      stmt->for_start = expression();
+      expect(TokenType::kComma);
+      stmt->for_stop = expression();
+      if (match(TokenType::kComma)) stmt->for_step = expression();
+      expect(TokenType::kDo);
+      stmt->body = block();
+      expect(TokenType::kEnd);
+      return stmt;
+    }
+    auto stmt = make_stmt(StmtKind::kGenericFor, line);
+    stmt->names.push_back(first);
+    while (match(TokenType::kComma)) stmt->names.push_back(expect(TokenType::kName).text);
+    expect(TokenType::kIn);
+    stmt->exprs.push_back(expression());
+    while (match(TokenType::kComma)) stmt->exprs.push_back(expression());
+    expect(TokenType::kDo);
+    stmt->body = block();
+    expect(TokenType::kEnd);
+    return stmt;
+  }
+
+  StmtPtr function_statement() {
+    const int line = advance().line;  // 'function'
+    auto stmt = make_stmt(StmtKind::kFunctionDecl, line);
+    stmt->func_path.push_back(expect(TokenType::kName).text);
+    while (match(TokenType::kDot)) stmt->func_path.push_back(expect(TokenType::kName).text);
+    std::string name = stmt->func_path.front();
+    for (std::size_t i = 1; i < stmt->func_path.size(); ++i) name += "." + stmt->func_path[i];
+    stmt->function = function_body(name);
+    return stmt;
+  }
+
+  StmtPtr return_statement() {
+    const int line = advance().line;
+    auto stmt = make_stmt(StmtKind::kReturn, line);
+    if (!block_end(peek().type) && !check(TokenType::kSemicolon)) {
+      stmt->exprs.push_back(expression());
+      while (match(TokenType::kComma)) stmt->exprs.push_back(expression());
+    }
+    return stmt;
+  }
+
+  StmtPtr expr_or_assign_statement() {
+    const int line = peek().line;
+    ExprPtr first = suffixed_expression();
+    if (check(TokenType::kAssign) || check(TokenType::kComma)) {
+      auto stmt = make_stmt(StmtKind::kAssign, line);
+      stmt->targets.push_back(std::move(first));
+      while (match(TokenType::kComma)) stmt->targets.push_back(suffixed_expression());
+      expect(TokenType::kAssign);
+      stmt->exprs.push_back(expression());
+      while (match(TokenType::kComma)) stmt->exprs.push_back(expression());
+      for (const auto& target : stmt->targets) {
+        if (target->kind != ExprKind::kName && target->kind != ExprKind::kIndex)
+          throw ScriptError("cannot assign to this expression", line);
+      }
+      return stmt;
+    }
+    if (first->kind != ExprKind::kCall && first->kind != ExprKind::kMethodCall)
+      throw ScriptError("unexpected expression statement (only calls allowed)", line);
+    auto stmt = make_stmt(StmtKind::kExpr, line);
+    stmt->expr = std::move(first);
+    return stmt;
+  }
+
+  std::shared_ptr<FunctionDecl> function_body(std::string name) {
+    auto decl = std::make_shared<FunctionDecl>();
+    decl->name = std::move(name);
+    expect(TokenType::kLParen);
+    if (!check(TokenType::kRParen)) {
+      decl->params.push_back(expect(TokenType::kName).text);
+      while (match(TokenType::kComma)) decl->params.push_back(expect(TokenType::kName).text);
+    }
+    expect(TokenType::kRParen);
+    decl->body = block();
+    expect(TokenType::kEnd);
+    return decl;
+  }
+
+  // --- expressions ----------------------------------------------------------
+
+  static ExprPtr make_expr(ExprKind kind, int line) {
+    auto e = std::make_unique<Expr>();
+    e->kind = kind;
+    e->line = line;
+    return e;
+  }
+
+  [[nodiscard]] static int binary_precedence(TokenType t) {
+    switch (t) {
+      case TokenType::kOr: return 1;
+      case TokenType::kAnd: return 2;
+      case TokenType::kLt:
+      case TokenType::kGt:
+      case TokenType::kLe:
+      case TokenType::kGe:
+      case TokenType::kEq:
+      case TokenType::kNe: return 3;
+      case TokenType::kConcat: return 4;  // right associative
+      case TokenType::kPlus:
+      case TokenType::kMinus: return 5;
+      case TokenType::kStar:
+      case TokenType::kSlash:
+      case TokenType::kPercent: return 6;
+      case TokenType::kCaret: return 8;  // right associative, above unary
+      default: return 0;
+    }
+  }
+
+  ExprPtr expression(int min_prec = 1) {
+    ExprPtr left = unary_expression();
+    while (true) {
+      const TokenType op = peek().type;
+      const int prec = binary_precedence(op);
+      if (prec < min_prec) break;
+      const int line = advance().line;
+      const bool right_assoc = op == TokenType::kConcat || op == TokenType::kCaret;
+      ExprPtr right = expression(right_assoc ? prec : prec + 1);
+      auto node = make_expr(ExprKind::kBinary, line);
+      node->op = static_cast<int>(op);
+      node->lhs = std::move(left);
+      node->rhs = std::move(right);
+      left = std::move(node);
+    }
+    return left;
+  }
+
+  ExprPtr unary_expression() {
+    const TokenType t = peek().type;
+    if (t == TokenType::kNot || t == TokenType::kMinus || t == TokenType::kHash) {
+      const int line = advance().line;
+      auto node = make_expr(ExprKind::kUnary, line);
+      node->op = static_cast<int>(t);
+      node->rhs = expression(7);  // unary binds tighter than * but looser than ^
+      return node;
+    }
+    return suffixed_expression();
+  }
+
+  ExprPtr suffixed_expression() {
+    ExprPtr expr = primary_expression();
+    while (true) {
+      const int line = peek().line;
+      if (match(TokenType::kDot)) {
+        auto node = make_expr(ExprKind::kIndex, line);
+        auto key = make_expr(ExprKind::kString, line);
+        key->string = expect(TokenType::kName).text;
+        node->object = std::move(expr);
+        node->key = std::move(key);
+        expr = std::move(node);
+      } else if (match(TokenType::kLBracket)) {
+        auto node = make_expr(ExprKind::kIndex, line);
+        node->object = std::move(expr);
+        node->key = expression();
+        expect(TokenType::kRBracket);
+        expr = std::move(node);
+      } else if (check(TokenType::kLParen) || check(TokenType::kLBrace) ||
+                 check(TokenType::kString)) {
+        auto node = make_expr(ExprKind::kCall, line);
+        node->callee = std::move(expr);
+        node->args = call_arguments();
+        expr = std::move(node);
+      } else if (match(TokenType::kColon)) {
+        auto node = make_expr(ExprKind::kMethodCall, line);
+        node->method = expect(TokenType::kName).text;
+        node->object = std::move(expr);
+        node->args = call_arguments();
+        expr = std::move(node);
+      } else {
+        return expr;
+      }
+    }
+  }
+
+  std::vector<ExprPtr> call_arguments() {
+    std::vector<ExprPtr> args;
+    if (check(TokenType::kLBrace)) {  // f{...} sugar
+      args.push_back(table_constructor());
+      return args;
+    }
+    if (check(TokenType::kString)) {  // f"str" sugar
+      auto node = make_expr(ExprKind::kString, peek().line);
+      node->string = advance().text;
+      args.push_back(std::move(node));
+      return args;
+    }
+    expect(TokenType::kLParen);
+    if (!check(TokenType::kRParen)) {
+      args.push_back(expression());
+      while (match(TokenType::kComma)) args.push_back(expression());
+    }
+    expect(TokenType::kRParen);
+    return args;
+  }
+
+  ExprPtr primary_expression() {
+    const Token& tok = peek();
+    switch (tok.type) {
+      case TokenType::kNil: advance(); return make_expr(ExprKind::kNil, tok.line);
+      case TokenType::kTrue: advance(); return make_expr(ExprKind::kTrue, tok.line);
+      case TokenType::kFalse: advance(); return make_expr(ExprKind::kFalse, tok.line);
+      case TokenType::kNumber: {
+        advance();
+        auto node = make_expr(ExprKind::kNumber, tok.line);
+        node->number = tok.number;
+        return node;
+      }
+      case TokenType::kString: {
+        advance();
+        auto node = make_expr(ExprKind::kString, tok.line);
+        node->string = tok.text;
+        return node;
+      }
+      case TokenType::kName: {
+        advance();
+        auto node = make_expr(ExprKind::kName, tok.line);
+        node->name = tok.text;
+        return node;
+      }
+      case TokenType::kLParen: {
+        advance();
+        ExprPtr inner = expression();
+        expect(TokenType::kRParen);
+        return inner;
+      }
+      case TokenType::kLBrace: return table_constructor();
+      case TokenType::kFunction: {
+        advance();
+        auto node = make_expr(ExprKind::kFunction, tok.line);
+        node->function = function_body("<anonymous>");
+        return node;
+      }
+      default:
+        throw ScriptError("unexpected token '" + tok.text + "' (" +
+                              token_type_name(tok.type) + ")",
+                          tok.line);
+    }
+  }
+
+  ExprPtr table_constructor() {
+    const int line = expect(TokenType::kLBrace).line;
+    auto node = make_expr(ExprKind::kTable, line);
+    while (!check(TokenType::kRBrace)) {
+      TableItem item;
+      if (check(TokenType::kName) && peek(1).type == TokenType::kAssign) {
+        item.name_key = advance().text;
+        advance();  // '='
+        item.value = expression();
+      } else if (match(TokenType::kLBracket)) {
+        item.expr_key = expression();
+        expect(TokenType::kRBracket);
+        expect(TokenType::kAssign);
+        item.value = expression();
+      } else {
+        item.value = expression();
+      }
+      node->items.push_back(std::move(item));
+      if (!match(TokenType::kComma) && !match(TokenType::kSemicolon)) break;
+    }
+    expect(TokenType::kRBrace);
+    return node;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::shared_ptr<Program> parse(std::string_view source) {
+  return Parser(tokenize(source)).run();
+}
+
+}  // namespace moongen::script

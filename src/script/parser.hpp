@@ -1,0 +1,14 @@
+// Recursive-descent parser for the embedded Lua-subset language.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "script/ast.hpp"
+
+namespace moongen::script {
+
+/// Parses a chunk; throws ScriptError on syntax errors.
+std::shared_ptr<Program> parse(std::string_view source);
+
+}  // namespace moongen::script

@@ -1,0 +1,34 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+
+namespace moongen::sim {
+
+void EventQueue::schedule_at(SimTime t, Action action) {
+  if (t < now_) throw std::logic_error("EventQueue: scheduling into the past");
+  events_.push(Event{t, next_seq_++, std::move(action)});
+}
+
+bool EventQueue::step() {
+  if (events_.empty()) return false;
+  // priority_queue::top returns const&; the action must be moved out before
+  // pop, so copy the metadata and steal the closure.
+  Event ev = std::move(const_cast<Event&>(events_.top()));
+  events_.pop();
+  now_ = ev.time;
+  ++executed_;
+  ev.action();
+  return true;
+}
+
+void EventQueue::run_until(SimTime t) {
+  while (!stopped_ && !events_.empty() && events_.top().time <= t) step();
+  if (!stopped_ && now_ < t) now_ = t;
+}
+
+void EventQueue::run() {
+  while (!stopped_ && step()) {
+  }
+}
+
+}  // namespace moongen::sim

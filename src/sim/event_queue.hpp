@@ -1,0 +1,66 @@
+// Discrete-event simulation engine.
+//
+// A single-threaded event queue with deterministic ordering: events at the
+// same virtual time run in scheduling (FIFO) order. All hardware models
+// (NICs, wires, the DuT) and the "software" processes of the simulated
+// generators are driven from this queue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace moongen::sim {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current virtual time.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `action` at absolute time `t` (>= now()).
+  void schedule_at(SimTime t, Action action);
+
+  /// Schedules `action` `delay` picoseconds from now.
+  void schedule_in(SimTime delay, Action action) { schedule_at(now_ + delay, std::move(action)); }
+
+  /// Runs the next pending event; returns false if the queue is empty.
+  bool step();
+
+  /// Runs all events with time <= `t`, then advances the clock to `t`.
+  void run_until(SimTime t);
+
+  /// Runs until no events remain or `stop()` is called.
+  void run();
+
+  /// Requests `run`/`run_until` to return after the current event.
+  void stop() { stopped_ = true; }
+  [[nodiscard]] bool stopped() const { return stopped_; }
+
+  [[nodiscard]] std::size_t pending() const { return events_.size(); }
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace moongen::sim

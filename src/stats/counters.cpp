@@ -1,0 +1,94 @@
+#include "stats/counters.hpp"
+
+#include <chrono>
+#include <iomanip>
+#include <iostream>
+#include <mutex>
+
+namespace moongen::stats {
+
+namespace {
+constexpr std::uint64_t kIntervalNs = 1'000'000'000;  // 1 s reporting interval
+
+/// Counters of different tasks may share one stream; serialize the lines.
+std::mutex& print_mutex() {
+  static std::mutex m;
+  return m;
+}
+}  // namespace
+
+TimeSource wall_clock() {
+  return [] {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  };
+}
+
+RateCounter::RateCounter(std::string name, Format format, TimeSource time_source,
+                         std::ostream* os)
+    : name_(std::move(name)),
+      format_(format),
+      time_(std::move(time_source)),
+      os_(os),
+      start_ns_(time_()),
+      interval_start_ns_(start_ns_) {}
+
+void RateCounter::record(std::uint64_t packets, std::uint64_t bytes) {
+  const std::uint64_t now = time_();
+  while (now - interval_start_ns_ >= kIntervalNs) close_interval(interval_start_ns_ + kIntervalNs);
+  interval_packets_ += packets;
+  interval_bytes_ += bytes;
+  total_packets_ += packets;
+  total_bytes_ += bytes;
+}
+
+void RateCounter::close_interval(std::uint64_t now) {
+  const double seconds = static_cast<double>(now - interval_start_ns_) / 1e9;
+  if (seconds > 0) {
+    // Wire rate includes the 20 B preamble/IFG and 4 B FCS per frame, as
+    // reported by MoonGen's device counters.
+    const double mpps = static_cast<double>(interval_packets_) / seconds / 1e6;
+    const double mbit =
+        static_cast<double>(interval_bytes_ + interval_packets_ * 24) * 8.0 / seconds / 1e6;
+    mpps_.add(mpps);
+    mbit_.add(mbit);
+    print_interval(mpps, mbit);
+  }
+  interval_start_ns_ = now;
+  interval_packets_ = 0;
+  interval_bytes_ = 0;
+}
+
+void RateCounter::print_interval(double mpps, double mbit) const {
+  if (os_ == nullptr) return;
+  std::scoped_lock lock(print_mutex());
+  if (format_ == Format::kPlain) {
+    *os_ << "[" << name_ << "] " << std::fixed << std::setprecision(2) << mpps << " Mpps, "
+         << mbit << " MBit/s wire rate\n";
+  } else {
+    *os_ << name_ << "," << std::fixed << std::setprecision(4) << mpps << "," << mbit << "\n";
+  }
+}
+
+void RateCounter::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  const std::uint64_t now = time_();
+  if (interval_packets_ > 0 && now > interval_start_ns_) close_interval(now);
+  if (os_ == nullptr) return;
+  std::scoped_lock lock(print_mutex());
+  if (format_ == Format::kPlain) {
+    *os_ << "[" << name_ << "] TOTAL: " << total_packets_ << " packets, " << total_bytes_
+         << " bytes; " << std::fixed << std::setprecision(2) << mpps_.mean() << " (StdDev "
+         << mpps_.stddev() << ") Mpps, " << mbit_.mean() << " (StdDev " << mbit_.stddev()
+         << ") MBit/s wire rate\n";
+  } else {
+    *os_ << name_ << ",total," << total_packets_ << "," << total_bytes_ << "," << std::fixed
+         << std::setprecision(4) << mpps_.mean() << "," << mpps_.stddev() << "," << mbit_.mean()
+         << "," << mbit_.stddev() << "\n";
+  }
+}
+
+}  // namespace moongen::stats

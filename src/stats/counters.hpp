@@ -1,0 +1,90 @@
+// Throughput counters: the C++ equivalent of MoonGen's stats.lua.
+//
+// Counters sample packet/byte totals on `update*` calls, slice them into
+// one-second intervals against an injected time source (wall clock for the
+// real-time benchmarks, virtual time in simulations) and report mean and
+// standard deviation of the per-interval rates on `finalize`, in the same
+// "plain" and "CSV" formats as MoonGen.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "stats/running_stats.hpp"
+
+namespace moongen::stats {
+
+enum class Format { kPlain, kCsv };
+
+/// Time source returning nanoseconds; monotonic.
+using TimeSource = std::function<std::uint64_t()>;
+
+/// Returns a TimeSource backed by std::chrono::steady_clock.
+TimeSource wall_clock();
+
+/// Base rate counter: tracks totals and per-interval rates.
+class RateCounter {
+ public:
+  RateCounter(std::string name, Format format, TimeSource time_source,
+              std::ostream* os = nullptr);
+  virtual ~RateCounter() = default;
+
+  /// Total packets / bytes seen so far.
+  [[nodiscard]] std::uint64_t total_packets() const { return total_packets_; }
+  [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
+
+  /// Average rates over per-second intervals.
+  [[nodiscard]] const RunningStats& mpps_stats() const { return mpps_; }
+  [[nodiscard]] const RunningStats& mbit_stats() const { return mbit_; }
+
+  /// Closes the last interval and prints the summary line.
+  void finalize();
+
+ protected:
+  /// Records `packets`/`bytes` at the current time; emits an interval line
+  /// whenever a one-second boundary is crossed.
+  void record(std::uint64_t packets, std::uint64_t bytes);
+
+ private:
+  void close_interval(std::uint64_t now);
+  void print_interval(double mpps, double mbit) const;
+
+  std::string name_;
+  Format format_;
+  TimeSource time_;
+  std::ostream* os_;
+  std::uint64_t start_ns_;
+  std::uint64_t interval_start_ns_;
+  std::uint64_t interval_packets_ = 0;
+  std::uint64_t interval_bytes_ = 0;
+  std::uint64_t total_packets_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  RunningStats mpps_;
+  RunningStats mbit_;
+  bool finalized_ = false;
+};
+
+/// Counter updated explicitly by the transmit loop —
+/// `stats:newManualTxCounter` in the paper's Listing 2.
+class ManualTxCounter : public RateCounter {
+ public:
+  using RateCounter::RateCounter;
+
+  /// Records `packets` packets of `packet_size` bytes each.
+  void update_with_size(std::uint64_t packets, std::size_t packet_size) {
+    record(packets, packets * packet_size);
+  }
+};
+
+/// Counter fed one received packet at a time — `stats:newPktRxCounter`.
+class PktRxCounter : public RateCounter {
+ public:
+  using RateCounter::RateCounter;
+
+  void count_packet(std::size_t bytes) { record(1, bytes); }
+};
+
+}  // namespace moongen::stats

@@ -1,0 +1,68 @@
+#include "stats/histogram.hpp"
+
+#include <cassert>
+#include <iomanip>
+#include <stdexcept>
+
+namespace moongen::stats {
+
+Histogram::Histogram(std::uint64_t bin_width, std::uint64_t max_value) : bin_width_(bin_width) {
+  if (bin_width == 0) throw std::invalid_argument("Histogram bin width must be > 0");
+  bins_.resize(static_cast<std::size_t>(max_value / bin_width + 1), 0);
+}
+
+void Histogram::add(std::uint64_t value) {
+  const std::size_t idx = static_cast<std::size_t>(value / bin_width_);
+  if (idx < bins_.size())
+    ++bins_[idx];
+  else
+    ++overflow_;
+  ++total_;
+}
+
+std::uint64_t Histogram::percentile(double p) const {
+  if (total_ == 0) return 0;
+  const auto target = static_cast<std::uint64_t>(p / 100.0 * static_cast<double>(total_ - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    seen += bins_[i];
+    if (seen >= target) return bin_lower(i);
+  }
+  return bin_lower(bins_.size());  // in overflow
+}
+
+double Histogram::fraction_between(std::uint64_t lo, std::uint64_t hi) const {
+  if (total_ == 0) return 0.0;
+  std::uint64_t count = 0;
+  const std::size_t first = static_cast<std::size_t>(lo / bin_width_);
+  const std::size_t last = static_cast<std::size_t>(hi / bin_width_);
+  for (std::size_t i = first; i <= last && i < bins_.size(); ++i) count += bins_[i];
+  return static_cast<double>(count) / static_cast<double>(total_);
+}
+
+double Histogram::fraction_at(std::uint64_t value) const {
+  if (total_ == 0) return 0.0;
+  const std::size_t idx = static_cast<std::size_t>(value / bin_width_);
+  const std::uint64_t count = idx < bins_.size() ? bins_[idx] : overflow_;
+  return static_cast<double>(count) / static_cast<double>(total_);
+}
+
+void Histogram::print(std::ostream& os, double min_fraction) const {
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    if (bins_[i] == 0) continue;
+    const double frac = static_cast<double>(bins_[i]) / static_cast<double>(total_);
+    if (frac < min_fraction) continue;
+    os << std::setw(10) << bin_lower(i) << "  " << std::setw(10) << bins_[i] << "  "
+       << std::fixed << std::setprecision(2) << frac * 100.0 << "%\n";
+  }
+  if (overflow_ > 0) os << "  overflow  " << overflow_ << "\n";
+}
+
+void Histogram::merge(const Histogram& other) {
+  assert(other.bin_width_ == bin_width_ && other.bins_.size() == bins_.size());
+  for (std::size_t i = 0; i < bins_.size(); ++i) bins_[i] += other.bins_[i];
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+}
+
+}  // namespace moongen::stats

@@ -1,0 +1,56 @@
+// Fixed-bin-width histogram with percentile queries.
+//
+// Bin width maps directly to hardware timestamp granularity: the
+// inter-arrival histograms of Figure 8 use 64 ns bins (the precision of the
+// Intel 82580 capture NIC), the latency plots use the 10 GbE NICs' 6.4 ns.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+namespace moongen::stats {
+
+class Histogram {
+ public:
+  /// Values >= `max_value` are accumulated in a final overflow bin.
+  Histogram(std::uint64_t bin_width, std::uint64_t max_value);
+
+  void add(std::uint64_t value);
+
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] std::uint64_t bin_width() const { return bin_width_; }
+  [[nodiscard]] std::size_t bin_count() const { return bins_.size(); }
+  [[nodiscard]] std::uint64_t bin(std::size_t i) const { return bins_[i]; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+
+  /// Lower edge of bin i.
+  [[nodiscard]] std::uint64_t bin_lower(std::size_t i) const { return i * bin_width_; }
+
+  /// p in [0, 100]; returns the lower edge of the bin containing the
+  /// p-th percentile sample (overflow counts as max_value).
+  [[nodiscard]] std::uint64_t percentile(double p) const;
+  [[nodiscard]] std::uint64_t median() const { return percentile(50.0); }
+
+  /// Fraction of samples with value in [lo, hi] (inclusive, bin-resolved:
+  /// a bin counts if its lower edge is within range).
+  [[nodiscard]] double fraction_between(std::uint64_t lo, std::uint64_t hi) const;
+
+  /// Fraction of samples falling in the bin containing `value`.
+  [[nodiscard]] double fraction_at(std::uint64_t value) const;
+
+  /// Prints "lower_edge count fraction%" rows for all non-empty bins.
+  void print(std::ostream& os, double min_fraction = 0.0) const;
+
+  /// Merges another histogram with identical geometry.
+  void merge(const Histogram& other);
+
+ private:
+  std::uint64_t bin_width_;
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace moongen::stats

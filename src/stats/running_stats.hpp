@@ -1,0 +1,47 @@
+// Streaming mean / standard deviation (Welford) plus min/max tracking.
+//
+// Used everywhere the paper reports "x ± y" (Tables 1-3) and for the
+// per-interval rate statistics of the counters.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace moongen::stats {
+
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return mean_; }
+
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+
+  [[nodiscard]] double min() const { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ > 0 ? max_ : 0.0; }
+
+  void reset() { *this = RunningStats{}; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace moongen::stats

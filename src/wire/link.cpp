@@ -1,0 +1,47 @@
+#include "wire/link.hpp"
+
+namespace moongen::wire {
+
+Link::Link(nic::Port& from, nic::Port& to, CableSpec cable, std::uint64_t seed)
+    : to_(to), cable_(cable), rng_(seed) {
+  from.set_tx_sink(this);
+}
+
+std::int64_t Link::phy_jitter_ps() {
+  switch (cable_.jitter) {
+    case PhyJitter::kNone:
+      return 0;
+    case PhyJitter::kTenGBaseT: {
+      // Block-code alignment variance (Section 6.1): zero-median, more than
+      // 99.5 % of frames within +-6.4 ns, extreme range 64 ns (+-32 ns).
+      // Steps of 6.4 ns (one PHY symbol group).
+      static constexpr double kWeights[] = {
+          0.600,    // 0
+          0.1985,   // +-6.4 (each)
+          0.0006,   // +-12.8
+          0.0003,   // +-19.2
+          0.00005,  // +-25.6
+          0.00005,  // +-32
+      };
+      std::uniform_real_distribution<double> uni(0.0, 1.0);
+      double x = uni(rng_) - kWeights[0];
+      if (x < 0) return 0;
+      const std::int64_t sign = (rng_() & 1) ? 1 : -1;
+      for (int step = 1; step <= 5; ++step) {
+        x -= 2 * kWeights[step];
+        if (x < 0) return sign * step * 6'400;
+      }
+      return sign * 32'000;
+    }
+  }
+  return 0;
+}
+
+void Link::on_frame(const nic::Frame& frame, sim::SimTime tx_start_ps) {
+  ++frames_;
+  const std::int64_t delay = static_cast<std::int64_t>(cable_.k_ps + cable_.propagation_ps()) +
+                             phy_jitter_ps();
+  to_.deliver_frame(frame, tx_start_ps + static_cast<sim::SimTime>(delay));
+}
+
+}  // namespace moongen::wire

@@ -1,0 +1,46 @@
+// Unidirectional link: carries frames from a port's MAC to a peer port.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "nic/port.hpp"
+#include "wire/cable.hpp"
+
+namespace moongen::wire {
+
+class Link : public nic::FrameSink {
+ public:
+  /// Connects `from`'s transmit path to `to`'s receive path over `cable`.
+  /// Registers itself as `from`'s TX sink.
+  Link(nic::Port& from, nic::Port& to, CableSpec cable, std::uint64_t seed);
+
+  void on_frame(const nic::Frame& frame, sim::SimTime tx_start_ps) override;
+
+  [[nodiscard]] const CableSpec& cable() const { return cable_; }
+  [[nodiscard]] std::uint64_t frames_carried() const { return frames_; }
+
+ private:
+  [[nodiscard]] std::int64_t phy_jitter_ps();
+
+  nic::Port& to_;
+  CableSpec cable_;
+  std::mt19937_64 rng_;
+  std::uint64_t frames_ = 0;
+};
+
+/// Bidirectional convenience wrapper (one Link per direction).
+class DuplexLink {
+ public:
+  DuplexLink(nic::Port& a, nic::Port& b, const CableSpec& cable, std::uint64_t seed)
+      : a_to_b_(a, b, cable, seed), b_to_a_(b, a, cable, seed ^ 0x5bd1e995) {}
+
+  [[nodiscard]] Link& a_to_b() { return a_to_b_; }
+  [[nodiscard]] Link& b_to_a() { return b_to_a_; }
+
+ private:
+  Link a_to_b_;
+  Link b_to_a_;
+};
+
+}  // namespace moongen::wire

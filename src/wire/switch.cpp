@@ -1,0 +1,61 @@
+#include "wire/switch.hpp"
+
+#include "proto/headers.hpp"
+
+namespace moongen::wire {
+
+StoreForwardSwitch::StoreForwardSwitch(sim::EventQueue& events, std::uint64_t output_mbit,
+                                       sim::SimTime forwarding_latency_ps)
+    : events_(events),
+      out_byte_time_ps_(sim::byte_time_ps(output_mbit)),
+      forwarding_latency_ps_(forwarding_latency_ps) {}
+
+nic::FrameSink& StoreForwardSwitch::add_input(std::uint64_t input_mbit) {
+  inputs_.push_back(std::make_unique<InputPort>(*this, input_mbit));
+  return *inputs_.back();
+}
+
+void StoreForwardSwitch::set_output(nic::Port& dst, const CableSpec& cable) {
+  output_ = &dst;
+  out_cable_ = cable;
+}
+
+void StoreForwardSwitch::InputPort::on_frame(const nic::Frame& frame, sim::SimTime tx_start_ps) {
+  // Store-and-forward: the frame is complete after full reception.
+  const sim::SimTime complete = tx_start_ps + (frame.frame_size() + 8) * byte_time_ps_;
+  parent_.events_.schedule_at(complete + parent_.forwarding_latency_ps_,
+                              [this, frame] { parent_.enqueue(frame); });
+}
+
+void StoreForwardSwitch::enqueue(const nic::Frame& frame) {
+  // FCS check on ingress: invalid frames are dropped, converting the
+  // generator's gap frames into real gaps on the output wire.
+  if (!frame.fcs_valid || frame.frame_size() < proto::kMinFrameSize) {
+    ++dropped_invalid_;
+    return;
+  }
+  if (out_queue_.size() >= out_queue_capacity_) {
+    ++queue_drops_;
+    return;
+  }
+  out_queue_.push_back(frame);
+  transmit_next();
+}
+
+void StoreForwardSwitch::transmit_next() {
+  if (out_busy_ || out_queue_.empty() || output_ == nullptr) return;
+  out_busy_ = true;
+  const nic::Frame frame = std::move(out_queue_.front());
+  out_queue_.pop_front();
+  const sim::SimTime t0 = events_.now();
+  const sim::SimTime busy_until = t0 + frame.wire_bytes() * out_byte_time_ps_;
+  const sim::SimTime arrival = t0 + out_cable_.k_ps + out_cable_.propagation_ps();
+  output_->deliver_frame(frame, arrival);
+  ++forwarded_;
+  events_.schedule_at(busy_until, [this] {
+    out_busy_ = false;
+    transmit_next();
+  });
+}
+
+}  // namespace moongen::wire

@@ -1,0 +1,67 @@
+// Store-and-forward switch model.
+//
+// Used for the work-around of Section 8.4: several generator ports send
+// streams interleaved with invalid gap frames to a switch; the switch drops
+// the bad-FCS frames and multiplexes the remaining valid traffic onto one
+// output toward the DuT, replacing the invalid frames with real gaps on the
+// wire.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "nic/port.hpp"
+#include "sim/event_queue.hpp"
+#include "wire/cable.hpp"
+
+namespace moongen::wire {
+
+class StoreForwardSwitch {
+ public:
+  /// `output_mbit`: speed of the output port toward the DuT.
+  StoreForwardSwitch(sim::EventQueue& events, std::uint64_t output_mbit,
+                     sim::SimTime forwarding_latency_ps = 800'000);
+
+  /// Creates a new input port sink; attach it as a generator port's TX sink
+  /// (zero-length patch cable) with the input's link speed.
+  nic::FrameSink& add_input(std::uint64_t input_mbit);
+
+  /// Connects the switch output to `dst` over `cable`.
+  void set_output(nic::Port& dst, const CableSpec& cable);
+
+  [[nodiscard]] std::uint64_t dropped_invalid() const { return dropped_invalid_; }
+  [[nodiscard]] std::uint64_t forwarded() const { return forwarded_; }
+  [[nodiscard]] std::uint64_t queue_drops() const { return queue_drops_; }
+
+ private:
+  class InputPort : public nic::FrameSink {
+   public:
+    InputPort(StoreForwardSwitch& parent, std::uint64_t mbit)
+        : parent_(parent), byte_time_ps_(sim::byte_time_ps(mbit)) {}
+    void on_frame(const nic::Frame& frame, sim::SimTime tx_start_ps) override;
+
+   private:
+    StoreForwardSwitch& parent_;
+    sim::SimTime byte_time_ps_;
+  };
+
+  void enqueue(const nic::Frame& frame);
+  void transmit_next();
+
+  sim::EventQueue& events_;
+  sim::SimTime out_byte_time_ps_;
+  sim::SimTime forwarding_latency_ps_;
+  std::vector<std::unique_ptr<InputPort>> inputs_;
+  std::deque<nic::Frame> out_queue_;
+  std::size_t out_queue_capacity_ = 4096;
+  bool out_busy_ = false;
+  nic::Port* output_ = nullptr;
+  CableSpec out_cable_{};
+  std::uint64_t dropped_invalid_ = 0;
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t queue_drops_ = 0;
+};
+
+}  // namespace moongen::wire

@@ -1,0 +1,416 @@
+// Tests for the NIC port model: TX serialization, DMA timing, hardware
+// rate control, PTP timestamping, CRC hardware drop, RX rings.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rate_control.hpp"
+#include "nic/chip.hpp"
+#include "nic/port.hpp"
+#include "nic/throughput_model.hpp"
+#include "sim_testbed.hpp"
+
+namespace mn = moongen::nic;
+namespace ms = moongen::sim;
+namespace mc = moongen::core;
+using moongen::test::CaptureSink;
+
+namespace {
+
+mn::Frame udp_frame(std::size_t size = 60) {
+  mc::UdpTemplateOptions opts;
+  opts.frame_size = size;
+  return mc::make_udp_frame(opts);
+}
+
+mn::Frame ptp_udp_frame(std::size_t size = 96, std::uint8_t type = 0) {
+  mc::UdpTemplateOptions opts;
+  opts.frame_size = size;
+  opts.ptp_payload = true;
+  opts.ptp_message_type = type;
+  return mc::make_udp_frame(opts);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TX path and serialization
+// ---------------------------------------------------------------------------
+
+TEST(NicTx, BackToBackFramesAreLineRate) {
+  ms::EventQueue events;
+  mn::Port port(events, mn::intel_x540(), 10'000, 1);
+  CaptureSink sink;
+  port.set_tx_sink(&sink);
+
+  for (int i = 0; i < 100; ++i) port.tx_queue(0).post(udp_frame());
+  events.run();
+
+  ASSERT_EQ(sink.frames.size(), 100u);
+  // 64 B frame = 84 wire bytes = 67.2 ns at 10 GbE, start to start.
+  for (std::size_t i = 1; i < sink.frames.size(); ++i) {
+    EXPECT_EQ(sink.frames[i].second - sink.frames[i - 1].second, 67'200u);
+  }
+  EXPECT_EQ(port.stats().tx_packets, 100u);
+  EXPECT_EQ(port.stats().tx_bytes, 100u * 84);
+}
+
+TEST(NicTx, TransmissionsAlignToMacClockGrid) {
+  ms::EventQueue events;
+  mn::Port port(events, mn::intel_82599(), 10'000, 2);
+  CaptureSink sink;
+  port.set_tx_sink(&sink);
+  port.tx_queue(0).post(udp_frame());
+  events.run();
+  ASSERT_EQ(sink.frames.size(), 1u);
+  EXPECT_EQ(sink.frames[0].second % port.spec().mac_cycle_ps, 0u);
+}
+
+TEST(NicTx, DmaFetchDelaysFirstFrame) {
+  ms::EventQueue events;
+  mn::Port port(events, mn::intel_x540(), 10'000, 3);
+  CaptureSink sink;
+  port.set_tx_sink(&sink);
+  port.tx_queue(0).post(udp_frame());
+  events.run();
+  ASSERT_EQ(sink.frames.size(), 1u);
+  // First frame leaves no earlier than the DMA fetch latency and no later
+  // than latency + jitter (+ one MAC cycle of alignment).
+  EXPECT_GE(sink.frames[0].second, port.dma_timing().latency_ps);
+  EXPECT_LE(sink.frames[0].second,
+            port.dma_timing().latency_ps + port.dma_timing().jitter_ps + 6'400);
+}
+
+TEST(NicTx, RingCapacityIsEnforced) {
+  ms::EventQueue events;
+  mn::Port port(events, mn::intel_x540(), 10'000, 4);
+  auto& q = port.tx_queue(0);
+  std::size_t accepted = 0;
+  while (q.post(udp_frame())) ++accepted;
+  EXPECT_EQ(accepted, 1024u);  // default descriptor ring size
+  EXPECT_EQ(q.ring_free(), 0u);
+}
+
+TEST(NicTx, RefillSaturatesLineRate) {
+  ms::EventQueue events;
+  mn::Port port(events, mn::intel_x540(), 10'000, 5);
+  CaptureSink sink;
+  port.set_tx_sink(&sink);
+  port.tx_queue(0).set_refill([] { return udp_frame(); });
+  events.run_until(ms::kPsPerMs);  // 1 ms
+  // Line rate at 10 GbE, 64 B frames: 14.88 Mpps -> 14880 frames per ms.
+  EXPECT_NEAR(static_cast<double>(sink.frames.size()), 14'880.0, 20.0);
+}
+
+TEST(NicTx, RoundRobinAcrossTwoQueues) {
+  ms::EventQueue events;
+  mn::Port port(events, mn::intel_x540(), 10'000, 6);
+  CaptureSink sink;
+  port.set_tx_sink(&sink);
+  // Two queues with distinct frame sizes so we can tell them apart.
+  port.tx_queue(0).set_refill([] { return udp_frame(60); });
+  port.tx_queue(1).set_refill([] { return udp_frame(124); });
+  events.run_until(100 * ms::kPsPerUs);
+  std::size_t small = 0, large = 0;
+  for (const auto& [frame, t] : sink.frames) {
+    (frame.frame_size() == 64 ? small : large) += 1;
+  }
+  ASSERT_GT(small, 100u);
+  ASSERT_GT(large, 100u);
+  // Round-robin: equal packet counts within a few frames.
+  EXPECT_NEAR(static_cast<double>(small), static_cast<double>(large), 4.0);
+}
+
+// ---------------------------------------------------------------------------
+// Hardware rate control (Section 7)
+// ---------------------------------------------------------------------------
+
+TEST(NicRateControl, AverageRateMatchesConfigured) {
+  ms::EventQueue events;
+  mn::Port port(events, mn::intel_x540(), 10'000, 7);
+  CaptureSink sink;
+  port.set_tx_sink(&sink);
+  auto& q = port.tx_queue(0);
+  q.set_rate_mpps(1.0, 64);
+  q.set_refill([] { return udp_frame(); });
+  events.run_until(10 * ms::kPsPerMs);  // 10 ms
+  // 1 Mpps for 10 ms = 10000 frames (within noise/startup).
+  EXPECT_NEAR(static_cast<double>(sink.frames.size()), 10'000.0, 50.0);
+}
+
+TEST(NicRateControl, PacingNoiseIsBounded) {
+  ms::EventQueue events;
+  mn::Port port(events, mn::intel_x540(), 10'000, 8);
+  CaptureSink sink;
+  port.set_tx_sink(&sink);
+  auto& q = port.tx_queue(0);
+  q.set_rate_mpps(0.5, 64);  // 2 us target gap
+  q.set_refill([] { return udp_frame(); });
+  events.run_until(20 * ms::kPsPerMs);
+  ASSERT_GT(sink.frames.size(), 5'000u);
+  // At 10 GbE the internal pacing tick is 6.4 ns; total noise is at most
+  // +-4 ticks plus one MAC cycle of alignment.
+  const ms::SimTime target = 2 * ms::kPsPerUs;
+  for (std::size_t i = 1; i < sink.frames.size(); ++i) {
+    const auto gap = static_cast<std::int64_t>(sink.frames[i].second - sink.frames[i - 1].second);
+    EXPECT_NEAR(static_cast<double>(gap), static_cast<double>(target), 4 * 6'400.0 + 6'400.0);
+  }
+}
+
+TEST(NicRateControl, GbePacingTickIsTenTimesCoarser) {
+  // Section 7.3: the internal rate-control clock scales with link speed.
+  ms::EventQueue events;
+  mn::Port p10(events, mn::intel_x540(), 10'000, 9);
+  mn::Port p1(events, mn::intel_x540(), 1'000, 10);
+  // Indirect check through the chip spec arithmetic.
+  EXPECT_EQ(p10.spec().rate_tick_at_max_speed_ps, 6'400u);
+  // Verified behaviourally: GbE gaps oscillate by up to ~4*64 ns.
+  CaptureSink sink;
+  p1.set_tx_sink(&sink);
+  auto& q = p1.tx_queue(0);
+  q.set_rate_mpps(0.1, 64);
+  q.set_refill([] { return udp_frame(); });
+  events.run_until(50 * ms::kPsPerMs);
+  ASSERT_GT(sink.frames.size(), 1'000u);
+  bool saw_offgrid_64 = false;
+  for (std::size_t i = 1; i < sink.frames.size(); ++i) {
+    const auto gap = static_cast<std::int64_t>(sink.frames[i].second - sink.frames[i - 1].second);
+    const auto dev = std::llabs(gap - 10'000'000);
+    EXPECT_LE(dev, 4 * 64'000 + 16'000);
+    if (dev > 2 * 6'400) saw_offgrid_64 = true;
+  }
+  EXPECT_TRUE(saw_offgrid_64);  // noise really is on the coarse GbE grid
+}
+
+TEST(NicRateControl, UnreliableAboveNineMpps) {
+  // Section 7.5: configured rates above ~9 Mpps behave non-linearly.
+  ms::EventQueue events;
+  mn::Port port(events, mn::intel_x540(), 10'000, 11);
+  CaptureSink sink;
+  port.set_tx_sink(&sink);
+  auto& q = port.tx_queue(0);
+  q.set_rate_mpps(12.0, 64);
+  q.set_refill([] { return udp_frame(); });
+  events.run_until(10 * ms::kPsPerMs);
+  const double achieved_mpps = static_cast<double>(sink.frames.size()) / 10'000.0;
+  EXPECT_LT(achieved_mpps, 11.0);  // cannot reach the configured rate
+  EXPECT_GT(achieved_mpps, 6.0);   // but is not stalled either
+}
+
+// ---------------------------------------------------------------------------
+// PTP timestamping (Section 6)
+// ---------------------------------------------------------------------------
+
+TEST(NicPtp, TxStampLatchedForPtpEthernet) {
+  ms::EventQueue events;
+  mn::Port port(events, mn::intel_82599(), 10'000, 12);
+  CaptureSink sink;
+  port.set_tx_sink(&sink);
+  port.tx_queue(0).post(mc::make_ptp_ethernet_frame(60));
+  events.run();
+  EXPECT_TRUE(port.read_tx_timestamp().has_value());
+  EXPECT_FALSE(port.read_tx_timestamp().has_value());  // read-to-clear
+}
+
+TEST(NicPtp, RegisterHoldsOnlyFirstStamp) {
+  ms::EventQueue events;
+  mn::Port port(events, mn::intel_82599(), 10'000, 13);
+  CaptureSink sink;
+  port.set_tx_sink(&sink);
+  port.tx_queue(0).post(mc::make_ptp_ethernet_frame(60));
+  port.tx_queue(0).post(mc::make_ptp_ethernet_frame(60));
+  events.run();
+  const auto first = port.read_tx_timestamp();
+  ASSERT_TRUE(first.has_value());
+  // The second packet was NOT stamped: the register was occupied
+  // (single-packet-in-flight limitation, Section 6.4).
+  EXPECT_FALSE(port.read_tx_timestamp().has_value());
+}
+
+TEST(NicPtp, NonPtpFramesAreNotStamped) {
+  ms::EventQueue events;
+  mn::Port port(events, mn::intel_82599(), 10'000, 14);
+  CaptureSink sink;
+  port.set_tx_sink(&sink);
+  port.tx_queue(0).post(udp_frame());
+  events.run();
+  EXPECT_FALSE(port.read_tx_timestamp().has_value());
+}
+
+TEST(NicPtp, MessageTypeOutsideMaskIgnored) {
+  // MoonGen's background packets set a PTP type outside the filter mask so
+  // they are not timestamped but look identical to the DuT (Section 6.4).
+  ms::EventQueue events;
+  mn::Port port(events, mn::intel_82599(), 10'000, 15);
+  CaptureSink sink;
+  port.set_tx_sink(&sink);
+  port.tx_queue(0).post(ptp_udp_frame(96, /*type=*/5));
+  events.run();
+  EXPECT_FALSE(port.read_tx_timestamp().has_value());
+}
+
+TEST(NicPtp, WrongVersionIgnored) {
+  ms::EventQueue events;
+  mn::Port port(events, mn::intel_82599(), 10'000, 16);
+  CaptureSink sink;
+  port.set_tx_sink(&sink);
+  auto frame = mc::make_ptp_ethernet_frame(60);
+  // Corrupt the version nibble.
+  auto bytes = *frame.data;
+  bytes[15] = 0x01;
+  port.tx_queue(0).post(mn::make_frame(std::move(bytes)));
+  events.run();
+  EXPECT_FALSE(port.read_tx_timestamp().has_value());
+}
+
+TEST(NicPtp, UndersizedUdpPtpRefused) {
+  // Section 6.4: UDP PTP packets below 80 B are not timestamped; Ethernet
+  // PTP has no such limit.
+  ms::EventQueue events;
+  mn::Port port(events, mn::intel_x540(), 10'000, 17);
+  CaptureSink sink;
+  port.set_tx_sink(&sink);
+  port.tx_queue(0).post(ptp_udp_frame(72));  // 76 B frame < 80
+  events.run();
+  EXPECT_FALSE(port.read_tx_timestamp().has_value());
+
+  port.tx_queue(0).post(ptp_udp_frame(96));  // 100 B frame >= 80
+  events.run();
+  EXPECT_TRUE(port.read_tx_timestamp().has_value());
+}
+
+TEST(NicPtp, RxStampAndCallback) {
+  moongen::test::TenGbeFiberBed bed;
+  std::uint64_t latched = 0;
+  bed.b.set_rx_stamp_callback([&](std::uint64_t v) { latched = v; });
+  bed.a.tx_queue(0).post(mc::make_ptp_ethernet_frame(60));
+  bed.events.run();
+  const auto rx = bed.b.read_rx_timestamp();
+  ASSERT_TRUE(rx.has_value());
+  EXPECT_EQ(*rx, latched);
+  EXPECT_EQ(bed.b.stats().rx_packets, 1u);
+}
+
+TEST(NicPtp, RxTimestampAllOn82580) {
+  ms::EventQueue events;
+  mn::Port tx(events, mn::intel_x540(), 1'000, 18);
+  mn::Port rx(events, mn::intel_82580(), 1'000, 19);
+  moongen::wire::Link link(tx, rx, moongen::wire::cat5e_gbe(2.0), 20);
+  for (int i = 0; i < 5; ++i) tx.tx_queue(0).post(udp_frame());
+  events.run();
+  const auto entries = rx.rx_queue(0).drain();
+  ASSERT_EQ(entries.size(), 5u);
+  std::uint64_t prev = 0;
+  for (const auto& e : entries) {
+    EXPECT_GT(e.hw_timestamp, 0u);  // every packet stamped
+    EXPECT_GE(e.hw_timestamp, prev);
+    prev = e.hw_timestamp;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hardware CRC drop (Section 8.1)
+// ---------------------------------------------------------------------------
+
+TEST(NicRx, InvalidCrcDroppedBeforeQueues) {
+  moongen::test::TenGbeFiberBed bed;
+  bed.a.tx_queue(0).post(udp_frame());
+  bed.a.tx_queue(0).post(mn::make_gap_frame(200));
+  bed.a.tx_queue(0).post(udp_frame());
+  bed.events.run();
+  EXPECT_EQ(bed.b.stats().rx_packets, 2u);
+  EXPECT_EQ(bed.b.stats().crc_errors, 1u);
+  EXPECT_EQ(bed.b.rx_queue(0).pending(), 2u);
+}
+
+TEST(NicRx, RuntFramesCountAsErrors) {
+  moongen::test::TenGbeFiberBed bed;
+  bed.a.tx_queue(0).post(mn::make_gap_frame(40));  // 40 wire bytes -> runt
+  bed.events.run();
+  EXPECT_EQ(bed.b.stats().rx_packets, 0u);
+  EXPECT_EQ(bed.b.stats().crc_errors, 1u);
+}
+
+TEST(NicRx, RingOverflowDrops) {
+  moongen::test::TenGbeFiberBed bed;
+  bed.b.rx_queue(0).set_ring_capacity(16);
+  for (int i = 0; i < 32; ++i) bed.a.tx_queue(0).post(udp_frame());
+  bed.events.run();
+  EXPECT_EQ(bed.b.rx_queue(0).pending(), 16u);
+  EXPECT_EQ(bed.b.stats().rx_ring_drops, 16u);
+}
+
+TEST(NicRx, SteeringSelectsQueue) {
+  moongen::test::TenGbeFiberBed bed;
+  bed.b.set_rx_steering([](const mn::Frame& f) { return f.frame_size() > 100 ? 1 : 0; });
+  bed.a.tx_queue(0).post(udp_frame(60));
+  bed.a.tx_queue(0).post(udp_frame(124));
+  bed.events.run();
+  EXPECT_EQ(bed.b.rx_queue(0).pending(), 1u);
+  EXPECT_EQ(bed.b.rx_queue(1).pending(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Throughput model (Figures 2-4 arithmetic)
+// ---------------------------------------------------------------------------
+
+TEST(ThroughputModel, LineRates) {
+  EXPECT_NEAR(mn::line_rate_pps(10'000, 64), 14.88e6, 0.01e6);
+  EXPECT_NEAR(mn::line_rate_pps(1'000, 64), 1.488e6, 0.001e6);
+  EXPECT_NEAR(mn::line_rate_pps(40'000, 64), 59.52e6, 0.01e6);
+}
+
+TEST(ThroughputModel, CpuBoundBelowLineRate) {
+  mn::ThroughputQuery q;
+  q.cycles_per_packet = 200;
+  q.cpu_hz = 1.2e9;
+  q.cores = 1;
+  const auto r = mn::predict_throughput(q);
+  EXPECT_EQ(r.bottleneck, mn::Bottleneck::kCpu);
+  EXPECT_NEAR(r.total_pps, 6e6, 1e3);
+}
+
+TEST(ThroughputModel, LineRateBoundWithManyCores) {
+  mn::ThroughputQuery q;
+  q.cycles_per_packet = 200;
+  q.cpu_hz = 2.4e9;
+  q.cores = 8;
+  const auto r = mn::predict_throughput(q);
+  EXPECT_EQ(r.bottleneck, mn::Bottleneck::kLineRate);
+  EXPECT_NEAR(r.total_pps, 14.88e6, 0.01e6);
+}
+
+TEST(ThroughputModel, Xl710SmallPacketCap) {
+  // Section 5.4: <=128 B frames cannot reach line rate on the XL710, and
+  // more than two cores do not help.
+  const auto chip = mn::intel_xl710();
+  mn::ThroughputQuery q;
+  q.chip = &chip;
+  q.link_mbit = 40'000;
+  q.frame_size = 64;
+  q.cycles_per_packet = 160;
+  q.cpu_hz = 2.4e9;
+  q.cores = 3;
+  const auto r = mn::predict_throughput(q);
+  EXPECT_EQ(r.bottleneck, mn::Bottleneck::kNicHardware);
+  EXPECT_LT(r.total_pps, mn::line_rate_pps(40'000, 64));
+
+  q.frame_size = 256;
+  const auto r2 = mn::predict_throughput(q);
+  EXPECT_EQ(r2.bottleneck, mn::Bottleneck::kLineRate);
+}
+
+TEST(ThroughputModel, Xl710DualPortCaps) {
+  const auto chip = mn::intel_xl710();
+  mn::ThroughputQuery q;
+  q.chip = &chip;
+  q.link_mbit = 40'000;
+  q.ports = 2;
+  q.frame_size = 1518;
+  q.cycles_per_packet = 160;
+  q.cpu_hz = 2.4e9;
+  q.cores = 6;
+  const auto r = mn::predict_throughput(q);
+  // Dual-port large packets: capped at ~50 Gbit/s, not 2x40 (Section 5.4).
+  EXPECT_NEAR(r.total_wire_mbit, 50'000, 100);
+}

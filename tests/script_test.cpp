@@ -1,0 +1,494 @@
+// Tests for the embedded scripting language: lexer, parser, interpreter
+// semantics, and the MoonGen bindings (the paper's Listings run as actual
+// scripts).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/device.hpp"
+#include "core/task.hpp"
+#include "script/bindings.hpp"
+#include "script/interpreter.hpp"
+#include "script/lexer.hpp"
+#include "script/parser.hpp"
+
+namespace sc = moongen::script;
+namespace mc = moongen::core;
+
+namespace {
+
+/// Runs a chunk and returns the value of global `result`.
+sc::Value eval(const std::string& source) {
+  sc::Interpreter interp(sc::parse(source));
+  interp.set_step_limit(10'000'000);
+  interp.run();
+  return interp.get_global("result");
+}
+
+double eval_number(const std::string& source) {
+  const auto v = eval(source);
+  EXPECT_TRUE(v.is_number()) << source << " -> " << v.to_display_string();
+  return v.is_number() ? v.as_number() : 0;
+}
+
+std::string eval_string(const std::string& source) {
+  const auto v = eval(source);
+  EXPECT_TRUE(v.is_string()) << source;
+  return v.is_string() ? v.as_string() : "";
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+TEST(ScriptLexer, TokenizesNumbersStringsNames) {
+  const auto tokens = sc::tokenize("local x = 42 + 0x10 .. \"hi\\n\"");
+  ASSERT_GE(tokens.size(), 8u);
+  EXPECT_EQ(tokens[0].type, sc::TokenType::kLocal);
+  EXPECT_EQ(tokens[1].text, "x");
+  EXPECT_EQ(tokens[3].number, 42.0);
+  EXPECT_EQ(tokens[5].number, 16.0);
+  EXPECT_EQ(tokens[7].text, "hi\n");
+}
+
+TEST(ScriptLexer, SkipsCommentsAndTracksLines) {
+  const auto tokens = sc::tokenize("-- comment\n--[[ long\ncomment ]]\nx");
+  EXPECT_EQ(tokens[0].text, "x");
+  EXPECT_EQ(tokens[0].line, 4);
+}
+
+TEST(ScriptLexer, RejectsUnterminatedString) {
+  EXPECT_THROW(sc::tokenize("local s = \"oops"), sc::ScriptError);
+}
+
+TEST(ScriptLexer, MultiCharOperators) {
+  const auto tokens = sc::tokenize("== ~= <= >= .. ...");
+  EXPECT_EQ(tokens[0].type, sc::TokenType::kEq);
+  EXPECT_EQ(tokens[1].type, sc::TokenType::kNe);
+  EXPECT_EQ(tokens[2].type, sc::TokenType::kLe);
+  EXPECT_EQ(tokens[3].type, sc::TokenType::kGe);
+  EXPECT_EQ(tokens[4].type, sc::TokenType::kConcat);
+  EXPECT_EQ(tokens[5].type, sc::TokenType::kEllipsis);
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+TEST(ScriptParser, RejectsSyntaxErrors) {
+  EXPECT_THROW(sc::parse("if x then"), sc::ScriptError);        // missing end
+  EXPECT_THROW(sc::parse("local = 3"), sc::ScriptError);        // missing name
+  EXPECT_THROW(sc::parse("x +"), sc::ScriptError);              // incomplete expr
+  EXPECT_THROW(sc::parse("1 + 2"), sc::ScriptError);            // expr not a statement
+  EXPECT_THROW(sc::parse("for i = 1 do end"), sc::ScriptError); // missing stop
+}
+
+TEST(ScriptParser, AcceptsTheListingShapes) {
+  // Shapes from the paper's Listings 1-3.
+  EXPECT_NO_THROW(sc::parse(R"(
+    function master(txPort, rxPort, fgRate, bgRate)
+      local tDev = device.config(txPort, 1, 2)
+      device.waitForLinks()
+      tDev:getTxQueue(0):setRate(bgRate)
+      mg.launchLua("loadSlave", tDev:getTxQueue(0), 42)
+      mg.waitForSlaves()
+    end
+    function loadSlave(queue, port)
+      local mem = memory.createMemPool(function(buf)
+        buf:getUdpPacket():fill{
+          pktLength = PKT_SIZE,
+          ethSrc = queue,
+          udpDst = port,
+        }
+      end)
+      while dpdk.running() do
+        bufs:alloc(PKT_SIZE)
+        for _, buf in ipairs(bufs) do
+          local pkt = buf:getUdpPacket()
+          pkt.ip.src:set(baseIP + math.random(255) - 1)
+        end
+        bufs:offloadUdpChecksums()
+        local sent = queue:send(bufs)
+      end
+    end
+  )"));
+}
+
+// ---------------------------------------------------------------------------
+// Interpreter semantics
+// ---------------------------------------------------------------------------
+
+TEST(ScriptInterp, ArithmeticAndPrecedence) {
+  EXPECT_EQ(eval_number("result = 2 + 3 * 4"), 14);
+  EXPECT_EQ(eval_number("result = (2 + 3) * 4"), 20);
+  EXPECT_EQ(eval_number("result = 2 ^ 3 ^ 2"), 512);  // right associative
+  EXPECT_EQ(eval_number("result = -2 ^ 2"), -4);      // unary below ^
+  EXPECT_EQ(eval_number("result = 7 % 3"), 1);
+  EXPECT_EQ(eval_number("result = -7 % 3"), 2);  // Lua modulo semantics
+  EXPECT_EQ(eval_number("result = 10 / 4"), 2.5);
+}
+
+TEST(ScriptInterp, ComparisonAndLogic) {
+  EXPECT_EQ(eval("result = 1 < 2 and 2 <= 2 and 3 > 2 and 3 >= 3").as_bool(), true);
+  EXPECT_EQ(eval("result = 1 == 1.0").as_bool(), true);
+  EXPECT_EQ(eval("result = 'a' ~= 'b'").as_bool(), true);
+  // and/or return operands, not booleans.
+  EXPECT_EQ(eval_number("result = false or 5"), 5);
+  EXPECT_EQ(eval_number("result = nil and 3 or 7"), 7);
+  EXPECT_EQ(eval_string("result = 'x' and 'y'"), "y");
+}
+
+TEST(ScriptInterp, StringsAndConcat) {
+  EXPECT_EQ(eval_string("result = 'a' .. 'b' .. 1"), "ab1");
+  EXPECT_EQ(eval_number("result = #'hello'"), 5);
+  EXPECT_EQ(eval_string("result = tostring(42)"), "42");
+  EXPECT_EQ(eval_number("result = tonumber('3.5')"), 3.5);
+  EXPECT_TRUE(eval("result = tonumber('zzz')").is_nil());
+}
+
+TEST(ScriptInterp, LocalScopingAndShadowing) {
+  EXPECT_EQ(eval_number(R"(
+    local x = 1
+    do
+      local x = 2
+    end
+    result = x
+  )"), 1);
+}
+
+TEST(ScriptInterp, GlobalAssignmentFromFunction) {
+  EXPECT_EQ(eval_number(R"(
+    function set()
+      g = 99
+    end
+    set()
+    result = g
+  )"), 99);
+}
+
+TEST(ScriptInterp, WhileAndBreak) {
+  EXPECT_EQ(eval_number(R"(
+    local i = 0
+    while true do
+      i = i + 1
+      if i >= 10 then break end
+    end
+    result = i
+  )"), 10);
+}
+
+TEST(ScriptInterp, RepeatUntil) {
+  EXPECT_EQ(eval_number(R"(
+    local n = 0
+    repeat
+      n = n + 1
+    until n >= 3
+    result = n
+  )"), 3);
+}
+
+TEST(ScriptInterp, NumericForWithStep) {
+  EXPECT_EQ(eval_number(R"(
+    local sum = 0
+    for i = 1, 10 do sum = sum + i end
+    for i = 10, 1, -2 do sum = sum + 1 end
+    result = sum
+  )"), 60);
+}
+
+TEST(ScriptInterp, GenericForOverIpairs) {
+  EXPECT_EQ(eval_number(R"(
+    local t = {10, 20, 30}
+    local sum = 0
+    for i, v in ipairs(t) do sum = sum + i * v end
+    result = sum
+  )"), 10 + 40 + 90);
+}
+
+TEST(ScriptInterp, GenericForOverPairs) {
+  EXPECT_EQ(eval_number(R"(
+    local t = {a = 1, b = 2, c = 3}
+    local sum = 0
+    for k, v in pairs(t) do sum = sum + v end
+    result = sum
+  )"), 6);
+}
+
+TEST(ScriptInterp, FunctionsAndRecursion) {
+  EXPECT_EQ(eval_number(R"(
+    function fib(n)
+      if n < 2 then return n end
+      return fib(n - 1) + fib(n - 2)
+    end
+    result = fib(15)
+  )"), 610);
+}
+
+TEST(ScriptInterp, ClosuresCaptureEnvironment) {
+  EXPECT_EQ(eval_number(R"(
+    local function counter()
+      local n = 0
+      return function()
+        n = n + 1
+        return n
+      end
+    end
+    local c = counter()
+    c()
+    c()
+    result = c()
+  )"), 3);
+}
+
+TEST(ScriptInterp, MultipleReturnValues) {
+  EXPECT_EQ(eval_number(R"(
+    local function two()
+      return 3, 4
+    end
+    local a, b = two()
+    result = a * 10 + b
+  )"), 34);
+}
+
+TEST(ScriptInterp, TablesRecordsAndArrays) {
+  EXPECT_EQ(eval_number(R"(
+    local t = { x = 1, [2] = 20, "first" }
+    t.y = t.x + 10
+    result = t.y + t[2] + #t
+  )"), 11 + 20 + 2);  // t[1]="first", t[2]=20, so #t == 2
+}
+
+TEST(ScriptInterp, NestedTables) {
+  EXPECT_EQ(eval_number(R"(
+    local cfg = { inner = { value = 5 } }
+    cfg.inner.value = cfg.inner.value + 1
+    result = cfg.inner.value
+  )"), 6);
+}
+
+TEST(ScriptInterp, MathLibrary) {
+  EXPECT_EQ(eval_number("result = math.floor(3.7)"), 3);
+  EXPECT_EQ(eval_number("result = math.max(1, 5, 3)"), 5);
+  EXPECT_EQ(eval_number("result = math.min(4, 2)"), 2);
+  // math.random(n) stays in [1, n].
+  EXPECT_EQ(eval("result = (function()\n"
+                 "  for i = 1, 1000 do\n"
+                 "    local r = math.random(255)\n"
+                 "    if r < 1 or r > 255 then return false end\n"
+                 "  end\n"
+                 "  return true\n"
+                 "end)()").as_bool(),
+            true);
+}
+
+TEST(ScriptInterp, StringFormat) {
+  EXPECT_EQ(eval_string("result = string.format('%d pkts at %.2f Mpps', 42, 1.5)"),
+            "42 pkts at 1.50 Mpps");
+  EXPECT_EQ(eval_string("result = string.format('%s=%x', 'id', 255)"), "id=ff");
+}
+
+TEST(ScriptInterp, RuntimeErrorsCarryMessages) {
+  EXPECT_THROW(eval("result = nil + 1"), sc::ScriptError);
+  EXPECT_THROW(eval("local t = nil; result = t.x"), sc::ScriptError);
+  EXPECT_THROW(eval("undefined_function()"), sc::ScriptError);
+  EXPECT_THROW(eval("error('boom')"), sc::ScriptError);
+}
+
+TEST(ScriptInterp, StepLimitStopsRunawayScripts) {
+  sc::Interpreter interp(sc::parse("while true do end"));
+  interp.set_step_limit(10'000);
+  EXPECT_THROW(interp.run(), sc::ScriptError);
+}
+
+TEST(ScriptInterp, AssertPassesAndFails) {
+  EXPECT_NO_THROW(eval("assert(1 == 1, 'fine') result = 1"));
+  EXPECT_THROW(eval("assert(false, 'nope')"), sc::ScriptError);
+}
+
+// ---------------------------------------------------------------------------
+// MoonGen bindings: the paper's scripts end to end
+// ---------------------------------------------------------------------------
+
+TEST(ScriptBindings, QualityOfServiceScriptRunsEndToEnd) {
+  mc::reset_run_state();
+  // A condensed quality-of-service-test.lua (paper Listings 1-3): two load
+  // slaves with different UDP ports, one counter slave, real devices.
+  const std::string script = R"(
+    local PKT_SIZE = 124
+    function master(txPort, rxPort)
+      local tDev = device.config(txPort, 1, 2)
+      local rDev = device.config(rxPort)
+      device.waitForLinks()
+      tDev:connectTo(rDev)
+      tDev:getTxQueue(0):setRate(100)
+      tDev:getTxQueue(1):setRate(50)
+      mg.launchLua("loadSlave", tDev:getTxQueue(0), 42)
+      mg.launchLua("loadSlave", tDev:getTxQueue(1), 43)
+      mg.launchLua("counterSlave", rDev:getRxQueue(0))
+      mg.stopAfter(0.4)
+      mg.waitForSlaves()
+    end
+
+    function loadSlave(queue, port)
+      local mem = memory.createMemPool(function(buf)
+        buf:getUdpPacket():fill{
+          pktLength = PKT_SIZE,
+          ethSrc = queue,
+          ethDst = "10:11:12:13:14:15",
+          ipDst = "192.168.1.1",
+          udpSrc = 1234,
+          udpDst = port,
+        }
+      end)
+      local baseIP = parseIPAddress("10.0.0.1")
+      local bufs = mem:bufArray()
+      local total = 0
+      while dpdk.running() do
+        bufs:alloc(PKT_SIZE)
+        for _, buf in ipairs(bufs) do
+          local pkt = buf:getUdpPacket()
+          pkt.ip.src:set(baseIP + math.random(255) - 1)
+        end
+        bufs:offloadUdpChecksums()
+        total = total + queue:send(bufs)
+      end
+      sent = total
+    end
+
+    function counterSlave(queue)
+      local bufs = memory.bufArray()
+      local counts = {}
+      while dpdk.running() do
+        local rx = queue:recv(bufs)
+        for i = 1, rx do
+          local buf = bufs[i]
+          local port = buf:getUdpPacket().udp:getDstPort()
+          counts[port] = (counts[port] or 0) + 1
+        end
+        bufs:freeAll()
+      end
+      seen42 = counts[42] or 0
+      seen43 = counts[43] or 0
+    end
+  )";
+  sc::ScriptRuntime runtime(script);
+  runtime.run_master({sc::Value(50.0), sc::Value(51.0)});
+  runtime.wait();
+  EXPECT_EQ(runtime.slaves_launched(), 3u);
+  mc::reset_run_state();
+}
+
+TEST(ScriptBindings, PacketCraftingMatchesFill) {
+  mc::reset_run_state();
+  const std::string script = R"(
+    function master()
+      local mem = memory.createMemPool(function(buf)
+        buf:getUdpPacket():fill{
+          pktLength = 100,
+          ethDst = "aa:bb:cc:dd:ee:ff",
+          ipSrc = "10.1.2.3",
+          ipDst = "10.4.5.6",
+          udpSrc = 1111,
+          udpDst = 2222,
+        }
+      end)
+      local bufs = mem:bufArray(4)
+      bufs:alloc(100)
+      local pkt = bufs[1]:getUdpPacket()
+      src_port = pkt.udp:getSrcPort()
+      dst_port = pkt.udp:getDstPort()
+      pkt.ip.src:set(parseIPAddress("172.16.0.9"))
+      src_ip = pkt.ip.src:getString()
+      ttl0 = pkt.ip:getTTL()
+      batch = #bufs
+      bufs:freeAll()
+    end
+  )";
+  sc::ScriptRuntime runtime(script);
+  runtime.run_master();
+  EXPECT_EQ(runtime.master().get_global("src_port").as_number(), 1111);
+  EXPECT_EQ(runtime.master().get_global("dst_port").as_number(), 2222);
+  EXPECT_EQ(runtime.master().get_global("src_ip").as_string(), "172.16.0.9");
+  EXPECT_EQ(runtime.master().get_global("ttl0").as_number(), 64);
+  EXPECT_EQ(runtime.master().get_global("batch").as_number(), 4);
+}
+
+TEST(ScriptBindings, ParseIpAddressMatchesHostOrderArithmetic) {
+  mc::reset_run_state();
+  sc::ScriptRuntime runtime(R"(
+    function master()
+      base = parseIPAddress("10.0.0.1")
+      plus = base + 255
+    end
+  )");
+  runtime.run_master();
+  EXPECT_EQ(runtime.master().get_global("base").as_number(), 0x0a000001);
+  EXPECT_EQ(runtime.master().get_global("plus").as_number(), 0x0a000100);
+}
+
+TEST(ScriptBindings, MissingMasterIsAnError) {
+  sc::ScriptRuntime runtime("x = 1");
+  EXPECT_THROW(runtime.run_master(), sc::ScriptError);
+}
+
+TEST(ScriptBindings, MethodTypeMismatchIsCaught) {
+  mc::reset_run_state();
+  sc::ScriptRuntime runtime(R"(
+    function master()
+      local dev = device.config(10)
+      local q = dev:getTxQueue(0)
+      q:send(dev)  -- wrong argument type
+    end
+  )");
+  EXPECT_THROW(runtime.run_master(), sc::ScriptError);
+}
+
+// ---------------------------------------------------------------------------
+// Extended standard library
+// ---------------------------------------------------------------------------
+
+TEST(ScriptStdlib, StringSubRepLenByte) {
+  EXPECT_EQ(eval_string("result = string.sub('moongen', 1, 4)"), "moon");
+  EXPECT_EQ(eval_string("result = string.sub('moongen', 5)"), "gen");
+  EXPECT_EQ(eval_string("result = string.sub('moongen', -3)"), "gen");
+  EXPECT_EQ(eval_string("result = string.sub('abc', 3, 1)"), "");
+  EXPECT_EQ(eval_string("result = string.rep('ab', 3)"), "ababab");
+  EXPECT_EQ(eval_number("result = string.len('hello')"), 5);
+  EXPECT_EQ(eval_number("result = string.byte('A')"), 65);
+  EXPECT_EQ(eval_number("result = string.byte('AB', 2)"), 66);
+  EXPECT_TRUE(eval("result = string.byte('A', 9)").is_nil());
+}
+
+TEST(ScriptStdlib, TableInsertRemoveConcat) {
+  EXPECT_EQ(eval_string(R"(
+    local t = {}
+    table.insert(t, "a")
+    table.insert(t, "c")
+    table.insert(t, 2, "b")
+    result = table.concat(t, "-")
+  )"), "a-b-c");
+  EXPECT_EQ(eval_number(R"(
+    local t = {1, 2, 3}
+    local removed = table.remove(t)
+    result = removed * 10 + #t
+  )"), 32);
+  EXPECT_EQ(eval_number(R"(
+    local t = {10, 20, 30}
+    table.remove(t, 1)
+    result = t[1] + #t
+  )"), 22);
+}
+
+TEST(ScriptStdlib, TableAsQueueInScript) {
+  EXPECT_EQ(eval_number(R"(
+    local q = {}
+    for i = 1, 5 do table.insert(q, i * i) end
+    local sum = 0
+    while #q > 0 do
+      sum = sum + table.remove(q, 1)
+    end
+    result = sum
+  )"), 1 + 4 + 9 + 16 + 25);
+}

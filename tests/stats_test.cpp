@@ -1,0 +1,188 @@
+// Unit tests for running statistics, histograms and throughput counters.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+
+#include "stats/counters.hpp"
+#include "stats/histogram.hpp"
+#include "stats/running_stats.hpp"
+
+namespace st = moongen::stats;
+
+// ---------------------------------------------------------------------------
+// RunningStats
+// ---------------------------------------------------------------------------
+
+TEST(RunningStats, MeanAndStddevMatchClosedForm) {
+  st::RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample stddev of this classic dataset: sqrt(32/7).
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance) {
+  st::RunningStats s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, EmptyIsSafe) {
+  st::RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, NumericallyStableForLargeOffsets) {
+  st::RunningStats s;
+  for (int i = 0; i < 1000; ++i) s.add(1e12 + (i % 2 ? 1.0 : -1.0));
+  EXPECT_NEAR(s.mean(), 1e12, 1.0);
+  EXPECT_NEAR(s.stddev(), 1.0005, 0.01);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, BinningAndTotal) {
+  st::Histogram h(64, 1024);
+  h.add(0);
+  h.add(63);   // same bin as 0
+  h.add(64);   // next bin
+  h.add(2000); // overflow
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bin(0), 2u);
+  EXPECT_EQ(h.bin(1), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(Histogram, PercentileAndMedian) {
+  st::Histogram h(1, 1000);
+  for (std::uint64_t v = 1; v <= 100; ++v) h.add(v);
+  EXPECT_EQ(h.median(), 50u);
+  EXPECT_EQ(h.percentile(25), 25u);
+  EXPECT_EQ(h.percentile(75), 75u);
+  EXPECT_EQ(h.percentile(0), 1u);
+  EXPECT_EQ(h.percentile(100), 100u);
+}
+
+TEST(Histogram, FractionBetweenIsBinResolved) {
+  st::Histogram h(64, 4096);
+  for (int i = 0; i < 50; ++i) h.add(128);  // bin [128,192)
+  for (int i = 0; i < 50; ++i) h.add(512);  // bin [512,576)
+  EXPECT_DOUBLE_EQ(h.fraction_between(128, 191), 0.5);
+  EXPECT_DOUBLE_EQ(h.fraction_between(0, 4095), 1.0);
+  EXPECT_DOUBLE_EQ(h.fraction_at(150), 0.5);
+  EXPECT_DOUBLE_EQ(h.fraction_at(1024), 0.0);
+}
+
+TEST(Histogram, MergeAccumulates) {
+  st::Histogram a(10, 100);
+  st::Histogram b(10, 100);
+  a.add(5);
+  b.add(5);
+  b.add(95);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 3u);
+  EXPECT_EQ(a.bin(0), 2u);
+}
+
+TEST(Histogram, RejectsZeroBinWidth) {
+  EXPECT_THROW(st::Histogram(0, 100), std::invalid_argument);
+}
+
+TEST(Histogram, PrintSkipsEmptyBins) {
+  st::Histogram h(64, 1024);
+  h.add(100);
+  std::ostringstream os;
+  h.print(os);
+  EXPECT_NE(os.str().find("64"), std::string::npos);
+  EXPECT_EQ(os.str().find("128 "), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Counters (driven by a fake time source)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct FakeTime {
+  std::uint64_t now = 0;
+  st::TimeSource source() {
+    return [this] { return now; };
+  }
+};
+
+}  // namespace
+
+TEST(Counters, ManualTxCounterAggregatesIntervals) {
+  FakeTime t;
+  std::ostringstream os;
+  st::ManualTxCounter ctr("tx", st::Format::kPlain, t.source(), &os);
+  // 1.0 Mpps for 3 seconds: 100k packets every 100 ms.
+  for (int step = 0; step < 30; ++step) {
+    ctr.update_with_size(100'000, 60);
+    t.now += 100'000'000;  // 100 ms
+  }
+  ctr.finalize();
+  EXPECT_EQ(ctr.total_packets(), 3'000'000u);
+  EXPECT_EQ(ctr.total_bytes(), 3'000'000u * 60);
+  EXPECT_NEAR(ctr.mpps_stats().mean(), 1.0, 0.01);
+  // Wire rate: (60 + 24) bytes * 8 * 1 Mpps = 672 Mbit/s.
+  EXPECT_NEAR(ctr.mbit_stats().mean(), 672.0, 1.0);
+  EXPECT_NE(os.str().find("TOTAL"), std::string::npos);
+}
+
+TEST(Counters, PktRxCounterCountsIndividualPackets) {
+  FakeTime t;
+  st::PktRxCounter ctr("rx", st::Format::kCsv, t.source(), nullptr);
+  for (int i = 0; i < 100; ++i) {
+    t.now += 1'000'000;
+    ctr.count_packet(124);
+  }
+  ctr.finalize();
+  EXPECT_EQ(ctr.total_packets(), 100u);
+  EXPECT_EQ(ctr.total_bytes(), 12'400u);
+}
+
+TEST(Counters, CsvFormatEmitsCommaSeparated) {
+  FakeTime t;
+  std::ostringstream os;
+  st::ManualTxCounter ctr("flow42", st::Format::kCsv, t.source(), &os);
+  t.now += 2'000'000'000;
+  ctr.update_with_size(1000, 60);
+  ctr.finalize();
+  EXPECT_NE(os.str().find("flow42,"), std::string::npos);
+}
+
+TEST(Counters, FinalizeIsIdempotent) {
+  FakeTime t;
+  std::ostringstream os;
+  st::ManualTxCounter ctr("x", st::Format::kPlain, t.source(), &os);
+  t.now += 1'500'000'000;
+  ctr.update_with_size(10, 60);
+  ctr.finalize();
+  const auto once = os.str();
+  ctr.finalize();
+  EXPECT_EQ(os.str(), once);
+}
+
+TEST(Counters, StddevReflectsRateVariation) {
+  FakeTime t;
+  st::ManualTxCounter ctr("var", st::Format::kPlain, t.source(), nullptr);
+  // Alternate 1 Mpps and 2 Mpps seconds.
+  for (int s = 0; s < 10; ++s) {
+    t.now += 1'000'000'000;
+    ctr.update_with_size(s % 2 == 0 ? 1'000'000 : 2'000'000, 60);
+  }
+  ctr.finalize();
+  EXPECT_GT(ctr.mpps_stats().stddev(), 0.4);
+}
