@@ -10,7 +10,14 @@
 // linear scaling in silicon; (2) feed the measured cycles/packet through
 // the paper's own cycles-budget methodology (Section 5.1/5.6.3) to produce
 // the 1.2 GHz series with the line-rate cap — the actual Figure 2 curve.
+//
+// With `--json FILE` the run additionally dumps a telemetry snapshot
+// (packet counters hammered by all task threads, per-series gauges) in the
+// schema documented in DESIGN.md ("Telemetry"); stdout is unchanged.
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <thread>
 
 #include "bench_util.hpp"
@@ -21,11 +28,14 @@
 #include "membuf/mempool.hpp"
 #include "nic/throughput_model.hpp"
 #include "proto/packet_view.hpp"
+#include "telemetry/exporters.hpp"
+#include "telemetry/registry.hpp"
 
 namespace mc = moongen::core;
 namespace mb = moongen::membuf;
 namespace mp = moongen::proto;
 namespace mn = moongen::nic;
+namespace mt = moongen::telemetry;
 
 namespace {
 
@@ -33,7 +43,8 @@ constexpr std::size_t kPktSize = 60;
 
 /// The Section 5.3 loop body: 8 random 4-byte fields (addresses, ports,
 /// payload) + IP checksum offload + send on two queues alternately.
-std::uint64_t heavy_loop(int dev_a, int dev_b, std::uint64_t packets) {
+std::uint64_t heavy_loop(int dev_a, int dev_b, std::uint64_t packets,
+                         mt::ShardedCounter* tx_packets = nullptr) {
   auto& da = mc::Device::config(dev_a, 1, 1);
   auto& db = mc::Device::config(dev_b, 1, 1);
   da.disconnect();
@@ -61,14 +72,24 @@ std::uint64_t heavy_loop(int dev_a, int dev_b, std::uint64_t packets) {
     bufs.offload_ip_checksums();
     auto& q = (flip ? da : db).get_tx_queue(0);
     flip = !flip;
-    sent += q.send(bufs);
+    const std::uint64_t n = q.send(bufs);
+    sent += n;
+    if (tx_packets != nullptr) tx_packets->add(n);
   }
   return sent;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) json_path = argv[++i];
+  }
+
+  mt::MetricRegistry registry;
+  auto& tx_packets = registry.counter("fig2.tx_packets");
+
   std::printf("Figure 2: Multi-core scaling under high load\n");
   std::printf("(min-size packets, 8 random fields/pkt, 2 x 10 GbE, 1.2 GHz cores)\n\n");
 
@@ -78,24 +99,29 @@ int main() {
   std::printf("measured cost of the Section 5.3 script: %.1f +- %.1f cycles/pkt\n",
               single.mean(), single.stddev());
   std::printf("(paper predicts 229.2 +- 3.9 for its script; 10.3 Mpps at 2.4 GHz -> 233 cyc)\n\n");
+  registry.gauge("fig2.cycles_per_packet").set(single.mean());
 
-  // (1) Real silicon scaling: k threads, each its own devices and pool.
+  // (1) Real silicon scaling: k pinned tasks, each its own devices and pool.
   const unsigned hw_threads = std::thread::hardware_concurrency();
   const int max_threads = static_cast<int>(std::min(hw_threads, 8u));
   std::printf("silicon scaling on this host (%u hardware threads):\n", hw_threads);
   std::printf("  %-7s %12s %14s\n", "cores", "Mpps", "Mpps/core");
   for (int k = 1; k <= max_threads; ++k) {
     constexpr std::uint64_t kPerThread = 2 * 1024 * 1024;
-    std::vector<std::thread> threads;
+    mc::TaskSet tasks;
+    tasks.bind_telemetry(registry, "fig2");
     const auto t0 = std::chrono::steady_clock::now();
     for (int i = 0; i < k; ++i) {
-      threads.emplace_back([i] { heavy_loop(2 + 2 * i, 3 + 2 * i, kPerThread); });
+      tasks.launch("fig2-core", [i, &tx_packets] {
+        heavy_loop(2 + 2 * i, 3 + 2 * i, kPerThread, &tx_packets);
+      });
     }
-    for (auto& t : threads) t.join();
+    tasks.wait();
     const double secs =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
     const double mpps = static_cast<double>(kPerThread) * k / secs / 1e6;
     std::printf("  %-7d %12.2f %14.2f\n", k, mpps, mpps / k);
+    registry.gauge("fig2.silicon.cores_" + std::to_string(k) + ".mpps").set(mpps);
   }
 
   // (2) The Figure 2 series: 1.2 GHz cores against 2 x 10 GbE line rate.
@@ -112,6 +138,8 @@ int main() {
     const auto r = mn::predict_throughput(q);
     std::printf("  %-7d %12.2f %14.2f %12s\n", k, r.total_pps / 1e6, r.total_wire_mbit / 1e3,
                 r.bottleneck == mn::Bottleneck::kCpu ? "CPU" : "line rate");
+    registry.gauge("fig2.model_1p2ghz.cores_" + std::to_string(k) + ".mpps")
+        .set(r.total_pps / 1e6);
   }
   // Same series with the cost calibrated to the paper's LuaJIT script
   // (10.3 Mpps at 2.4 GHz, Section 5.3 -> 233 cycles/pkt): line rate is
@@ -129,7 +157,20 @@ int main() {
     const auto r = mn::predict_throughput(q);
     std::printf("  %-7d %12.2f %14.2f %12s\n", k, r.total_pps / 1e6, r.total_wire_mbit / 1e3,
                 r.bottleneck == mn::Bottleneck::kCpu ? "CPU" : "line rate");
+    registry.gauge("fig2.papercal.cores_" + std::to_string(k) + ".mpps")
+        .set(r.total_pps / 1e6);
   }
   std::printf("\n(paper: linear to the 29.76 Mpps line-rate limit, ~5 Mpps/core at 1.2 GHz)\n");
+
+  if (!json_path.empty()) {
+    const auto ts = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+    if (mt::dump_json_to_file(json_path, registry.snapshot(ts)))
+      std::fprintf(stderr, "telemetry snapshot written to %s\n", json_path.c_str());
+    else
+      std::fprintf(stderr, "failed to write telemetry snapshot to %s\n", json_path.c_str());
+  }
   return 0;
 }

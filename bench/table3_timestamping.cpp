@@ -8,8 +8,11 @@
 //                   k = 2147.2 +- 4.8 ns, vp = 0.69 c
 // Section 6.2: clock sync within +-1 cycle; Section 6.3: worst drift
 // 35 us/s, turned into a 0.0035 % relative error by per-packet resync.
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "core/rate_control.hpp"
@@ -18,12 +21,15 @@
 #include "nic/port.hpp"
 #include "sim/clock_sync.hpp"
 #include "sim_beds.hpp"
+#include "telemetry/exporters.hpp"
+#include "telemetry/registry.hpp"
 #include "wire/cable.hpp"
 #include "wire/link.hpp"
 
 namespace mc = moongen::core;
 namespace mn = moongen::nic;
 namespace ms = moongen::sim;
+namespace mt = moongen::telemetry;
 namespace mw = moongen::wire;
 
 namespace {
@@ -38,7 +44,8 @@ struct CableResult {
 };
 
 CableResult measure_cable(const mn::ChipSpec& chip, const mw::CableSpec& cable,
-                          std::uint64_t samples) {
+                          std::uint64_t samples, mt::MetricRegistry& registry,
+                          const std::string& prefix) {
   ms::EventQueue events;
   mn::Port a(events, chip, 10'000, 42);
   mn::Port b(events, chip, 10'000, 43);
@@ -46,6 +53,8 @@ CableResult measure_cable(const mn::ChipSpec& chip, const mw::CableSpec& cable,
   // the same oscillator, so align the clock phases and sync once.
   b.ptp_clock() = a.ptp_clock();
   mw::Link link(a, b, cable, 44);
+  a.bind_telemetry(registry, prefix + ".tx_port");
+  b.bind_telemetry(registry, prefix + ".rx_port");
 
   mc::TimestamperConfig cfg;
   cfg.sample_interval_ps = 3'300;  // tight loop; prime-ish to vary MAC phase
@@ -53,6 +62,7 @@ CableResult measure_cable(const mn::ChipSpec& chip, const mw::CableSpec& cable,
   cfg.hist_bin_ps = 100;  // sub-quantization bins: report raw values
   cfg.hist_max_ps = 10'000'000;
   mc::Timestamper ts(events, a, 0, b, mc::make_ptp_ethernet_frame(80), cfg);
+  ts.bind_telemetry(registry, prefix);
   ts.start();
   // Each sample takes ~probe wire time + latency + interval.
   events.run_until(static_cast<ms::SimTime>(samples) * 250'000);
@@ -91,13 +101,18 @@ void fit_k_vp(const std::vector<CableResult>& rows, double* k_ns, double* vp_c) 
   *vp_c = 1.0 / slope / 0.299792458;  // (m/ns) / c
 }
 
-void run_chip(const char* name, const mn::ChipSpec& chip,
-              const std::vector<mw::CableSpec>& cables, std::uint64_t samples) {
+void run_chip(const char* name, const char* key, const mn::ChipSpec& chip,
+              const std::vector<mw::CableSpec>& cables, std::uint64_t samples,
+              mt::MetricRegistry& registry) {
   std::printf("\n%s:\n", name);
   std::vector<CableResult> rows;
   for (const auto& cable : cables) {
-    auto r = measure_cable(chip, cable, samples);
+    char prefix[64];
+    std::snprintf(prefix, sizeof(prefix), "table3.%s.cable_%gm", key, cable.length_m);
+    auto r = measure_cable(chip, cable, samples, registry, prefix);
     rows.push_back(r);
+    registry.gauge(std::string(prefix) + ".mean_ns").set(r.mean_ns);
+    registry.gauge(std::string(prefix) + ".median_ns").set(r.median_ns);
     std::printf("  %5.1f m: mean %7.1f ns, median %7.1f ns", r.length_m, r.mean_ns,
                 r.median_ns);
     if (r.value_fractions.size() > 1 && chip.ptp_increment_ps > 6'400) {
@@ -115,11 +130,19 @@ void run_chip(const char* name, const mn::ChipSpec& chip,
   double k_ns = 0, vp_c = 0;
   fit_k_vp(rows, &k_ns, &vp_c);
   std::printf("  fit t = k + l/vp:  k = %.1f ns, vp = %.2f c\n", k_ns, vp_c);
+  registry.gauge(std::string("table3.") + key + ".fit.k_ns").set(k_ns);
+  registry.gauge(std::string("table3.") + key + ".fit.vp_c").set(vp_c);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) json_path = argv[++i];
+  }
+  mt::MetricRegistry registry;
+
   const auto samples =
       static_cast<std::uint64_t>(100'000 * moongen::bench::bench_scale());
   std::printf("Table 3: Timestamping accuracy (loopback cables, %llu samples per cable)\n",
@@ -127,13 +150,14 @@ int main() {
   std::printf("(paper: 82599 fiber 320/352/403.2 ns, k=310.7, vp=0.72c;\n");
   std::printf("        X540 copper 2156.8/2195.2/2387.2 ns, k=2147.2, vp=0.69c)\n");
 
-  run_chip("Intel 82599, 10GBASE-SR fiber (timer increments every 12.8 ns)",
+  run_chip("Intel 82599, 10GBASE-SR fiber (timer increments every 12.8 ns)", "82599",
            mn::intel_82599(),
-           {mw::fiber_om3(2.0), mw::fiber_om3(8.5), mw::fiber_om3(20.0)}, samples);
+           {mw::fiber_om3(2.0), mw::fiber_om3(8.5), mw::fiber_om3(20.0)}, samples, registry);
 
-  run_chip("Intel X540, 10GBASE-T copper (timer increments every 6.4 ns)", mn::intel_x540(),
+  run_chip("Intel X540, 10GBASE-T copper (timer increments every 6.4 ns)", "x540",
+           mn::intel_x540(),
            {mw::cat5e_10gbaset(2.0), mw::cat5e_10gbaset(10.0), mw::cat5e_10gbaset(50.0)},
-           samples);
+           samples, registry);
 
   // --- Section 6.2: clock synchronization ---------------------------------
   std::printf("\nSection 6.2: clock synchronization between independent ports\n");
@@ -175,6 +199,17 @@ int main() {
     std::printf("  with per-packet resync the relative latency error is %.4f %%\n",
                 drift_us_per_s * 1e-6 * 100.0);
     std::printf("  (paper: 0.0035 %%)\n");
+  }
+
+  if (!json_path.empty()) {
+    const auto ts = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+    if (mt::dump_json_to_file(json_path, registry.snapshot(ts)))
+      std::fprintf(stderr, "telemetry snapshot written to %s\n", json_path.c_str());
+    else
+      std::fprintf(stderr, "failed to write telemetry snapshot to %s\n", json_path.c_str());
   }
   return 0;
 }

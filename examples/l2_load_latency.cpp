@@ -11,28 +11,50 @@
 // l2-poisson-load-latency.lua: the Poisson pattern requires the CRC-based
 // software rate control (Section 8.3).
 //
-// Usage: l2_load_latency [rate_mpps] [seconds] [cbr|poisson]
+// With `--json FILE` the telemetry registry (port TX/RX counters, load
+// generator valid/gap split, latency histogram) is sampled every 100 ms of
+// virtual time and the snapshot series is written as JSON (schema in
+// DESIGN.md, "Telemetry"); stdout is unchanged.
+//
+// Usage: l2_load_latency [rate_mpps] [seconds] [cbr|poisson] [--json FILE]
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <functional>
 #include <memory>
+#include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/rate_control.hpp"
 #include "core/timestamper.hpp"
 #include "dut/forwarder.hpp"
 #include "nic/chip.hpp"
+#include "telemetry/exporters.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/sampler.hpp"
 #include "wire/link.hpp"
 
 namespace mc = moongen::core;
 namespace md = moongen::dut;
 namespace mn = moongen::nic;
 namespace ms = moongen::sim;
+namespace mt = moongen::telemetry;
 namespace mw = moongen::wire;
 
 int main(int argc, char** argv) {
-  const double rate_mpps = argc > 1 ? std::atof(argv[1]) : 1.0;
-  const double seconds = argc > 2 ? std::atof(argv[2]) : 1.0;
-  const bool poisson = argc > 3 && std::string_view(argv[3]) == "poisson";
+  std::string json_path;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  const double rate_mpps = positional.size() > 0 ? std::atof(positional[0]) : 1.0;
+  const double seconds = positional.size() > 1 ? std::atof(positional[1]) : 1.0;
+  const bool poisson = positional.size() > 2 && std::string_view(positional[2]) == "poisson";
   std::printf("l2-load-latency: %.2f Mpps %s through an OVS-like DuT, %.1f s\n\n", rate_mpps,
               poisson ? "Poisson" : "CBR", seconds);
 
@@ -46,6 +68,13 @@ int main(int argc, char** argv) {
   mw::Link l2(dut_out, sink, mw::cat5e_10gbaset(2.0), 6);
   md::Forwarder forwarder(events, dut_in, 0, dut_out, 0);
   sink.rx_queue(0).set_store(false);
+
+  mt::MetricRegistry registry;
+  gen_tx.bind_telemetry(registry, "port.gen_tx");
+  dut_in.bind_telemetry(registry, "port.dut_in");
+  dut_out.bind_telemetry(registry, "port.dut_out");
+  sink.bind_telemetry(registry, "port.sink");
+  registry.gauge("load.offered_mpps").set(rate_mpps);
 
   // Background load: UDP packets carrying a PTP payload with a type the
   // timestamp units ignore.
@@ -63,6 +92,7 @@ int main(int argc, char** argv) {
     queue.set_rate_mpps(rate_mpps, 100);
     gen = mc::SimLoadGen::hardware_paced(queue, mc::make_udp_frame(bg));
   }
+  gen->bind_telemetry(registry, "loadgen");
 
   // Timestamping task: flip every sampled packet's PTP type into the
   // stampable range.
@@ -72,9 +102,22 @@ int main(int argc, char** argv) {
   cfg.sample_interval_ps = 100 * ms::kPsPerUs;
   cfg.hist_bin_ps = 50'000;
   mc::Timestamper ts(events, gen_tx, *gen, mc::make_udp_frame(stamped), sink, cfg);
+  ts.bind_telemetry(registry, "timestamper");
   ts.start();
 
-  events.run_until(static_cast<ms::SimTime>(seconds * 1e12));
+  // Sample the registry every 100 ms of *virtual* time: the Sampler's time
+  // source reads the event queue clock (ps -> ns).
+  mt::SamplerConfig sampler_cfg;
+  sampler_cfg.period_ns = 100'000'000;
+  mt::Sampler sampler(registry, [&events] { return events.now() / 1'000; }, sampler_cfg);
+  const auto end_ps = static_cast<ms::SimTime>(seconds * 1e12);
+  std::function<void()> sample_tick = [&] {
+    sampler.poll();
+    if (events.now() < end_ps) events.schedule_in(100 * ms::kPsPerMs, sample_tick);
+  };
+  if (!json_path.empty()) sample_tick();
+
+  events.run_until(end_ps);
   ts.stop();
 
   const auto& h = ts.histogram();
@@ -92,5 +135,17 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(forwarder.interrupts()),
               static_cast<unsigned long long>(forwarder.polls()),
               static_cast<unsigned long long>(dut_in.stats().rx_ring_drops));
+
+  if (!json_path.empty()) {
+    registry.gauge("load.forwarded_mpps")
+        .set(static_cast<double>(forwarder.forwarded()) / seconds / 1e6);
+    registry.gauge("dut.interrupts").set(static_cast<double>(forwarder.interrupts()));
+    registry.gauge("dut.polls").set(static_cast<double>(forwarder.polls()));
+    sampler.sample_now();  // final snapshot incl. the end-of-run gauges
+    if (mt::dump_json_series_to_file(json_path, sampler.series()))
+      std::fprintf(stderr, "telemetry series written to %s\n", json_path.c_str());
+    else
+      std::fprintf(stderr, "failed to write telemetry series to %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -18,6 +18,7 @@
 #include "nic/frame.hpp"
 #include "nic/port.hpp"
 #include "sim/time.hpp"
+#include "telemetry/registry.hpp"
 
 namespace moongen::core {
 
@@ -155,6 +156,10 @@ class SimLoadGen {
   [[nodiscard]] std::uint64_t valid_frames() const { return valid_frames_; }
   [[nodiscard]] std::uint64_t gap_frames() const { return gap_frames_; }
 
+  /// Mirrors the real-packet vs. filler-packet split (Section 8.1) into
+  /// `<prefix>.valid_frames` / `<prefix>.gap_frames` / `<prefix>.carry_bytes`.
+  void bind_telemetry(telemetry::MetricRegistry& registry, const std::string& prefix);
+
   ~SimLoadGen() = default;
 
  private:
@@ -173,6 +178,9 @@ class SimLoadGen {
   std::uint64_t valid_frames_ = 0;
   std::uint64_t gap_frames_ = 0;
   std::uint64_t frame_seq_ = 0;
+  telemetry::ShardedCounter* tm_valid_ = nullptr;
+  telemetry::ShardedCounter* tm_gap_ = nullptr;
+  telemetry::Gauge* tm_carry_ = nullptr;
 };
 
 // ---------------------------------------------------------------------------

@@ -16,6 +16,13 @@ std::atomic<bool>& run_flag() {
   return flag;
 }
 
+// Bumped on every reset_run_state; a stop_after timer armed under an older
+// generation must not fire into the next experiment.
+std::atomic<std::uint64_t>& generation() {
+  static std::atomic<std::uint64_t> gen{0};
+  return gen;
+}
+
 void pin_to_core(int core) {
 #ifdef __linux__
   const unsigned hw = std::thread::hardware_concurrency();
@@ -35,20 +42,41 @@ bool running() { return run_flag().load(std::memory_order_relaxed); }
 
 void request_stop() { run_flag().store(false, std::memory_order_relaxed); }
 
-void reset_run_state() { run_flag().store(true, std::memory_order_relaxed); }
+void reset_run_state() {
+  generation().fetch_add(1, std::memory_order_relaxed);
+  run_flag().store(true, std::memory_order_relaxed);
+}
+
+std::uint64_t run_generation() { return generation().load(std::memory_order_relaxed); }
 
 void stop_after(double seconds) {
-  std::thread([seconds] {
+  const std::uint64_t armed_gen = run_generation();
+  std::thread([seconds, armed_gen] {
     std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
-    request_stop();
+    if (run_generation() == armed_gen) request_stop();
   }).detach();
+}
+
+void TaskSet::bind_telemetry(telemetry::MetricRegistry& registry, const std::string& prefix) {
+  if (tm_launched_ != nullptr) return;  // already bound
+  tm_launched_ = &registry.counter(prefix + ".tasks_launched");
+  tm_finished_ = &registry.counter(prefix + ".tasks_finished");
+  tm_active_ = &registry.gauge(prefix + ".tasks_active");
 }
 
 void TaskSet::launch_impl(std::string name, std::function<void()> body) {
   const int core = next_core_++;
-  threads_.emplace_back([core, name = std::move(name), body = std::move(body)] {
+  if (tm_launched_ != nullptr) {
+    tm_launched_->add(1);
+    tm_active_->set(static_cast<double>(tm_launched_->value() - tm_finished_->value()));
+  }
+  threads_.emplace_back([this, core, name = std::move(name), body = std::move(body)] {
     pin_to_core(core);
     body();
+    if (tm_finished_ != nullptr) {
+      tm_finished_->add(1);
+      tm_active_->set(static_cast<double>(tm_launched_->value() - tm_finished_->value()));
+    }
   });
 }
 

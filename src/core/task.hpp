@@ -19,6 +19,8 @@
 #include <utility>
 #include <vector>
 
+#include "telemetry/registry.hpp"
+
 namespace moongen::core {
 
 /// Equivalent of `dpdk.running()`: transmit/receive loops poll this.
@@ -27,12 +29,19 @@ bool running();
 /// Asks all tasks to wind down (mirrors MoonGen's SIGINT handling).
 void request_stop();
 
-/// Re-arms the run flag (between experiments in one process).
+/// Re-arms the run flag (between experiments in one process) and
+/// invalidates any timers armed by earlier stop_after calls.
 void reset_run_state();
 
 /// Requests stop after `seconds` of wall-clock time, from a helper thread.
-/// Returns immediately.
+/// Returns immediately. The timer is generation-counted: if
+/// reset_run_state() runs before it fires, the stale timer is a no-op
+/// instead of stopping the next experiment.
 void stop_after(double seconds);
+
+/// Generation of the run state; bumped by reset_run_state. Exposed for
+/// tests of the stop_after invalidation contract.
+std::uint64_t run_generation();
 
 class TaskSet {
  public:
@@ -57,11 +66,19 @@ class TaskSet {
 
   [[nodiscard]] std::size_t task_count() const { return threads_.size(); }
 
+  /// Counts task lifecycle events in `registry`: `<prefix>.tasks_launched`
+  /// and `<prefix>.tasks_finished` plus a `<prefix>.tasks_active` gauge.
+  /// Bind before launching; the registry must outlive the task set.
+  void bind_telemetry(telemetry::MetricRegistry& registry, const std::string& prefix);
+
  private:
   void launch_impl(std::string name, std::function<void()> body);
 
   std::vector<std::thread> threads_;
   int next_core_ = 0;
+  telemetry::ShardedCounter* tm_launched_ = nullptr;
+  telemetry::ShardedCounter* tm_finished_ = nullptr;
+  telemetry::Gauge* tm_active_ = nullptr;
 };
 
 /// Bounded MPMC pipe for inter-task communication (MoonGen's `pipe`).

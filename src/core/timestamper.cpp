@@ -32,6 +32,18 @@ void Timestamper::init(nic::Port& rx_port) {
   rx_port.set_rx_stamp_callback([this](std::uint64_t) { on_rx_stamp(); });
 }
 
+void Timestamper::bind_telemetry(telemetry::MetricRegistry& registry,
+                                 const std::string& prefix) {
+  if (tm_latency_ns_ != nullptr) return;  // already bound; re-seeding would double-count
+  telemetry::HistogramConfig hist_cfg;
+  hist_cfg.max_value = 100'000'000;  // 100 ms in ns: covers buffer-bloated DuTs
+  tm_latency_ns_ = &registry.histogram(prefix + ".latency_ns", hist_cfg);
+  tm_samples_ = &registry.counter(prefix + ".samples");
+  tm_lost_ = &registry.counter(prefix + ".lost");
+  tm_samples_->add(samples_);
+  tm_lost_->add(lost_);
+}
+
 void Timestamper::start() {
   running_ = true;
   events_.schedule_in(0, [this] { take_sample(); });
@@ -62,6 +74,7 @@ void Timestamper::take_sample() {
   events_.schedule_in(cfg_.timeout_ps, [this, token] {
     if (armed_ && token == arm_token_) {
       ++lost_;
+      if (tm_lost_ != nullptr) tm_lost_->add(1);
       finish_sample(false);
     }
   });
@@ -85,6 +98,10 @@ void Timestamper::on_rx_stamp() {
     hist_.add(static_cast<std::uint64_t>(delta));
     latency_ns_.add(static_cast<double>(delta) / 1e3);
     ++samples_;
+    if (tm_latency_ns_ != nullptr) {
+      tm_latency_ns_->record(static_cast<std::uint64_t>(delta) / 1'000);  // ps -> ns
+      tm_samples_->add(1);
+    }
     finish_sample(true);
   } else {
     finish_sample(false);

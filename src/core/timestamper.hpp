@@ -22,6 +22,7 @@
 #include "sim/event_queue.hpp"
 #include "stats/histogram.hpp"
 #include "stats/running_stats.hpp"
+#include "telemetry/registry.hpp"
 
 namespace moongen::core {
 
@@ -63,6 +64,12 @@ class Timestamper {
   [[nodiscard]] std::uint64_t samples() const { return samples_; }
   [[nodiscard]] std::uint64_t lost() const { return lost_; }
 
+  /// Feeds every latency sample (in ns) into `<prefix>.latency_ns` of
+  /// `registry` and counts samples/lost packets in `<prefix>.samples` /
+  /// `<prefix>.lost`. The log-linear registry histogram spans ns..ms, so
+  /// one geometry fits both loopback cables and overloaded-DuT latencies.
+  void bind_telemetry(telemetry::MetricRegistry& registry, const std::string& prefix);
+
  private:
   void init(nic::Port& rx_port);
   void take_sample();
@@ -86,6 +93,9 @@ class Timestamper {
   stats::RunningStats latency_ns_;
   std::uint64_t samples_ = 0;
   std::uint64_t lost_ = 0;
+  telemetry::ShardedHistogram* tm_latency_ns_ = nullptr;
+  telemetry::ShardedCounter* tm_samples_ = nullptr;
+  telemetry::ShardedCounter* tm_lost_ = nullptr;
 };
 
 }  // namespace moongen::core

@@ -172,6 +172,10 @@ void Port::start_transmission(TxQueueModel& q) {
   events_.schedule_at(busy_until, [this, frame = std::move(frame), t0] {
     stats_.tx_packets += 1;
     stats_.tx_bytes += frame.wire_bytes();
+    if (tm_.tx_packets != nullptr) {
+      tm_.tx_packets->add(1);
+      tm_.tx_bytes->add(frame.wire_bytes());
+    }
     serializer_busy_ = false;
     if (sink_ != nullptr) sink_->on_frame(frame, t0);
     try_transmit();
@@ -243,10 +247,15 @@ void Port::deliver_frame(const Frame& frame, sim::SimTime first_bit_ps) {
     // queue, only the error counter moves (Section 8.1).
     if (!frame.fcs_valid || frame.frame_size() < proto::kMinFrameSize) {
       stats_.crc_errors += 1;
+      if (tm_.crc_errors != nullptr) tm_.crc_errors->add(1);
       return;
     }
     stats_.rx_packets += 1;
     stats_.rx_bytes += frame.frame_size();
+    if (tm_.rx_packets != nullptr) {
+      tm_.rx_packets->add(1);
+      tm_.rx_bytes->add(frame.frame_size());
+    }
 
     std::uint64_t hw_ts = 0;
     if (spec_.rx_timestamp_all) {
@@ -276,6 +285,7 @@ void Port::deliver_frame(const Frame& frame, sim::SimTime first_bit_ps) {
     if (q.store_) {
       if (q.ring_.size() >= q.ring_capacity_) {
         stats_.rx_ring_drops += 1;
+        if (tm_.rx_ring_drops != nullptr) tm_.rx_ring_drops->add(1);
         return;
       }
       q.ring_.push_back(entry);
@@ -283,6 +293,24 @@ void Port::deliver_frame(const Frame& frame, sim::SimTime first_bit_ps) {
     // Invoke with a copy: the callback may drain the ring (polling DuT).
     if (q.callback_) q.callback_(entry);
   });
+}
+
+void Port::bind_telemetry(telemetry::MetricRegistry& registry, const std::string& prefix) {
+  if (tm_.tx_packets != nullptr) return;  // already bound; re-seeding would double-count
+  tm_.tx_packets = &registry.counter(prefix + ".tx_packets");
+  tm_.tx_bytes = &registry.counter(prefix + ".tx_bytes");
+  tm_.rx_packets = &registry.counter(prefix + ".rx_packets");
+  tm_.rx_bytes = &registry.counter(prefix + ".rx_bytes");
+  tm_.crc_errors = &registry.counter(prefix + ".crc_errors");
+  tm_.rx_ring_drops = &registry.counter(prefix + ".rx_ring_drops");
+  // Re-binding mid-run would double-count history; seed the counters with
+  // the current totals so registry and PortStats agree from this point on.
+  tm_.tx_packets->add(stats_.tx_packets);
+  tm_.tx_bytes->add(stats_.tx_bytes);
+  tm_.rx_packets->add(stats_.rx_packets);
+  tm_.rx_bytes->add(stats_.rx_bytes);
+  tm_.crc_errors->add(stats_.crc_errors);
+  tm_.rx_ring_drops->add(stats_.rx_ring_drops);
 }
 
 void Port::enable_rss(int queues, RssHashType type) {

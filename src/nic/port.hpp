@@ -35,6 +35,7 @@
 #include "nic/rss.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/ptp_clock.hpp"
+#include "telemetry/registry.hpp"
 
 namespace moongen::nic {
 
@@ -68,6 +69,16 @@ struct PortStats {
   std::uint64_t crc_errors = 0;
   /// Frames dropped because the RX ring was full.
   std::uint64_t rx_ring_drops = 0;
+};
+
+/// Registry counters mirroring PortStats, filled by bind_telemetry.
+struct PortTelemetry {
+  telemetry::ShardedCounter* tx_packets = nullptr;
+  telemetry::ShardedCounter* tx_bytes = nullptr;
+  telemetry::ShardedCounter* rx_packets = nullptr;
+  telemetry::ShardedCounter* rx_bytes = nullptr;
+  telemetry::ShardedCounter* crc_errors = nullptr;
+  telemetry::ShardedCounter* rx_ring_drops = nullptr;
 };
 
 /// One hardware transmit queue.
@@ -189,6 +200,11 @@ class Port {
   void deliver_frame(const Frame& frame, sim::SimTime first_bit_ps);
 
   [[nodiscard]] const PortStats& stats() const { return stats_; }
+
+  /// Mirrors the TX/RX/drop/CRC-error paths into `<prefix>.tx_packets` etc.
+  /// of `registry`. The registry must outlive the port.
+  void bind_telemetry(telemetry::MetricRegistry& registry, const std::string& prefix);
+
   [[nodiscard]] sim::PtpClock& ptp_clock() { return ptp_clock_; }
 
   // --- PTP timestamp registers (single-slot, read-to-clear; Section 6) -----
@@ -251,6 +267,7 @@ class Port {
   int rr_next_ = 0;  // round-robin arbiter position
 
   PortStats stats_;
+  PortTelemetry tm_;
   sim::PtpClock ptp_clock_;
   PtpFilterConfig ptp_filter_;
   std::optional<std::uint64_t> tx_stamp_register_;

@@ -36,7 +36,11 @@ RateCounter::RateCounter(std::string name, Format format, TimeSource time_source
       interval_start_ns_(start_ns_) {}
 
 void RateCounter::record(std::uint64_t packets, std::uint64_t bytes) {
-  const std::uint64_t now = time_();
+  std::uint64_t now = time_();
+  // A virtual time source may jump backwards (e.g. a reset simulation
+  // clock); clamping avoids the unsigned underflow below, which would spin
+  // closing ~2^64/1e9 empty intervals.
+  if (now < interval_start_ns_) now = interval_start_ns_;
   while (now - interval_start_ns_ >= kIntervalNs) close_interval(interval_start_ns_ + kIntervalNs);
   interval_packets_ += packets;
   interval_bytes_ += bytes;

@@ -1,8 +1,8 @@
 #include "stats/histogram.hpp"
 
-#include <cassert>
 #include <iomanip>
 #include <stdexcept>
+#include <string>
 
 namespace moongen::stats {
 
@@ -59,7 +59,14 @@ void Histogram::print(std::ostream& os, double min_fraction) const {
 }
 
 void Histogram::merge(const Histogram& other) {
-  assert(other.bin_width_ == bin_width_ && other.bins_.size() == bins_.size());
+  // Merging different geometries would silently misfile counts: bin i of
+  // `other` covers a different value range than bin i here.
+  if (other.bin_width_ != bin_width_ || other.bins_.size() != bins_.size())
+    throw std::invalid_argument("Histogram::merge: geometry mismatch (bin_width " +
+                                std::to_string(other.bin_width_) + " vs " +
+                                std::to_string(bin_width_) + ", bins " +
+                                std::to_string(other.bins_.size()) + " vs " +
+                                std::to_string(bins_.size()) + ")");
   for (std::size_t i = 0; i < bins_.size(); ++i) bins_[i] += other.bins_[i];
   overflow_ += other.overflow_;
   total_ += other.total_;

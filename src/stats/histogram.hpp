@@ -43,7 +43,8 @@ class Histogram {
   /// Prints "lower_edge count fraction%" rows for all non-empty bins.
   void print(std::ostream& os, double min_fraction = 0.0) const;
 
-  /// Merges another histogram with identical geometry.
+  /// Merges another histogram; throws std::invalid_argument if `other` has
+  /// a different bin width or bin count.
   void merge(const Histogram& other);
 
  private:

@@ -1,0 +1,180 @@
+#include "telemetry/exporters.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace moongen::telemetry {
+
+namespace {
+
+constexpr double kQuantiles[] = {25.0, 50.0, 75.0, 90.0, 99.0, 99.9};
+constexpr const char* kQuantileKeys[] = {"p25", "p50", "p75", "p90", "p99", "p999"};
+
+void json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void json_number(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  os << buf;
+}
+
+void json_histogram(std::ostream& os, const LogLinearHistogram& h) {
+  os << "{\"count\":" << h.total() << ",\"overflow\":" << h.overflow() << ",\"min\":" << h.min()
+     << ",\"max\":" << h.max() << ",\"mean\":";
+  json_number(os, h.mean());
+  for (std::size_t q = 0; q < std::size(kQuantiles); ++q)
+    os << ",\"" << kQuantileKeys[q] << "\":" << h.percentile(kQuantiles[q]);
+  os << ",\"buckets\":[";
+  bool first = true;
+  for (std::size_t i = 0; i < h.bucket_count(); ++i) {
+    if (h.bucket(i) == 0) continue;
+    if (!first) os << ',';
+    first = false;
+    os << "{\"lower\":" << h.bucket_lower(i) << ",\"width\":" << h.bucket_width(i)
+       << ",\"count\":" << h.bucket(i) << '}';
+  }
+  os << "]}";
+}
+
+std::string sanitize_prometheus(const std::string& prefix, const std::string& name) {
+  std::string out = prefix;
+  for (const char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void csv_row(std::ostream& os, std::uint64_t ts, const std::string& metric, const char* type,
+             const char* field, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  os << ts << ',' << metric << ',' << type << ',' << field << ',' << buf << '\n';
+}
+
+}  // namespace
+
+void write_json(std::ostream& os, const Snapshot& snap) {
+  os << "{\"schema\":\"moongen-telemetry-v1\",\"timestamp_ns\":" << snap.timestamp_ns;
+  os << ",\"counters\":{";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    if (i > 0) os << ',';
+    json_string(os, snap.counters[i].name);
+    os << ':' << snap.counters[i].value;
+  }
+  os << "},\"gauges\":{";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    if (i > 0) os << ',';
+    json_string(os, snap.gauges[i].name);
+    os << ':';
+    json_number(os, snap.gauges[i].value);
+  }
+  os << "},\"histograms\":{";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    if (i > 0) os << ',';
+    json_string(os, snap.histograms[i].name);
+    os << ':';
+    json_histogram(os, snap.histograms[i].hist);
+  }
+  os << "}}";
+}
+
+void write_json_series(std::ostream& os, const std::vector<Snapshot>& series) {
+  os << "{\"schema\":\"moongen-telemetry-series-v1\",\"snapshots\":[";
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (i > 0) os << ',';
+    write_json(os, series[i]);
+  }
+  os << "]}";
+}
+
+void write_csv(std::ostream& os, const Snapshot& snap, bool header) {
+  if (header) os << "timestamp_ns,metric,type,field,value\n";
+  for (const auto& c : snap.counters)
+    csv_row(os, snap.timestamp_ns, c.name, "counter", "value", static_cast<double>(c.value));
+  for (const auto& g : snap.gauges) csv_row(os, snap.timestamp_ns, g.name, "gauge", "value", g.value);
+  for (const auto& h : snap.histograms) {
+    csv_row(os, snap.timestamp_ns, h.name, "histogram", "count",
+            static_cast<double>(h.hist.total()));
+    csv_row(os, snap.timestamp_ns, h.name, "histogram", "min", static_cast<double>(h.hist.min()));
+    csv_row(os, snap.timestamp_ns, h.name, "histogram", "max", static_cast<double>(h.hist.max()));
+    csv_row(os, snap.timestamp_ns, h.name, "histogram", "mean", h.hist.mean());
+    for (std::size_t q = 0; q < std::size(kQuantiles); ++q)
+      csv_row(os, snap.timestamp_ns, h.name, "histogram", kQuantileKeys[q],
+              static_cast<double>(h.hist.percentile(kQuantiles[q])));
+  }
+}
+
+void write_csv_series(std::ostream& os, const std::vector<Snapshot>& series) {
+  for (std::size_t i = 0; i < series.size(); ++i) write_csv(os, series[i], i == 0);
+}
+
+void write_prometheus(std::ostream& os, const Snapshot& snap, const std::string& prefix) {
+  for (const auto& c : snap.counters) {
+    const auto name = sanitize_prometheus(prefix, c.name);
+    os << "# TYPE " << name << " counter\n" << name << ' ' << c.value << '\n';
+  }
+  for (const auto& g : snap.gauges) {
+    const auto name = sanitize_prometheus(prefix, g.name);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.12g", g.value);
+    os << "# TYPE " << name << " gauge\n" << name << ' ' << buf << '\n';
+  }
+  for (const auto& h : snap.histograms) {
+    const auto name = sanitize_prometheus(prefix, h.name);
+    os << "# TYPE " << name << " summary\n";
+    for (std::size_t q = 0; q < std::size(kQuantiles); ++q) {
+      char qbuf[16];
+      std::snprintf(qbuf, sizeof(qbuf), "%g", kQuantiles[q] / 100.0);
+      os << name << "{quantile=\"" << qbuf << "\"} " << h.hist.percentile(kQuantiles[q]) << '\n';
+    }
+    char sum[32];
+    std::snprintf(sum, sizeof(sum), "%.12g", h.hist.sum());
+    os << name << "_sum " << sum << '\n';
+    os << name << "_count " << h.hist.total() << '\n';
+  }
+}
+
+bool dump_json_to_file(const std::string& path, const Snapshot& snap) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_json(os, snap);
+  os << '\n';
+  return static_cast<bool>(os);
+}
+
+bool dump_json_series_to_file(const std::string& path, const std::vector<Snapshot>& series) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_json_series(os, series);
+  os << '\n';
+  return static_cast<bool>(os);
+}
+
+}  // namespace moongen::telemetry

@@ -1,0 +1,45 @@
+// Machine-readable views of registry snapshots.
+//
+// Three formats, matching how the bench/fig* suite and external tooling
+// consume measurements ("Tools for Network Traffic Generation" makes
+// cross-tool comparison depend on structured output):
+//  * JSON: full fidelity incl. histogram buckets — the `--json` path of the
+//    benches/examples; schema documented in DESIGN.md ("Telemetry").
+//  * CSV: flat `timestamp_ns,metric,type,field,value` rows for spreadsheets
+//    and quick plotting.
+//  * Prometheus text exposition: counters/gauges plus summary quantiles,
+//    for scraping a long-running generator.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "telemetry/registry.hpp"
+
+namespace moongen::telemetry {
+
+/// One snapshot as a JSON object (schema "moongen-telemetry-v1").
+void write_json(std::ostream& os, const Snapshot& snapshot);
+
+/// A snapshot series as {"schema": "moongen-telemetry-series-v1",
+/// "snapshots": [...]}.
+void write_json_series(std::ostream& os, const std::vector<Snapshot>& series);
+
+/// CSV rows for one snapshot; `header` prepends the column line.
+void write_csv(std::ostream& os, const Snapshot& snapshot, bool header = true);
+
+/// CSV rows for a series under a single header.
+void write_csv_series(std::ostream& os, const std::vector<Snapshot>& series);
+
+/// Prometheus text exposition format. Metric names are sanitized to
+/// [a-zA-Z0-9_:] and prefixed with `prefix`.
+void write_prometheus(std::ostream& os, const Snapshot& snapshot,
+                      const std::string& prefix = "moongen_");
+
+/// Convenience: open `path`, write one JSON snapshot, return false on I/O
+/// failure instead of throwing (benches report and move on).
+bool dump_json_to_file(const std::string& path, const Snapshot& snapshot);
+bool dump_json_series_to_file(const std::string& path, const std::vector<Snapshot>& series);
+
+}  // namespace moongen::telemetry

@@ -1,0 +1,52 @@
+#include "telemetry/registry.hpp"
+
+#include <stdexcept>
+
+namespace moongen::telemetry {
+
+ShardedCounter& MetricRegistry::counter(const std::string& name) {
+  std::scoped_lock lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<ShardedCounter>();
+  return *slot;
+}
+
+Gauge& MetricRegistry::gauge(const std::string& name) {
+  std::scoped_lock lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+ShardedHistogram& MetricRegistry::histogram(const std::string& name, HistogramConfig config) {
+  std::scoped_lock lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<ShardedHistogram>(config);
+  } else if (slot->config().sub_bucket_bits != config.sub_bucket_bits ||
+             slot->config().max_value != config.max_value) {
+    throw std::invalid_argument("MetricRegistry: histogram '" + name +
+                                "' re-registered with different geometry");
+  }
+  return *slot;
+}
+
+Snapshot MetricRegistry::snapshot(std::uint64_t timestamp_ns) const {
+  std::scoped_lock lock(mutex_);
+  Snapshot snap;
+  snap.timestamp_ns = timestamp_ns;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) snap.counters.push_back({name, c->value()});
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) snap.gauges.push_back({name, g->value()});
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) snap.histograms.push_back({name, h->merged()});
+  return snap;
+}
+
+std::size_t MetricRegistry::metric_count() const {
+  std::scoped_lock lock(mutex_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+}  // namespace moongen::telemetry

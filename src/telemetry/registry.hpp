@@ -1,0 +1,74 @@
+// MetricRegistry: the process-wide namespace of telemetry instruments.
+//
+// Subsystems register named counters / gauges / histograms once (at wiring
+// time, e.g. Port::bind_telemetry) and then write through the returned
+// reference from their hot loops without ever touching the registry again:
+// registration takes a mutex, updates are lock-free (ShardedCounter) or
+// shard-local (ShardedHistogram). `snapshot()` materializes a consistent,
+// name-sorted view for the Sampler and the exporters.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "telemetry/log_linear_histogram.hpp"
+#include "telemetry/sharded_counter.hpp"
+
+namespace moongen::telemetry {
+
+struct CounterSample {
+  std::string name;
+  std::uint64_t value;
+};
+
+struct GaugeSample {
+  std::string name;
+  double value;
+};
+
+struct HistogramSample {
+  std::string name;
+  LogLinearHistogram hist;
+};
+
+/// Point-in-time view of every metric in a registry, name-sorted.
+struct Snapshot {
+  std::uint64_t timestamp_ns = 0;
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+};
+
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// Returns the counter named `name`, creating it on first use. The
+  /// reference stays valid for the registry's lifetime.
+  ShardedCounter& counter(const std::string& name);
+
+  Gauge& gauge(const std::string& name);
+
+  /// Returns the histogram named `name`; `config` applies on first creation
+  /// and throws std::invalid_argument if a later caller asks for the same
+  /// name with a different geometry (merging such shards would corrupt).
+  ShardedHistogram& histogram(const std::string& name, HistogramConfig config = {});
+
+  [[nodiscard]] Snapshot snapshot(std::uint64_t timestamp_ns = 0) const;
+
+  [[nodiscard]] std::size_t metric_count() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<ShardedCounter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<ShardedHistogram>> histograms_;
+};
+
+}  // namespace moongen::telemetry

@@ -1,0 +1,59 @@
+#include "telemetry/sampler.hpp"
+
+#include <chrono>
+#include <utility>
+
+namespace moongen::telemetry {
+
+Sampler::Sampler(const MetricRegistry& registry, stats::TimeSource time_source,
+                 SamplerConfig config)
+    : registry_(registry), time_(std::move(time_source)), cfg_(config), next_due_ns_(time_()) {}
+
+Sampler::~Sampler() { stop(); }
+
+bool Sampler::poll() {
+  const std::uint64_t now = time_();
+  if (now < next_due_ns_) return false;
+  // One snapshot per poll even after a long gap: the ring records what was
+  // observed, not a fabricated backfill.
+  next_due_ns_ = now + cfg_.period_ns;
+  push(registry_.snapshot(now));
+  return true;
+}
+
+void Sampler::sample_now() { push(registry_.snapshot(time_())); }
+
+void Sampler::start() {
+  if (thread_running_.exchange(true)) return;
+  thread_ = std::thread([this] {
+    while (thread_running_.load(std::memory_order_relaxed)) {
+      poll();
+      // Sleep a fraction of the period so stop() stays responsive without
+      // missing a due snapshot by much.
+      std::this_thread::sleep_for(std::chrono::nanoseconds(cfg_.period_ns / 10 + 1));
+    }
+  });
+}
+
+void Sampler::stop() {
+  if (!thread_running_.exchange(false)) return;
+  if (thread_.joinable()) thread_.join();
+}
+
+void Sampler::push(Snapshot snap) {
+  std::scoped_lock lock(mutex_);
+  ring_.push_back(std::move(snap));
+  while (ring_.size() > cfg_.capacity) ring_.pop_front();
+}
+
+std::vector<Snapshot> Sampler::series() const {
+  std::scoped_lock lock(mutex_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::size_t Sampler::size() const {
+  std::scoped_lock lock(mutex_);
+  return ring_.size();
+}
+
+}  // namespace moongen::telemetry

@@ -1,0 +1,68 @@
+// Periodic registry snapshots into a bounded time-series ring.
+//
+// Works in both of the repo's time domains (DESIGN.md Section 1): driven by
+// a wall-clock TimeSource from a background thread for the real-time
+// benchmarks, or polled from a scheduled event against virtual time in the
+// simulation (see examples/l2_load_latency). The ring keeps the most recent
+// `capacity` snapshots; exporters turn the series into JSON/CSV.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "stats/counters.hpp"
+#include "telemetry/registry.hpp"
+
+namespace moongen::telemetry {
+
+struct SamplerConfig {
+  std::uint64_t period_ns = 1'000'000'000;  // 1 s, like the rate counters
+  std::size_t capacity = 512;               // ring bound: oldest snapshots drop
+};
+
+class Sampler {
+ public:
+  Sampler(const MetricRegistry& registry, stats::TimeSource time_source,
+          SamplerConfig config = {});
+  ~Sampler();
+
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  /// Takes a snapshot if at least one period elapsed since the last one
+  /// (catching up with a single snapshot after a long gap). Returns true if
+  /// a snapshot was taken. Drive this from a simulation event or any loop.
+  bool poll();
+
+  /// Takes a snapshot unconditionally (e.g. one final sample at shutdown).
+  void sample_now();
+
+  /// Spawns a background thread that polls until stop(). For wall-clock
+  /// time sources only.
+  void start();
+  void stop();
+
+  /// Copy of the ring, oldest first.
+  [[nodiscard]] std::vector<Snapshot> series() const;
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  void push(Snapshot snap);
+
+  const MetricRegistry& registry_;
+  stats::TimeSource time_;
+  SamplerConfig cfg_;
+  std::uint64_t next_due_ns_;
+
+  mutable std::mutex mutex_;
+  std::deque<Snapshot> ring_;
+
+  std::thread thread_;
+  std::atomic<bool> thread_running_{false};
+};
+
+}  // namespace moongen::telemetry

@@ -1,0 +1,32 @@
+#include "telemetry/sharded_counter.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <thread>
+
+namespace moongen::telemetry {
+
+namespace {
+
+std::size_t compute_shard_count() {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  return std::min<std::size_t>(64, std::bit_ceil(static_cast<std::size_t>(hw)));
+}
+
+}  // namespace
+
+std::size_t shard_count() {
+  static const std::size_t n = compute_shard_count();
+  return n;
+}
+
+std::size_t shard_index_of_this_thread() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+ShardedCounter::ShardedCounter()
+    : shards_(std::make_unique<Shard[]>(shard_count())), mask_(shard_count() - 1) {}
+
+}  // namespace moongen::telemetry

@@ -1,0 +1,76 @@
+// Contention-free counters for the TX/RX hot loops.
+//
+// MoonGen pins one task per core (paper Section 3.4); a shared counter
+// serialized by a mutex would put a lock acquisition on every batch of the
+// transmit loop. A ShardedCounter instead gives every thread its own
+// cache-line-padded atomic shard: an increment is one relaxed fetch_add on
+// a line no other core writes, and readers sum the shards on demand. The
+// sum is exact once the writers have quiesced (e.g. after TaskSet::wait)
+// and a monotonic lower bound while they are running.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+
+namespace moongen::telemetry {
+
+// Fixed rather than std::hardware_destructive_interference_size: the value
+// sits in a header shared across TUs and GCC warns that the std constant
+// varies with tuning flags. 64 B lines cover x86 and mainstream ARM.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Index of the calling thread into shard arrays. Assigned once per thread
+/// (round-robin over process lifetime) and shared by all sharded metrics,
+/// so one task hits the same line in every counter it touches.
+std::size_t shard_index_of_this_thread();
+
+/// Number of shards used by all sharded metrics (power of two, >= hardware
+/// concurrency, capped at 64).
+std::size_t shard_count();
+
+class ShardedCounter {
+ public:
+  ShardedCounter();
+  ShardedCounter(const ShardedCounter&) = delete;
+  ShardedCounter& operator=(const ShardedCounter&) = delete;
+
+  /// One relaxed add on the calling thread's own cache line.
+  void add(std::uint64_t n = 1) {
+    shards_[shard_index_of_this_thread() & mask_].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Sum over all shards. Exact when writers are quiescent.
+  [[nodiscard]] std::uint64_t value() const {
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i <= mask_; ++i) sum += shards_[i].v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+  /// Zeroes all shards (not linearizable against concurrent writers).
+  void reset() {
+    for (std::size_t i = 0; i <= mask_; ++i) shards_[i].v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(kCacheLineSize) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+
+  std::unique_ptr<Shard[]> shards_;
+  std::size_t mask_;  // shard count - 1
+};
+
+/// Last-writer-wins scalar (rates, fitted constants, configuration values).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+}  // namespace moongen::telemetry

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <chrono>
 #include <set>
+#include <thread>
 
 #include "core/device.hpp"
 #include "core/field_modifier.hpp"
@@ -147,6 +148,28 @@ TEST(Tasks, StopAfterTerminatesRunLoop) {
   EXPECT_GT(iterations.load(), 0u);
   EXPECT_FALSE(mc::running());
   mc::reset_run_state();
+}
+
+TEST(Tasks, StopAfterFromPreviousRunDoesNotFire) {
+  // Regression: a stop_after armed in one experiment must not terminate the
+  // next one. The detached timer thread captures the run generation and
+  // becomes a no-op once reset_run_state() starts a new run.
+  mc::reset_run_state();
+  mc::stop_after(0.05);
+  mc::reset_run_state();  // new experiment begins before the timer fires
+  ASSERT_TRUE(mc::running());
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  EXPECT_TRUE(mc::running());  // stale timer fired into the void
+  mc::stop_after(0.0);         // a fresh timer still works
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_FALSE(mc::running());
+  mc::reset_run_state();
+}
+
+TEST(Tasks, ResetRunStateAdvancesGeneration) {
+  const auto g0 = mc::run_generation();
+  mc::reset_run_state();
+  EXPECT_GT(mc::run_generation(), g0);
 }
 
 TEST(Tasks, PipePassesMessagesBetweenTasks) {

@@ -95,6 +95,20 @@ TEST(Histogram, MergeAccumulates) {
   EXPECT_EQ(a.bin(0), 2u);
 }
 
+TEST(Histogram, MergeRejectsDifferentBinWidth) {
+  st::Histogram a(10, 100);
+  st::Histogram b(20, 100);
+  b.add(5);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+  EXPECT_EQ(a.total(), 0u);  // a is untouched on failure
+}
+
+TEST(Histogram, MergeRejectsDifferentBinCount) {
+  st::Histogram a(10, 100);
+  st::Histogram b(10, 200);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
 TEST(Histogram, RejectsZeroBinWidth) {
   EXPECT_THROW(st::Histogram(0, 100), std::invalid_argument);
 }
@@ -173,6 +187,54 @@ TEST(Counters, FinalizeIsIdempotent) {
   const auto once = os.str();
   ctr.finalize();
   EXPECT_EQ(os.str(), once);
+}
+
+TEST(Counters, SingleRecordSpanningManyIntervalsClosesThemAll) {
+  FakeTime t;
+  st::ManualTxCounter ctr("gap", st::Format::kPlain, t.source(), nullptr);
+  t.now += 500'000'000;
+  ctr.update_with_size(1'000'000, 60);  // lands in the first second
+  // Nothing happens for 4.5 s, then one more update: the quiet seconds must
+  // be sliced into (empty) intervals, not folded into one long interval.
+  t.now += 4'500'000'000ull;
+  ctr.update_with_size(1'000'000, 60);
+  t.now += 1'000'000'000;  // let finalize close the last interval
+  ctr.finalize();
+  EXPECT_EQ(ctr.total_packets(), 2'000'000u);
+  // Intervals: [0,1) at 1 Mpps, four empty seconds, [5,6) at 1 Mpps.
+  EXPECT_NEAR(ctr.mpps_stats().mean(), (1.0 + 0.0 + 0.0 + 0.0 + 0.0 + 1.0) / 6.0, 0.01);
+}
+
+TEST(Counters, UpdateExactlyOnIntervalBoundary) {
+  FakeTime t;
+  st::ManualTxCounter ctr("edge", st::Format::kPlain, t.source(), nullptr);
+  t.now += 1'000'000'000;  // exactly one interval later
+  ctr.update_with_size(2'000'000, 60);
+  // The boundary-exact update must close the (empty) first interval and
+  // attribute the packets to the second one.
+  t.now += 1'000'000'000;
+  ctr.update_with_size(0, 0);
+  ctr.finalize();
+  EXPECT_EQ(ctr.total_packets(), 2'000'000u);
+  EXPECT_NEAR(ctr.mpps_stats().mean(), 1.0, 0.01);  // (0 + 2) / 2 Mpps
+}
+
+TEST(Counters, BackwardsJumpingTimeSourceDoesNotUnderflow) {
+  FakeTime t;
+  t.now = 5'000'000'000ull;
+  st::ManualTxCounter ctr("rewind", st::Format::kPlain, t.source(), nullptr);
+  t.now = 6'000'000'000ull;
+  ctr.update_with_size(1'000'000, 60);
+  // A reset virtual clock jumps behind the interval start. Without the
+  // clamp this underflows to ~2^64 ns of "elapsed" time and spins closing
+  // billions of intervals.
+  t.now = 0;
+  ctr.update_with_size(500'000, 60);
+  t.now = 7'000'000'000ull;
+  ctr.update_with_size(500'000, 60);
+  ctr.finalize();
+  EXPECT_EQ(ctr.total_packets(), 2'000'000u);
+  EXPECT_EQ(ctr.total_bytes(), 2'000'000u * 60);
 }
 
 TEST(Counters, StddevReflectsRateVariation) {

@@ -1,0 +1,423 @@
+// Tests for the telemetry subsystem: sharded counters, log-linear
+// histograms, the metric registry, the sampler and the exporters.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/task.hpp"
+#include "stats/histogram.hpp"
+#include "telemetry/exporters.hpp"
+#include "telemetry/log_linear_histogram.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/sampler.hpp"
+#include "telemetry/sharded_counter.hpp"
+
+namespace mc = moongen::core;
+namespace mt = moongen::telemetry;
+namespace st = moongen::stats;
+
+namespace {
+
+struct FakeTime {
+  std::uint64_t now = 0;
+  st::TimeSource source() {
+    return [this] { return now; };
+  }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ShardedCounter
+// ---------------------------------------------------------------------------
+
+TEST(ShardedCounter, SingleThreadedAddAndReset) {
+  mt::ShardedCounter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ShardedCounter, ShardCountIsPowerOfTwo) {
+  const auto n = mt::shard_count();
+  EXPECT_GE(n, 1u);
+  EXPECT_LE(n, 64u);
+  EXPECT_EQ(n & (n - 1), 0u);
+  // The calling thread's index is stable across calls.
+  EXPECT_EQ(mt::shard_index_of_this_thread(), mt::shard_index_of_this_thread());
+}
+
+TEST(ShardedCounter, TaskSetHammerSumsExactly) {
+  // Acceptance: N TaskSet tasks hammer one counter; after wait() the sum
+  // over shards is exact.
+  mc::reset_run_state();
+  constexpr int kTasks = 8;
+  constexpr std::uint64_t kAddsPerTask = 200'000;
+  mt::ShardedCounter c;
+  mc::TaskSet tasks;
+  for (int i = 0; i < kTasks; ++i) {
+    tasks.launch("hammer", [&c] {
+      for (std::uint64_t n = 0; n < kAddsPerTask; ++n) c.add();
+    });
+  }
+  tasks.wait();
+  EXPECT_EQ(c.value(), kTasks * kAddsPerTask);
+}
+
+TEST(Gauge, LastWriterWins) {
+  mt::Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(3.5);
+  g.set(-7.25);
+  EXPECT_EQ(g.value(), -7.25);
+}
+
+// ---------------------------------------------------------------------------
+// LogLinearHistogram
+// ---------------------------------------------------------------------------
+
+TEST(LogLinearHistogram, SmallValuesGetUnitBuckets) {
+  mt::LogLinearHistogram h({.sub_bucket_bits = 5, .max_value = 1'000'000});
+  // Below 2^5 every value has its own bucket.
+  for (std::uint64_t v = 0; v < 32; ++v) {
+    EXPECT_EQ(h.bucket_lower(h.index_for(v)), v) << "v=" << v;
+    EXPECT_EQ(h.bucket_width(h.index_for(v)), 1u) << "v=" << v;
+  }
+}
+
+TEST(LogLinearHistogram, IndexRoundTripAndRelativeError) {
+  mt::LogLinearHistogram h({.sub_bucket_bits = 5, .max_value = 10'000'000'000ull});
+  std::uint64_t prev_lower = 0;
+  bool first = true;
+  for (std::uint64_t v = 1; v < h.config().max_value; v = v * 3 / 2 + 1) {
+    const auto i = h.index_for(v);
+    const auto lo = h.bucket_lower(i);
+    const auto w = h.bucket_width(i);
+    ASSERT_LE(lo, v) << "v=" << v;
+    ASSERT_LT(v, lo + w) << "v=" << v;
+    // Relative error bound: bucket no wider than value * 2^(1-bits).
+    ASSERT_LE(w - 1, v / 16) << "v=" << v;
+    // Lower edges are monotonic in the index.
+    if (!first) {
+      ASSERT_GT(lo + w, prev_lower);
+    }
+    prev_lower = lo;
+    first = false;
+  }
+}
+
+TEST(LogLinearHistogram, BucketLowersAreMonotonicAndCoverRange) {
+  mt::LogLinearHistogram h({.sub_bucket_bits = 4, .max_value = 1 << 20});
+  for (std::size_t i = 1; i < h.bucket_count(); ++i) {
+    ASSERT_EQ(h.bucket_lower(i), h.bucket_lower(i - 1) + h.bucket_width(i - 1)) << "i=" << i;
+    ASSERT_EQ(h.index_for(h.bucket_lower(i)), i) << "i=" << i;
+  }
+}
+
+TEST(LogLinearHistogram, RecordTracksMomentsAndOverflow) {
+  mt::LogLinearHistogram h({.sub_bucket_bits = 5, .max_value = 1000});
+  h.record(10);
+  h.record(20, 2);
+  h.record(5000);  // >= max_value -> overflow bin
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.min(), 10u);
+  EXPECT_EQ(h.max(), 5000u);
+  EXPECT_DOUBLE_EQ(h.sum(), 10.0 + 40.0 + 5000.0);
+}
+
+TEST(LogLinearHistogram, PercentileMatchesFixedBinHistogram) {
+  // Acceptance: identical samples into a LogLinearHistogram and a unit-bin
+  // stats::Histogram; the log-linear percentile must be the lower edge of
+  // the bucket containing the exact percentile value.
+  mt::LogLinearHistogram ll({.sub_bucket_bits = 5, .max_value = 1 << 20});
+  st::Histogram exact(1, 1 << 20);  // bin width 1: percentile == sample value
+  std::uint64_t v = 1;
+  for (int i = 0; i < 20'000; ++i) {
+    v = (v * 48271) % 262'139;  // deterministic spread over [1, 2^18)
+    ll.record(v);
+    exact.add(v);
+  }
+  for (double p : {0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9, 100.0}) {
+    const auto e = exact.percentile(p);
+    const auto l = ll.percentile(p);
+    EXPECT_EQ(l, ll.bucket_lower(ll.index_for(e))) << "p=" << p;
+    EXPECT_LE(l, e) << "p=" << p;
+    EXPECT_GE(l + ll.bucket_width(ll.index_for(e)), e) << "p=" << p;
+  }
+  EXPECT_EQ(ll.median(), ll.percentile(50.0));
+}
+
+TEST(LogLinearHistogram, MergeAccumulatesIdenticalGeometry) {
+  mt::HistogramConfig cfg{.sub_bucket_bits = 5, .max_value = 1000};
+  mt::LogLinearHistogram a(cfg);
+  mt::LogLinearHistogram b(cfg);
+  a.record(10);
+  b.record(10);
+  b.record(900);
+  b.record(5000);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 4u);
+  EXPECT_EQ(a.overflow(), 1u);
+  EXPECT_EQ(a.bucket(a.index_for(10)), 2u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 5000u);
+}
+
+TEST(LogLinearHistogram, MergeRejectsGeometryMismatch) {
+  mt::LogLinearHistogram a({.sub_bucket_bits = 5, .max_value = 1000});
+  mt::LogLinearHistogram bits({.sub_bucket_bits = 4, .max_value = 1000});
+  mt::LogLinearHistogram range({.sub_bucket_bits = 5, .max_value = 2000});
+  EXPECT_THROW(a.merge(bits), std::invalid_argument);
+  EXPECT_THROW(a.merge(range), std::invalid_argument);
+}
+
+TEST(LogLinearHistogram, RejectsBadConfig) {
+  EXPECT_THROW(mt::LogLinearHistogram({.sub_bucket_bits = 0}), std::invalid_argument);
+  EXPECT_THROW(mt::LogLinearHistogram({.sub_bucket_bits = 21}), std::invalid_argument);
+  EXPECT_THROW(mt::LogLinearHistogram({.sub_bucket_bits = 5, .max_value = 0}),
+               std::invalid_argument);
+}
+
+TEST(LogLinearHistogram, PrintMatchesStatsHistogramContract) {
+  mt::LogLinearHistogram h({.sub_bucket_bits = 5, .max_value = 1000});
+  for (int i = 0; i < 3; ++i) h.record(10);
+  h.record(2000);
+  std::ostringstream os;
+  h.print(os);
+  EXPECT_NE(os.str().find("10"), std::string::npos);
+  EXPECT_NE(os.str().find("75.00%"), std::string::npos);
+  EXPECT_NE(os.str().find("overflow"), std::string::npos);
+}
+
+TEST(ShardedHistogram, ConcurrentRecordsMergeExactly) {
+  mc::reset_run_state();
+  constexpr int kTasks = 6;
+  constexpr std::uint64_t kPerTask = 50'000;
+  mt::ShardedHistogram h({.sub_bucket_bits = 5, .max_value = 1 << 20});
+  mc::TaskSet tasks;
+  for (int t = 0; t < kTasks; ++t) {
+    tasks.launch("hist", [&h, t] {
+      for (std::uint64_t i = 0; i < kPerTask; ++i) h.record(100 + (t * kPerTask + i) % 1000);
+    });
+  }
+  tasks.wait();
+  const auto merged = h.merged();
+  EXPECT_EQ(merged.total(), kTasks * kPerTask);
+  EXPECT_EQ(merged.overflow(), 0u);
+  EXPECT_GE(merged.min(), 100u);
+  EXPECT_LE(merged.max(), 1099u);
+}
+
+// ---------------------------------------------------------------------------
+// MetricRegistry
+// ---------------------------------------------------------------------------
+
+TEST(MetricRegistry, ReturnsStableReferences) {
+  mt::MetricRegistry reg;
+  auto& c1 = reg.counter("a.packets");
+  auto& c2 = reg.counter("a.packets");
+  EXPECT_EQ(&c1, &c2);
+  auto& g1 = reg.gauge("a.rate");
+  auto& g2 = reg.gauge("a.rate");
+  EXPECT_EQ(&g1, &g2);
+  auto& h1 = reg.histogram("a.latency");
+  auto& h2 = reg.histogram("a.latency");
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(reg.metric_count(), 3u);
+}
+
+TEST(MetricRegistry, HistogramGeometryConflictThrows) {
+  mt::MetricRegistry reg;
+  reg.histogram("lat", {.sub_bucket_bits = 5, .max_value = 1000});
+  // Same geometry: fine. Different geometry: the shards could never merge.
+  EXPECT_NO_THROW(reg.histogram("lat", {.sub_bucket_bits = 5, .max_value = 1000}));
+  EXPECT_THROW(reg.histogram("lat", {.sub_bucket_bits = 4, .max_value = 1000}),
+               std::invalid_argument);
+  EXPECT_THROW(reg.histogram("lat", {.sub_bucket_bits = 5, .max_value = 9999}),
+               std::invalid_argument);
+}
+
+TEST(MetricRegistry, SnapshotIsNameSortedAndConsistent) {
+  mt::MetricRegistry reg;
+  reg.counter("z.count").add(7);
+  reg.counter("a.count").add(3);
+  reg.gauge("m.rate").set(1.5);
+  reg.histogram("lat").record(42);
+  const auto snap = reg.snapshot(1234);
+  EXPECT_EQ(snap.timestamp_ns, 1234u);
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "a.count");
+  EXPECT_EQ(snap.counters[0].value, 3u);
+  EXPECT_EQ(snap.counters[1].name, "z.count");
+  EXPECT_EQ(snap.counters[1].value, 7u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].value, 1.5);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].hist.total(), 1u);
+  // The snapshot is a copy: later updates don't retro-change it.
+  reg.counter("a.count").add(100);
+  EXPECT_EQ(snap.counters[0].value, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// TaskSet lifecycle telemetry
+// ---------------------------------------------------------------------------
+
+TEST(TaskSetTelemetry, CountsLaunchesAndFinishes) {
+  mc::reset_run_state();
+  mt::MetricRegistry reg;
+  mc::TaskSet tasks;
+  tasks.bind_telemetry(reg, "tasks");
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 5; ++i) tasks.launch("worker", [&ran] { ran.fetch_add(1); });
+  tasks.wait();
+  EXPECT_EQ(ran.load(), 5);
+  EXPECT_EQ(reg.counter("tasks.tasks_launched").value(), 5u);
+  EXPECT_EQ(reg.counter("tasks.tasks_finished").value(), 5u);
+  EXPECT_EQ(reg.gauge("tasks.tasks_active").value(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Sampler (virtual time)
+// ---------------------------------------------------------------------------
+
+TEST(Sampler, PollHonoursPeriodAndCatchesUpOnce) {
+  FakeTime t;
+  mt::MetricRegistry reg;
+  auto& c = reg.counter("n");
+  mt::Sampler sampler(reg, t.source(), {.period_ns = 100, .capacity = 512});
+  EXPECT_TRUE(sampler.poll());  // due immediately at construction time
+  EXPECT_FALSE(sampler.poll());
+  t.now = 99;
+  EXPECT_FALSE(sampler.poll());
+  c.add(1);
+  t.now = 100;
+  EXPECT_TRUE(sampler.poll());
+  // A long gap yields a single catch-up snapshot, not a backfill.
+  t.now = 10'000;
+  EXPECT_TRUE(sampler.poll());
+  EXPECT_FALSE(sampler.poll());
+  EXPECT_EQ(sampler.size(), 3u);
+  const auto series = sampler.series();
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_EQ(series[0].timestamp_ns, 0u);
+  EXPECT_EQ(series[1].timestamp_ns, 100u);
+  EXPECT_EQ(series[2].timestamp_ns, 10'000u);
+  EXPECT_EQ(series[0].counters[0].value, 0u);
+  EXPECT_EQ(series[1].counters[0].value, 1u);
+}
+
+TEST(Sampler, RingDropsOldestBeyondCapacity) {
+  FakeTime t;
+  mt::MetricRegistry reg;
+  reg.counter("n");
+  mt::Sampler sampler(reg, t.source(), {.period_ns = 10, .capacity = 4});
+  for (int i = 0; i < 10; ++i) {
+    sampler.sample_now();
+    t.now += 10;
+  }
+  EXPECT_EQ(sampler.size(), 4u);
+  const auto series = sampler.series();
+  ASSERT_EQ(series.size(), 4u);
+  EXPECT_EQ(series.front().timestamp_ns, 60u);  // snapshots 0..5 dropped
+  EXPECT_EQ(series.back().timestamp_ns, 90u);
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------------
+
+namespace {
+
+mt::Snapshot example_snapshot() {
+  mt::MetricRegistry reg;
+  reg.counter("port.tx_packets").add(1000);
+  reg.gauge("load.offered_mpps").set(14.88);
+  auto& h = reg.histogram("lat.ns", {.sub_bucket_bits = 5, .max_value = 1 << 20});
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v * 10);
+  return reg.snapshot(42);
+}
+
+}  // namespace
+
+TEST(Exporters, JsonContainsSchemaAndAllMetricKinds) {
+  std::ostringstream os;
+  mt::write_json(os, example_snapshot());
+  const auto s = os.str();
+  EXPECT_NE(s.find("\"moongen-telemetry-v1\""), std::string::npos);
+  EXPECT_NE(s.find("\"timestamp_ns\""), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+  EXPECT_NE(s.find("\"port.tx_packets\""), std::string::npos);
+  EXPECT_NE(s.find("1000"), std::string::npos);
+  EXPECT_NE(s.find("\"load.offered_mpps\""), std::string::npos);
+  EXPECT_NE(s.find("14.88"), std::string::npos);
+  EXPECT_NE(s.find("\"lat.ns\""), std::string::npos);
+  for (const char* key : {"\"count\"", "\"min\"", "\"max\"", "\"mean\"", "\"p50\"", "\"p99\"",
+                          "\"p999\"", "\"buckets\"", "\"lower\"", "\"width\""})
+    EXPECT_NE(s.find(key), std::string::npos) << key;
+}
+
+TEST(Exporters, JsonSeriesWrapsSnapshots) {
+  std::ostringstream os;
+  mt::write_json_series(os, {example_snapshot(), example_snapshot()});
+  const auto s = os.str();
+  EXPECT_NE(s.find("\"moongen-telemetry-series-v1\""), std::string::npos);
+  EXPECT_NE(s.find("\"snapshots\""), std::string::npos);
+  // Two snapshot objects -> the schema of the single snapshot twice.
+  const auto first = s.find("moongen-telemetry-v1");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_NE(s.find("moongen-telemetry-v1", first + 1), std::string::npos);
+}
+
+TEST(Exporters, JsonEscapesStrings) {
+  mt::MetricRegistry reg;
+  reg.counter("weird\"name\\with\ncontrol").add(1);
+  std::ostringstream os;
+  mt::write_json(os, reg.snapshot());
+  const auto s = os.str();
+  EXPECT_NE(s.find("weird\\\"name\\\\with\\ncontrol"), std::string::npos);
+}
+
+TEST(Exporters, CsvEmitsHeaderAndTypedRows) {
+  std::ostringstream os;
+  mt::write_csv(os, example_snapshot());
+  const auto s = os.str();
+  EXPECT_NE(s.find("timestamp_ns,metric,type,field,value"), std::string::npos);
+  EXPECT_NE(s.find("42,port.tx_packets,counter,value,1000"), std::string::npos);
+  EXPECT_NE(s.find("load.offered_mpps,gauge,value,"), std::string::npos);
+  EXPECT_NE(s.find("lat.ns,histogram,p50,"), std::string::npos);
+  // Series: exactly one header line.
+  std::ostringstream os2;
+  mt::write_csv_series(os2, {example_snapshot(), example_snapshot()});
+  const auto s2 = os2.str();
+  const auto h1 = s2.find("timestamp_ns,metric");
+  ASSERT_NE(h1, std::string::npos);
+  EXPECT_EQ(s2.find("timestamp_ns,metric", h1 + 1), std::string::npos);
+}
+
+TEST(Exporters, PrometheusSanitizesNamesAndEmitsQuantiles) {
+  std::ostringstream os;
+  mt::write_prometheus(os, example_snapshot());
+  const auto s = os.str();
+  EXPECT_NE(s.find("moongen_port_tx_packets 1000"), std::string::npos);
+  EXPECT_NE(s.find("# TYPE moongen_port_tx_packets counter"), std::string::npos);
+  EXPECT_NE(s.find("moongen_load_offered_mpps"), std::string::npos);
+  EXPECT_NE(s.find("# TYPE moongen_lat_ns summary"), std::string::npos);
+  EXPECT_NE(s.find("quantile=\"0.5\""), std::string::npos);
+  EXPECT_NE(s.find("moongen_lat_ns_count 100"), std::string::npos);
+  EXPECT_NE(s.find("moongen_lat_ns_sum"), std::string::npos);
+}
+
+TEST(Exporters, DumpJsonToFileRejectsBadPath) {
+  EXPECT_FALSE(mt::dump_json_to_file("/nonexistent-dir/x.json", example_snapshot()));
+  EXPECT_FALSE(mt::dump_json_series_to_file("/nonexistent-dir/x.json", {}));
+}
