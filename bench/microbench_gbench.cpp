@@ -40,6 +40,28 @@ void BM_MempoolAllocFree(benchmark::State& state) {
 }
 BENCHMARK(BM_MempoolAllocFree)->Arg(1)->Arg(16)->Arg(64)->Arg(256);
 
+// Multi-threaded alloc/free on ONE pool: measures the spinlock under
+// contention (the PAUSE-backoff path; threads > 1 only exercises true
+// contention on multi-core hosts). Batch of 64 mirrors the device burst
+// size, so the lock is taken once per 64 buffers.
+void BM_MempoolContention(benchmark::State& state) {
+  static mb::Mempool* pool = nullptr;
+  if (state.thread_index() == 0) pool = new mb::Mempool(8192, udp_prefill(60));
+  constexpr std::size_t kBatch = 64;
+  mb::PktBuf* bufs[kBatch];
+  for (auto _ : state) {
+    const std::size_t n = pool->alloc_batch({bufs, kBatch}, 60);
+    benchmark::DoNotOptimize(n);
+    pool->free_batch({bufs, n});
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(kBatch));
+  if (state.thread_index() == 0) {
+    delete pool;
+    pool = nullptr;
+  }
+}
+BENCHMARK(BM_MempoolContention)->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
+
 void BM_TxSend(benchmark::State& state) {
   auto& dev = mc::Device::config(0, 1, 1);
   dev.disconnect();

@@ -1,0 +1,161 @@
+// Google-benchmark microbenchmarks of the discrete-event engine hot path.
+//
+// The simulation core executes 3-5 events per simulated frame; reproducing
+// Figure 4's 178.5 Mpps run means ~10^8 frames, so events/second of this
+// engine bounds every paper harness. These benchmarks isolate the
+// schedule/dispatch cycle (timer wheel vs. overflow heap), the
+// self-rescheduling timer pattern every hardware model uses, and the
+// end-to-end per-frame cost of the NIC port TX path. Results are tracked in
+// BENCH_sim_engine.json (see DESIGN.md, "Event-engine fast path").
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rate_control.hpp"
+#include "nic/chip.hpp"
+#include "nic/port.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace mc = moongen::core;
+namespace mn = moongen::nic;
+namespace ms = moongen::sim;
+
+namespace {
+
+// A hot-path event body sized like the serializer-completion closure in
+// nic::Port: a shared frame payload plus two timestamps — 48 bytes, the
+// size the engine must dispatch without touching the heap.
+struct FrameishTicker {
+  ms::EventQueue& q;
+  std::uint64_t& remaining;
+  std::shared_ptr<const std::vector<std::uint8_t>> payload;
+  ms::SimTime delay;
+  ms::SimTime t0;
+  void operator()() const {
+    if (remaining == 0) return;
+    --remaining;
+    benchmark::DoNotOptimize(payload.get());
+    q.schedule_in(delay, FrameishTicker{q, remaining, payload, delay, q.now()});
+  }
+};
+static_assert(sizeof(FrameishTicker) == 48);
+
+// The core schedule/dispatch cycle with near-future delays (the timer-wheel
+// fast path): a window of in-flight events, each completion scheduling a
+// replacement, mimicking the frame pipeline's event mix.
+void BM_ScheduleDispatchNear(benchmark::State& state) {
+  const int window = static_cast<int>(state.range(0));
+  const auto payload = std::make_shared<const std::vector<std::uint8_t>>(64, std::uint8_t{0});
+  for (auto _ : state) {
+    ms::EventQueue q;
+    std::uint64_t remaining = 64 * 1024;
+    for (int i = 0; i < window; ++i) {
+      // 67.2 ns: one 64 B frame time at 10 GbE — the canonical near delay.
+      q.schedule_in(static_cast<ms::SimTime>(800 * (i + 1)),
+                    FrameishTicker{q, remaining, payload, 67'200, 0});
+    }
+    q.run();
+    benchmark::DoNotOptimize(q.executed());
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * 1024);
+}
+BENCHMARK(BM_ScheduleDispatchNear)->Arg(1)->Arg(8)->Arg(64);
+
+// Far timers (beyond the wheel horizon): exercises the overflow binary heap.
+void BM_ScheduleDispatchFar(benchmark::State& state) {
+  const auto payload = std::make_shared<const std::vector<std::uint8_t>>(64, std::uint8_t{0});
+  for (auto _ : state) {
+    ms::EventQueue q;
+    std::uint64_t remaining = 16 * 1024;
+    for (int i = 0; i < 32; ++i) {
+      q.schedule_in(ms::kPsPerMs + static_cast<ms::SimTime>(i),
+                    FrameishTicker{q, remaining, payload, ms::kPsPerMs, 0});  // 1 ms: far
+    }
+    q.run();
+    benchmark::DoNotOptimize(q.executed());
+  }
+  state.SetItemsProcessed(state.iterations() * 16 * 1024);
+}
+BENCHMARK(BM_ScheduleDispatchFar);
+
+// Same-time events: the FIFO bucket case (batch completions, simultaneous
+// deliveries); ordering among equal times must be scheduling order.
+void BM_ScheduleDispatchSameTime(benchmark::State& state) {
+  for (auto _ : state) {
+    ms::EventQueue q;
+    std::uint64_t sum = 0;
+    for (ms::SimTime t = 0; t < 256; ++t) {
+      for (int i = 0; i < 64; ++i) {
+        q.schedule_at(t * 1'000, [&sum] { ++sum; });
+      }
+    }
+    q.run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 256 * 64);
+}
+BENCHMARK(BM_ScheduleDispatchSameTime);
+
+// End-to-end NIC TX: an uncontrolled (line-rate) queue with a refill
+// generator, no sink — isolates serializer + DMA + event-engine cost per
+// transmitted frame. This is the path the batched-TX fast path targets.
+void BM_PortTxUncontrolled(benchmark::State& state) {
+  const auto frame = mc::make_udp_frame({});
+  std::int64_t frames = 0;
+  double events_per_frame = 0;
+  for (auto _ : state) {
+    ms::EventQueue events;
+    mn::Port port(events, mn::intel_x540(), 10'000, 42);
+    auto gen = mc::SimLoadGen::hardware_paced(port.tx_queue(0), frame);
+    events.run_until(10 * ms::kPsPerMs);  // ~86k frames of 124 B at 10 GbE
+    benchmark::DoNotOptimize(port.stats().tx_packets);
+    frames += static_cast<std::int64_t>(port.stats().tx_packets);
+    events_per_frame = static_cast<double>(events.executed()) /
+                       static_cast<double>(port.stats().tx_packets);
+  }
+  state.counters["events_per_frame"] = events_per_frame;
+  state.SetItemsProcessed(frames);
+}
+BENCHMARK(BM_PortTxUncontrolled);
+
+// End-to-end NIC TX with CRC-based software rate control: valid frames
+// interleaved with invalid gap frames (Section 8) — the allocation-heavy
+// path before gap-frame payload interning.
+void BM_PortTxCrcPaced(benchmark::State& state) {
+  const auto frame = mc::make_udp_frame({});
+  std::int64_t frames = 0;
+  for (auto _ : state) {
+    ms::EventQueue events;
+    mn::Port port(events, mn::intel_x540(), 10'000, 42);
+    auto gen = mc::SimLoadGen::crc_paced(port.tx_queue(0), frame,
+                                         std::make_unique<mc::CbrPattern>(2.0), 10'000);
+    events.run_until(10 * ms::kPsPerMs);
+    benchmark::DoNotOptimize(port.stats().tx_packets);
+    frames += static_cast<std::int64_t>(port.stats().tx_packets);
+  }
+  state.SetItemsProcessed(frames);
+}
+BENCHMARK(BM_PortTxCrcPaced);
+
+// Hardware-paced queue: the wake/retry scheduling path of the rate limiter.
+void BM_PortTxHwPaced(benchmark::State& state) {
+  const auto frame = mc::make_udp_frame({});
+  std::int64_t frames = 0;
+  for (auto _ : state) {
+    ms::EventQueue events;
+    mn::Port port(events, mn::intel_x540(), 10'000, 42);
+    port.tx_queue(0).set_rate_mpps(2.0, 124);
+    auto gen = mc::SimLoadGen::hardware_paced(port.tx_queue(0), frame);
+    events.run_until(10 * ms::kPsPerMs);
+    benchmark::DoNotOptimize(port.stats().tx_packets);
+    frames += static_cast<std::int64_t>(port.stats().tx_packets);
+  }
+  state.SetItemsProcessed(frames);
+}
+BENCHMARK(BM_PortTxHwPaced);
+
+}  // namespace
+
+BENCHMARK_MAIN();

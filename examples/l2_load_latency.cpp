@@ -70,6 +70,7 @@ int main(int argc, char** argv) {
   sink.rx_queue(0).set_store(false);
 
   mt::MetricRegistry registry;
+  events.bind_telemetry(registry, "engine");
   gen_tx.bind_telemetry(registry, "port.gen_tx");
   dut_in.bind_telemetry(registry, "port.dut_in");
   dut_out.bind_telemetry(registry, "port.dut_out");
@@ -112,6 +113,7 @@ int main(int argc, char** argv) {
   mt::Sampler sampler(registry, [&events] { return events.now() / 1'000; }, sampler_cfg);
   const auto end_ps = static_cast<ms::SimTime>(seconds * 1e12);
   std::function<void()> sample_tick = [&] {
+    events.publish_telemetry();  // engine deltas are flushed, not per-event
     sampler.poll();
     if (events.now() < end_ps) events.schedule_in(100 * ms::kPsPerMs, sample_tick);
   };
@@ -137,6 +139,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(dut_in.stats().rx_ring_drops));
 
   if (!json_path.empty()) {
+    events.publish_telemetry();  // engine.events_executed / wheel / heap / rate
     registry.gauge("load.forwarded_mpps")
         .set(static_cast<double>(forwarder.forwarded()) / seconds / 1e6);
     registry.gauge("dut.interrupts").set(static_cast<double>(forwarder.interrupts()));

@@ -61,12 +61,16 @@ TxQueue::TxQueue(Device& dev, std::size_t ring_size) : dev_(dev) {
   std::size_t cap = 1;
   while (cap < ring_size) cap <<= 1;
   ring_.assign(cap, Descriptor{});
-  recycle_batch_.reserve(64);
+  prev_batch_.reserve(64);
+  prev_pools_.reserve(64);
 }
 
 void TxQueue::reset() {
   for (auto& slot : ring_) slot = Descriptor{};
-  recycle_batch_.clear();
+  // Drop (not free) the in-flight references: reset() exists to be called
+  // before a mempool is destroyed, and the pools own the buffer storage.
+  prev_batch_.clear();
+  prev_pools_.clear();
   head_ = 0;
   pace_next_ns_ = 0;
 }
@@ -76,25 +80,6 @@ TxQueue::~TxQueue() {
   // mempools here: the pools own the buffer storage outright and may
   // already be gone (devices are process-lifetime objects, pools are not).
   // Dropping the references is safe and leak-free.
-}
-
-void TxQueue::recycle(membuf::PktBuf* buf) {
-  recycle_batch_.push_back(buf);
-  if (recycle_batch_.size() >= 64) flush_recycle();
-}
-
-void TxQueue::flush_recycle() {
-  // Free in runs that share a pool so the pool lock is taken per run, not
-  // per buffer.
-  std::size_t start = 0;
-  while (start < recycle_batch_.size()) {
-    membuf::Mempool* pool = recycle_batch_[start]->pool();
-    std::size_t end = start + 1;
-    while (end < recycle_batch_.size() && recycle_batch_[end]->pool() == pool) ++end;
-    pool->free_batch({recycle_batch_.data() + start, end - start});
-    start = end;
-  }
-  recycle_batch_.clear();
 }
 
 void TxQueue::pace(std::size_t wire_bytes) {
@@ -114,27 +99,50 @@ void TxQueue::pace(std::size_t wire_bytes) {
 
 std::uint16_t TxQueue::send(membuf::BufArray& bufs) {
   const auto packets = bufs.packets();
-  std::size_t total_wire = 0;
-  for (auto* buf : packets) total_wire += proto::wire_size(buf->length() + proto::kFcsSize);
-  pace(total_wire);
+  if (rate_mbit_ > 0.0) {
+    // Only a rate-limited queue needs the wire-size total; unlimited sends
+    // skip this extra pass over the batch.
+    std::size_t total_wire = 0;
+    for (auto* buf : packets) total_wire += proto::wire_size(buf->length() + proto::kFcsSize);
+    pace(total_wire);
+  }
+
+  // Recycle the previous batch: its frames have been "transmitted" by the
+  // time the application enqueues more work (DPDK's tx_rs_thresh cleanup
+  // with a one-batch window). Free in runs that share a pool so the pool
+  // lock is taken per run, not per buffer.
+  if (!prev_batch_.empty()) {
+    std::size_t start = 0;
+    while (start < prev_batch_.size()) {
+      membuf::Mempool* pool = prev_pools_[start];
+      std::size_t end = start + 1;
+      while (end < prev_batch_.size() && prev_pools_[end] == pool) ++end;
+      pool->free_batch({prev_batch_.data() + start, end - start});
+      start = end;
+    }
+    prev_batch_.clear();
+    prev_pools_.clear();
+  }
 
   Device* peer = dev_.peer_;
   const std::size_t mask = ring_.size() - 1;
-  for (auto* buf : packets) {
-    // DPDK semantics: placing the descriptor recycles the buffer that
-    // previously occupied the slot (it was sent long ago).
+  std::uint64_t batch_bytes = 0;
+  prev_batch_.assign(packets.begin(), packets.end());
+  prev_pools_.resize(packets.size());
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    membuf::PktBuf* buf = packets[i];
     Descriptor& slot = ring_[head_ & mask];
-    if (slot.buf != nullptr) recycle(slot.buf);
     const auto& fl = buf->flags();
+    const auto length = static_cast<std::uint32_t>(buf->length());
     slot.buf = buf;
-    slot.length = static_cast<std::uint32_t>(buf->length());
+    slot.length = length;
     slot.flags = static_cast<std::uint32_t>(fl.ip_checksum) |
                  static_cast<std::uint32_t>(fl.udp_checksum) << 1 |
                  static_cast<std::uint32_t>(fl.tcp_checksum) << 2 |
                  static_cast<std::uint32_t>(fl.invalid_crc) << 3;
     ++head_;
-    sent_packets_ += 1;
-    sent_bytes_ += buf->length();
+    batch_bytes += length;
+    prev_pools_[i] = buf->pool();
 
     if (peer != nullptr) {
       // A frame on a wire is a copy: materialize into the peer's RX pool.
@@ -152,6 +160,8 @@ std::uint16_t TxQueue::send(membuf::BufArray& bufs) {
     }
   }
   const auto n = static_cast<std::uint16_t>(packets.size());
+  sent_packets_ += n;
+  sent_bytes_ += batch_bytes;
   bufs.set_size(0);  // buffers now belong to the queue until recycled
   return n;
 }

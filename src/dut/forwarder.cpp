@@ -39,7 +39,7 @@ void Forwarder::packet_arrived() {
       static_cast<sim::SimTime>(static_cast<double>(cfg_.interrupt_latency_ps) * jitter(rng_));
   const sim::SimTime earliest = last_interrupt_ps_ + gap;
   const sim::SimTime at = std::max(events_.now() + lat, earliest);
-  events_.schedule_at(at, [this] { fire_interrupt(); });
+  events_.schedule_at_inline(at, [this] { fire_interrupt(); });
 }
 
 void Forwarder::fire_interrupt() {
@@ -53,7 +53,9 @@ void Forwarder::fire_interrupt() {
 
 void Forwarder::poll() {
   ++polls_;
-  const auto entries = rx_.drain(static_cast<std::size_t>(cfg_.poll_budget));
+  poll_scratch_.clear();
+  rx_.drain_into(poll_scratch_, static_cast<std::size_t>(cfg_.poll_budget));
+  const auto& entries = poll_scratch_;
 
   sim::SimTime t = events_.now();
   std::size_t pairs = 0;
@@ -70,7 +72,7 @@ void Forwarder::poll() {
     t += service_ps_;  // single core: packets are processed sequentially
     const sim::SimTime out_time = t + cfg_.base_pipeline_ps;
     latency_ns_.add(sim::to_ns(out_time - entry.complete_ps));
-    events_.schedule_at(out_time, [this, frame = entry.frame] { tx_.post(frame); });
+    events_.schedule_at_inline(out_time, [this, frame = entry.frame] { tx_.post(frame); });
     ++forwarded_;
   }
   if (!entries.empty()) update_itr(pairs, entries.size());
@@ -79,7 +81,7 @@ void Forwarder::poll() {
   if (budget_exhausted || rx_.pending() > 0) {
     // Stay in polling mode (interrupts remain disabled); next pass after
     // this batch has been processed.
-    events_.schedule_at(t, [this] { poll(); });
+    events_.schedule_at_inline(t, [this] { poll(); });
     return;
   }
   // Ring drained: leave polling, re-enable interrupts at the end of the

@@ -100,6 +100,8 @@ class Forwarder {
   double burst_share_ewma_ = 0.0;
   sim::SimTime last_arrival_ps_ = 0;
   std::mt19937_64 rng_;
+  /// Reused RX burst array (cleared per poll); grows to poll_budget once.
+  std::vector<nic::RxQueueModel::Entry> poll_scratch_;
 
   std::uint64_t interrupts_ = 0;
   std::uint64_t interrupts_since_sample_ = 0;

@@ -48,8 +48,22 @@ class Mempool {
   [[nodiscard]] std::size_t low_watermark() const { return low_watermark_; }
 
  private:
+  /// Tells the CPU this is a spin-wait: on x86 PAUSE backs off the
+  /// speculative pipeline and yields the core to the lock holder on SMT
+  /// siblings; on ARM YIELD is the equivalent hint.
+  static void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__) || defined(__arm__)
+    asm volatile("yield" ::: "memory");
+#endif
+  }
+
   void lock() const {
-    while (lock_.test_and_set(std::memory_order_acquire)) { /* spin */
+    while (lock_.test_and_set(std::memory_order_acquire)) {
+      // Spin on a plain load first: re-running test_and_set keeps the cache
+      // line in exclusive state and starves the unlocking thread.
+      while (lock_.test(std::memory_order_relaxed)) cpu_relax();
     }
   }
   void unlock() const { lock_.clear(std::memory_order_release); }

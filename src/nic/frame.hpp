@@ -39,13 +39,21 @@ inline Frame make_frame(std::vector<std::uint8_t> bytes, bool fcs_valid = true,
 
 /// Builds an opaque filler frame of `wire_len` bytes on the wire (>= 33),
 /// used as an invalid gap frame by the software rate control.
+///
+/// Gap frames are all-zero payloads that differ only in length, and the CRC
+/// rate control emits one or more per valid packet — so the payloads are
+/// interned: one immutable shared buffer per distinct size, cached
+/// per-thread (generators on different TaskSet threads never contend).
 inline Frame make_gap_frame(std::size_t wire_len, std::uint64_t seq = 0) {
   const std::size_t data_len =
       wire_len >= proto::kWireOverhead + proto::kFcsSize + 1
           ? wire_len - proto::kWireOverhead - proto::kFcsSize
           : 1;
-  return Frame{std::make_shared<const std::vector<std::uint8_t>>(data_len, std::uint8_t{0}),
-               /*fcs_valid=*/false, seq};
+  thread_local std::vector<std::shared_ptr<const std::vector<std::uint8_t>>> cache;
+  if (data_len >= cache.size()) cache.resize(data_len + 1);
+  auto& slot = cache[data_len];
+  if (!slot) slot = std::make_shared<const std::vector<std::uint8_t>>(data_len, std::uint8_t{0});
+  return Frame{slot, /*fcs_valid=*/false, seq};
 }
 
 }  // namespace moongen::nic

@@ -47,13 +47,15 @@ void TxQueueModel::set_refill(std::function<Frame()> generator) {
 
 std::vector<RxQueueModel::Entry> RxQueueModel::drain(std::size_t max) {
   std::vector<Entry> out;
-  const std::size_t n = std::min(max, ring_.size());
-  out.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    out.push_back(std::move(ring_.front()));
-    ring_.pop_front();
-  }
+  drain_into(out, max);
   return out;
+}
+
+std::size_t RxQueueModel::drain_into(std::vector<Entry>& out, std::size_t max) {
+  const std::size_t n = std::min(max, ring_.size());
+  out.reserve(out.size() + n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(ring_.pop_front());
+  return n;
 }
 
 // ---------------------------------------------------------------------------
@@ -96,7 +98,7 @@ void Port::schedule_fetch(TxQueueModel& q) {
   // control imprecision, Section 7.1).
   const sim::SimTime jitter =
       dma_.jitter_ps > 0 ? rng_() % dma_.jitter_ps : 0;
-  events_.schedule_in(dma_.latency_ps + jitter, [this, &q] { fetch_descriptors(q); });
+  events_.schedule_in_inline(dma_.latency_ps + jitter, [this, &q] { fetch_descriptors(q); });
 }
 
 void Port::fetch_descriptors(TxQueueModel& q) {
@@ -104,13 +106,12 @@ void Port::fetch_descriptors(TxQueueModel& q) {
   std::size_t moved = 0;
   while (!q.mem_ring_.empty() && q.fifo_.size() < q.fifo_capacity_frames_ &&
          moved < dma_.fetch_batch) {
-    q.fifo_.push_back(std::move(q.mem_ring_.front()));
-    q.mem_ring_.pop_front();
+    q.fifo_.push_back(q.mem_ring_.pop_front());
     ++moved;
   }
   if (!q.mem_ring_.empty()) {
     q.fetch_scheduled_ = true;
-    events_.schedule_in(dma_.fetch_interval_ps, [this, &q] { fetch_descriptors(q); });
+    events_.schedule_in_inline(dma_.fetch_interval_ps, [this, &q] { fetch_descriptors(q); });
   }
   try_transmit();
 }
@@ -129,7 +130,11 @@ void Port::try_transmit() {
     if (q.fifo_.empty()) continue;
     if (q.next_allowed_ps_ <= now) {
       rr_next_ = (idx + 1) % n;
-      start_transmission(q);
+      if (batching_allowed(q)) {
+        start_batch_transmission(q);
+      } else {
+        start_transmission(q);
+      }
       return;
     }
     earliest_blocked = std::min(earliest_blocked, q.next_allowed_ps_);
@@ -138,7 +143,7 @@ void Port::try_transmit() {
     if (!wake_scheduled_ || earliest_blocked < scheduled_wake_ps_) {
       wake_scheduled_ = true;
       scheduled_wake_ps_ = earliest_blocked;
-      events_.schedule_at(earliest_blocked, [this, at = earliest_blocked] {
+      events_.schedule_at_inline(earliest_blocked, [this, at = earliest_blocked] {
         if (wake_scheduled_ && scheduled_wake_ps_ == at) wake_scheduled_ = false;
         try_transmit();
       });
@@ -146,9 +151,24 @@ void Port::try_transmit() {
   }
 }
 
+bool Port::batching_allowed(const TxQueueModel& q) const {
+  if (tx_batch_frames_ <= 1) return false;
+  if (q.rate_wire_mbit_ > 0.0) return false;  // pacing gaps: one event per frame
+  // Only continuation frames batch: the first frame after an idle wire goes
+  // through the one-event path, so a queue that engages while it serializes
+  // gets its round-robin slot at the very next boundary.
+  if (events_.now() != last_busy_end_) return false;
+  // Batch only while `q` is the sole engaged queue: with every other queue
+  // empty (no FIFO frames, no in-flight descriptors, no refill source) the
+  // round-robin arbiter would pick `q` at every frame boundary anyway.
+  for (const auto& other : tx_queues_) {
+    if (other.get() != &q && other->engaged()) return false;
+  }
+  return true;
+}
+
 void Port::start_transmission(TxQueueModel& q) {
-  Frame frame = std::move(q.fifo_.front());
-  q.fifo_.pop_front();
+  Frame frame = q.fifo_.pop_front();
 
   // Transmissions start aligned to the MAC clock grid (the MAC and the
   // timestamp unit share one clock, Section 6.1) — except back-to-back
@@ -169,7 +189,7 @@ void Port::start_transmission(TxQueueModel& q) {
 
   const sim::SimTime busy_until = t0 + frame.wire_bytes() * byte_time_ps_;
   last_busy_end_ = busy_until;
-  events_.schedule_at(busy_until, [this, frame = std::move(frame), t0] {
+  events_.schedule_at_inline(busy_until, [this, frame = std::move(frame), t0] {
     stats_.tx_packets += 1;
     stats_.tx_bytes += frame.wire_bytes();
     if (tm_.tx_packets != nullptr) {
@@ -178,6 +198,52 @@ void Port::start_transmission(TxQueueModel& q) {
     }
     serializer_busy_ = false;
     if (sink_ != nullptr) sink_->on_frame(frame, t0);
+    try_transmit();
+  });
+}
+
+void Port::start_batch_transmission(TxQueueModel& q) {
+  serializer_busy_ = true;
+  sim::SimTime t0 = events_.now();
+  if (t0 != last_busy_end_) t0 = align_up(t0, spec_.mac_cycle_ps);
+  q.next_allowed_ps_ = 0;  // what apply_rate_limit does on the uncontrolled path
+
+  // Serialize a run of back-to-back frames in ONE engine event. Frame i
+  // starts exactly when frame i-1's last wire byte ends — the same instants
+  // the one-event-per-frame path produces, because an uncontrolled sole
+  // queue continues back-to-back at every completion. The sink is notified
+  // at batch start with each frame's true tx_start: the link only schedules
+  // absolute-time deliveries from it, so wire and RX timestamps are
+  // byte-identical (asserted by PortBatching.WireTimestampsMatchUnbatched).
+  std::uint64_t frames = 0;
+  std::uint64_t bytes = 0;
+  while (frames < tx_batch_frames_) {
+    if (q.fifo_.empty()) {
+      if (!q.refill_) break;
+      q.fifo_.push_back(q.refill_());
+    }
+    Frame frame = q.fifo_.pop_front();
+    if (!tx_stamp_register_.has_value() && frame_matches_ptp_filter(frame)) {
+      tx_stamp_register_ = ptp_clock_.read(t0);
+    }
+    const std::uint64_t wire = frame.wire_bytes();
+    if (sink_ != nullptr) sink_->on_frame(frame, t0);
+    t0 += wire * byte_time_ps_;
+    bytes += wire;
+    ++frames;
+  }
+
+  last_busy_end_ = t0;  // now the end of the batch's last frame
+  // One completion event for the whole run; TX stats move at batch end
+  // (bounded skew of tx_batch_frames_ frames vs. the per-frame path).
+  events_.schedule_at_inline(t0, [this, frames, bytes] {
+    stats_.tx_packets += frames;
+    stats_.tx_bytes += bytes;
+    if (tm_.tx_packets != nullptr) {
+      tm_.tx_packets->add(frames);
+      tm_.tx_bytes->add(bytes);
+    }
+    serializer_busy_ = false;
     try_transmit();
   });
 }
@@ -242,7 +308,7 @@ bool Port::frame_matches_ptp_filter(const Frame& frame) const {
 void Port::deliver_frame(const Frame& frame, sim::SimTime first_bit_ps) {
   const sim::SimTime complete =
       first_bit_ps + (frame.frame_size() + 8) * byte_time_ps_;  // preamble + frame
-  events_.schedule_at(complete, [this, frame, first_bit_ps] {
+  events_.schedule_at_inline(complete, [this, frame, first_bit_ps]() mutable {
     // Hardware drop of bad-FCS frames and runts: they never reach a receive
     // queue, only the error counter moves (Section 8.1).
     if (!frame.fcs_valid || frame.frame_size() < proto::kMinFrameSize) {
@@ -281,17 +347,24 @@ void Port::deliver_frame(const Frame& frame, sim::SimTime first_bit_ps) {
       queue_index = rss_->steer(frame);
     }
     auto& q = *rx_queues_[static_cast<std::size_t>(queue_index)];
-    const RxQueueModel::Entry entry{frame, events_.now(), hw_ts};
-    if (q.store_) {
-      if (q.ring_.size() >= q.ring_capacity_) {
-        stats_.rx_ring_drops += 1;
-        if (tm_.rx_ring_drops != nullptr) tm_.rx_ring_drops->add(1);
-        return;
-      }
-      q.ring_.push_back(entry);
+    if (q.store_ && q.ring_.size() >= q.ring_capacity_) {
+      stats_.rx_ring_drops += 1;
+      if (tm_.rx_ring_drops != nullptr) tm_.rx_ring_drops->add(1);
+      return;
     }
-    // Invoke with a copy: the callback may drain the ring (polling DuT).
-    if (q.callback_) q.callback_(entry);
+    RxQueueModel::Entry entry{std::move(frame), events_.now(), hw_ts};
+    if (q.store_) {
+      if (q.callback_) {
+        // Invoke with the local copy: the callback may drain the ring
+        // (polling DuT), invalidating anything stored there.
+        q.ring_.push_back(entry);
+        q.callback_(entry);
+      } else {
+        q.ring_.push_back(std::move(entry));
+      }
+    } else if (q.callback_) {
+      q.callback_(entry);
+    }
   });
 }
 

@@ -22,13 +22,13 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <random>
 #include <vector>
 
+#include "membuf/ring.hpp"
 #include "nic/chip.hpp"
 #include "nic/flow_director.hpp"
 #include "nic/frame.hpp"
@@ -108,18 +108,27 @@ class TxQueueModel {
   /// Bounds the on-chip FIFO lookahead (frames pulled from the refill
   /// source ahead of transmission). A small value keeps the generator's
   /// stream marking (timestamp sampling) responsive at low paced rates.
-  void set_fifo_capacity(std::size_t frames) { fifo_capacity_frames_ = frames; }
+  void set_fifo_capacity(std::size_t frames) {
+    fifo_capacity_frames_ = frames;
+    fifo_.set_capacity(frames);
+  }
 
   [[nodiscard]] double rate_wire_mbit() const { return rate_wire_mbit_; }
 
  private:
   friend class Port;
 
+  /// True if this queue could put a frame on the wire now or in the future
+  /// without further software action (used by the batching gate).
+  [[nodiscard]] bool engaged() const {
+    return !fifo_.empty() || !mem_ring_.empty() || static_cast<bool>(refill_);
+  }
+
   Port* port_ = nullptr;
   int index_ = 0;
   std::size_t ring_capacity_ = 1024;
-  std::deque<Frame> mem_ring_;  // descriptors in main memory
-  std::deque<Frame> fifo_;      // frames fetched into the on-chip FIFO
+  membuf::BoundedRing<Frame> mem_ring_{1024};  // descriptors in main memory
+  membuf::BoundedRing<Frame> fifo_{128};       // frames fetched into the on-chip FIFO
   std::size_t fifo_capacity_frames_ = 128;
   bool fetch_scheduled_ = false;
 
@@ -152,8 +161,16 @@ class RxQueueModel {
   /// Removes and returns up to `max` frames from the ring (app-side recv).
   std::vector<Entry> drain(std::size_t max = SIZE_MAX);
 
+  /// Allocation-free drain: appends up to `max` entries to `out` (which the
+  /// caller clears and reuses across polls, like a driver's RX burst array).
+  /// Returns the number of entries appended.
+  std::size_t drain_into(std::vector<Entry>& out, std::size_t max = SIZE_MAX);
+
   [[nodiscard]] std::size_t pending() const { return ring_.size(); }
-  void set_ring_capacity(std::size_t n) { ring_capacity_ = n; }
+  void set_ring_capacity(std::size_t n) {
+    ring_capacity_ = n;
+    ring_.set_capacity(n);
+  }
 
   /// Sink mode: entries go to the callback only and are not stored in the
   /// ring (for measurement taps like the inter-arrival recorder that would
@@ -163,7 +180,7 @@ class RxQueueModel {
  private:
   friend class Port;
 
-  std::deque<Entry> ring_;
+  membuf::BoundedRing<Entry> ring_{4096};
   std::size_t ring_capacity_ = 4096;
   bool store_ = true;
   Callback callback_;
@@ -238,6 +255,14 @@ class Port {
   /// True while the MAC is serializing a frame.
   [[nodiscard]] bool transmitting() const { return serializer_busy_; }
 
+  /// Maximum frames serialized per engine event on the uncontrolled
+  /// fast path (see DESIGN.md, "Event-engine fast path"). Wire timestamps
+  /// are identical for any value; sinks and TX counters observe frames at
+  /// batch granularity (skew bounded by one batch). 1 disables batching
+  /// (one event per frame, the pre-batching behaviour).
+  void set_tx_batch_frames(std::size_t n) { tx_batch_frames_ = n > 0 ? n : 1; }
+  [[nodiscard]] std::size_t tx_batch_frames() const { return tx_batch_frames_; }
+
  private:
   friend class TxQueueModel;
 
@@ -246,6 +271,12 @@ class Port {
   void fetch_descriptors(TxQueueModel& q);
   void try_transmit();
   void start_transmission(TxQueueModel& q);
+  /// Serializes a run of back-to-back frames from an uncontrolled,
+  /// solely-engaged queue in one engine event.
+  void start_batch_transmission(TxQueueModel& q);
+  /// True when `q` may use the batched fast path: no hardware rate limiter
+  /// on `q` and every other queue idle, so arbitration is a no-op.
+  [[nodiscard]] bool batching_allowed(const TxQueueModel& q) const;
   void apply_rate_limit(TxQueueModel& q, const Frame& frame, sim::SimTime tx_start);
   [[nodiscard]] bool frame_matches_ptp_filter(const Frame& frame) const;
 
@@ -265,6 +296,7 @@ class Port {
   bool wake_scheduled_ = false;
   sim::SimTime scheduled_wake_ps_ = 0;
   int rr_next_ = 0;  // round-robin arbiter position
+  std::size_t tx_batch_frames_ = 16;
 
   PortStats stats_;
   PortTelemetry tm_;

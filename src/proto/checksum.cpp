@@ -34,12 +34,6 @@ bool verify_ipv4_checksum(const Ipv4Header& ip) {
   return checksum_finish(checksum_partial({bytes, ip.header_length()})) == 0;
 }
 
-std::uint32_t ipv4_pseudo_header_sum(const Ipv4Header& ip, std::uint16_t l4_length) {
-  const std::uint32_t src = ntoh32(ip.src_be);
-  const std::uint32_t dst = ntoh32(ip.dst_be);
-  return (src >> 16) + (src & 0xffff) + (dst >> 16) + (dst & 0xffff) + ip.protocol + l4_length;
-}
-
 std::uint32_t ipv6_pseudo_header_sum(const Ipv6Header& ip, std::uint32_t l4_length,
                                      std::uint8_t next_header) {
   std::uint32_t sum = 0;

@@ -34,8 +34,13 @@ bool verify_ipv4_checksum(const Ipv4Header& ip);
 
 /// Partial sum of the IPv4 pseudo header (src, dst, protocol, L4 length).
 /// This is the part the X540 cannot compute itself and MoonGen calculates
-/// in software before enabling UDP/TCP offloading.
-std::uint32_t ipv4_pseudo_header_sum(const Ipv4Header& ip, std::uint16_t l4_length);
+/// in software before enabling UDP/TCP offloading. Inline: this runs once
+/// per transmitted packet on the offload fast path.
+inline std::uint32_t ipv4_pseudo_header_sum(const Ipv4Header& ip, std::uint16_t l4_length) {
+  const std::uint32_t src = ntoh32(ip.src_be);
+  const std::uint32_t dst = ntoh32(ip.dst_be);
+  return (src >> 16) + (src & 0xffff) + (dst >> 16) + (dst & 0xffff) + ip.protocol + l4_length;
+}
 
 /// Partial sum of the IPv6 pseudo header.
 std::uint32_t ipv6_pseudo_header_sum(const Ipv6Header& ip, std::uint32_t l4_length,

@@ -1,33 +1,232 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
+#include <bit>
+#include <chrono>
 #include <stdexcept>
+
+#include "telemetry/registry.hpp"
 
 namespace moongen::sim {
 
+namespace {
+
+constexpr std::uint64_t kNoSlot = UINT64_MAX;
+
+std::uint64_t wall_ns() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+}  // namespace
+
 void EventQueue::schedule_at(SimTime t, Action action) {
+  pool_[route_event(t)].ev.action = std::move(action);
+}
+
+std::uint32_t EventQueue::route_event(SimTime t) {
   if (t < now_) throw std::logic_error("EventQueue: scheduling into the past");
-  events_.push(Event{t, next_seq_++, std::move(action)});
+  const std::uint64_t seq = next_seq_++;
+  const std::uint64_t abs_slot = t >> kSlotShift;
+  const std::uint32_t node = acquire_node();
+  Node& nd = pool_[node];
+  nd.ev.time = t;
+  nd.ev.seq = seq;
+  if (abs_slot > cursor_ && abs_slot - cursor_ < kNumSlots) {
+    // Wheel window: O(1) push onto the slot's node chain.
+    ++wheel_scheduled_;
+    const std::uint64_t idx = abs_slot & (kNumSlots - 1);
+    nd.next = slot_head_[idx];
+    slot_head_[idx] = node;
+    occupied_[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+    ++bucket_count_;
+  } else if (abs_slot <= cursor_) {
+    // The target slot has already been drained into ready_ (events landing
+    // at or before the cursor slot, e.g. schedule_in(0)); keep ready_
+    // sorted by inserting behind everything that runs earlier. A new seq is
+    // larger than every pending one, so upper_bound by time alone suffices.
+    ++wheel_scheduled_;
+    const auto pos = std::upper_bound(
+        ready_.begin() + static_cast<std::ptrdiff_t>(ready_pos_), ready_.end(),
+        EventKey{t, seq, node}, Sooner{});
+    ready_.insert(pos, EventKey{t, seq, node});
+  } else {
+    ++heap_scheduled_;
+    nd.next = kNil;
+    heap_.push_back(EventKey{t, seq, node});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+  }
+  return node;
+}
+
+std::uint64_t EventQueue::next_occupied_slot() const {
+  if (bucket_count_ == 0) return kNoSlot;
+  // Scan the occupancy bitmap circularly starting just past the cursor. The
+  // active window is (cursor_, cursor_ + kNumSlots), so every set bit maps
+  // to exactly one absolute slot in that range.
+  const std::uint64_t start = cursor_ + 1;
+  std::uint64_t bit = start & (kNumSlots - 1);
+  std::uint64_t word_idx = bit >> 6;
+  std::uint64_t word = occupied_[word_idx] & (~std::uint64_t{0} << (bit & 63));
+  for (std::size_t scanned = 0;;) {
+    if (word != 0) {
+      const auto found_bit = (word_idx << 6) + static_cast<std::uint64_t>(std::countr_zero(word));
+      // Map the ring position back to an absolute slot index in the window.
+      const std::uint64_t delta = (found_bit - start) & (kNumSlots - 1);
+      return start + delta;
+    }
+    ++scanned;
+    if (scanned >= kNumSlots / 64 + 1) return kNoSlot;
+    word_idx = (word_idx + 1) & (kNumSlots / 64 - 1);
+    word = occupied_[word_idx];
+  }
+}
+
+void EventQueue::drain_slot(std::uint64_t abs_slot) {
+  const std::uint64_t idx = abs_slot & (kNumSlots - 1);
+  occupied_[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
+  ready_.clear();
+  ready_pos_ = 0;
+  std::uint32_t n = slot_head_[idx];
+  slot_head_[idx] = kNil;
+  while (n != kNil) {
+    const Event& e = pool_[n].ev;
+    ready_.push_back(EventKey{e.time, e.seq, n});
+    n = pool_[n].next;
+  }
+  bucket_count_ -= ready_.size();
+  // The chain is LIFO scheduling order; reversing it restores FIFO, which
+  // for the common monotonically-scheduled bucket is already (time, seq)
+  // order — the sort then only runs for out-of-order mixes.
+  if (ready_.size() > 1) {
+    std::reverse(ready_.begin(), ready_.end());
+    if (!std::is_sorted(ready_.begin(), ready_.end(), Sooner{})) {
+      std::sort(ready_.begin(), ready_.end(), Sooner{});
+    }
+  }
+  cursor_ = abs_slot;
+}
+
+void EventQueue::sync_cursor() {
+  const std::uint64_t target = now_ >> kSlotShift;
+  if (target <= cursor_) return;
+  // All ready_ events belong to slots <= cursor_ < target, i.e. they ran
+  // before now_ advanced here; the buffer is fully consumed.
+  if ((occupied_[(target & (kNumSlots - 1)) >> 6] >> (target & 63)) & 1u) {
+    drain_slot(target);
+  } else {
+    ready_.clear();
+    ready_pos_ = 0;
+    cursor_ = target;
+  }
+}
+
+const EventQueue::Event* EventQueue::peek_next(bool& from_heap) {
+  const Event* wheel = nullptr;
+  if (ready_pos_ < ready_.size()) {
+    wheel = &pool_[ready_[ready_pos_].node].ev;
+  } else {
+    const std::uint64_t s = next_occupied_slot();
+    if (s != kNoSlot) {
+      const SimTime slot_start = static_cast<SimTime>(s) << kSlotShift;
+      if (!heap_.empty() && heap_.front().time < slot_start) {
+        // The heap event runs strictly before anything in slot s; do NOT
+        // advance the cursor past slots that new events may still target.
+        from_heap = true;
+        return &pool_[heap_.front().node].ev;
+      }
+      drain_slot(s);
+      wheel = &pool_[ready_[ready_pos_].node].ev;
+    }
+  }
+  if (!heap_.empty()) {
+    const EventKey& h = heap_.front();
+    if (wheel == nullptr ||
+        (h.time != wheel->time ? h.time < wheel->time : h.seq < wheel->seq)) {
+      from_heap = true;
+      return &pool_[h.node].ev;
+    }
+  }
+  if (wheel != nullptr) {
+    from_heap = false;
+    return wheel;
+  }
+  return nullptr;
+}
+
+void EventQueue::execute(bool from_heap) {
+  // Steal only the action: the node returns to the freelist before the
+  // action runs, so a self-rescheduling timer reuses its own (cache-hot)
+  // node. The action must be moved out first — the body may schedule, which
+  // can grow pool_ and invalidate node references.
+  std::uint32_t node;
+  if (from_heap) {
+    node = heap_.front().node;
+    now_ = heap_.front().time;
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  } else {
+    const EventKey& k = ready_[ready_pos_++];
+    node = k.node;
+    now_ = k.time;
+  }
+  Action act(std::move(pool_[node].ev.action));
+  release_node(node);
+  sync_cursor();
+  ++executed_;
+  act();
 }
 
 bool EventQueue::step() {
-  if (events_.empty()) return false;
-  // priority_queue::top returns const&; the action must be moved out before
-  // pop, so copy the metadata and steal the closure.
-  Event ev = std::move(const_cast<Event&>(events_.top()));
-  events_.pop();
-  now_ = ev.time;
-  ++executed_;
-  ev.action();
+  bool from_heap = false;
+  if (peek_next(from_heap) == nullptr) return false;
+  execute(from_heap);
   return true;
 }
 
 void EventQueue::run_until(SimTime t) {
-  while (!stopped_ && !events_.empty() && events_.top().time <= t) step();
-  if (!stopped_ && now_ < t) now_ = t;
+  const std::uint64_t t0 = wall_ns();
+  while (!stopped_) {
+    bool from_heap = false;
+    const Event* next = peek_next(from_heap);
+    if (next == nullptr || next->time > t) break;
+    execute(from_heap);
+  }
+  if (!stopped_ && now_ < t) {
+    now_ = t;
+    sync_cursor();
+  }
+  run_wall_ns_ += wall_ns() - t0;
 }
 
 void EventQueue::run() {
+  const std::uint64_t t0 = wall_ns();
   while (!stopped_ && step()) {
+  }
+  run_wall_ns_ += wall_ns() - t0;
+}
+
+void EventQueue::bind_telemetry(telemetry::MetricRegistry& registry, const std::string& prefix) {
+  if (tm_executed_ != nullptr) return;  // already bound
+  tm_executed_ = &registry.counter(prefix + ".events_executed");
+  tm_wheel_ = &registry.counter(prefix + ".wheel_scheduled");
+  tm_heap_ = &registry.counter(prefix + ".heap_scheduled");
+  tm_rate_ = &registry.gauge(prefix + ".events_per_wall_second");
+  publish_telemetry();
+}
+
+void EventQueue::publish_telemetry() {
+  if (tm_executed_ == nullptr) return;
+  tm_executed_->add(executed_ - tm_executed_published_);
+  tm_wheel_->add(wheel_scheduled_ - tm_wheel_published_);
+  tm_heap_->add(heap_scheduled_ - tm_heap_published_);
+  tm_executed_published_ = executed_;
+  tm_wheel_published_ = wheel_scheduled_;
+  tm_heap_published_ = heap_scheduled_;
+  if (run_wall_ns_ > 0) {
+    tm_rate_->set(static_cast<double>(executed_) /
+                  (static_cast<double>(run_wall_ns_) / 1e9));
   }
 }
 

@@ -414,3 +414,62 @@ TEST(ThroughputModel, Xl710DualPortCaps) {
   // Dual-port large packets: capped at ~50 Gbit/s, not 2x40 (Section 5.4).
   EXPECT_NEAR(r.total_wire_mbit, 50'000, 100);
 }
+
+// ---------------------------------------------------------------------------
+// Batched TX fast path (see DESIGN.md, "Event-engine fast path")
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Runs the CRC-paced generator (valid frames + invalid gap frames on an
+// uncontrolled queue — the batched fast path) and captures the wire stream.
+std::vector<std::pair<mn::Frame, ms::SimTime>> run_crc_stream(std::size_t batch_frames) {
+  ms::EventQueue events;
+  mn::Port port(events, mn::intel_x540(), 10'000, 99);
+  port.set_tx_batch_frames(batch_frames);
+  CaptureSink sink;
+  port.set_tx_sink(&sink);
+  auto gen = mc::SimLoadGen::crc_paced(port.tx_queue(0), udp_frame(),
+                                       std::make_unique<mc::CbrPattern>(5.0), 10'000);
+  events.run_until(2 * ms::kPsPerMs);
+  return std::move(sink.frames);
+}
+
+}  // namespace
+
+TEST(PortBatching, WireTimestampsMatchUnbatched) {
+  const auto unbatched = run_crc_stream(1);   // one event per frame
+  const auto batched = run_crc_stream(16);    // default fast path
+  ASSERT_GT(unbatched.size(), 10'000u);
+  // The batched run may have notified up to one batch of still-serializing
+  // frames at the cutoff; everything both runs observed must be identical.
+  ASSERT_LE(batched.size() - unbatched.size(), 16u);
+  ASSERT_GE(batched.size(), unbatched.size());
+  for (std::size_t i = 0; i < unbatched.size(); ++i) {
+    ASSERT_EQ(unbatched[i].second, batched[i].second) << "tx_start diverges at frame " << i;
+    ASSERT_EQ(unbatched[i].first.seq, batched[i].first.seq) << "frame order diverges at " << i;
+    ASSERT_EQ(unbatched[i].first.fcs_valid, batched[i].first.fcs_valid);
+    ASSERT_EQ(unbatched[i].first.wire_bytes(), batched[i].first.wire_bytes());
+  }
+}
+
+TEST(PortBatching, BatchingCutsEventsPerFrame) {
+  ms::EventQueue events;
+  mn::Port port(events, mn::intel_x540(), 10'000, 7);
+  port.tx_queue(0).set_refill([] { return udp_frame(); });
+  events.run_until(ms::kPsPerMs);
+  const double events_per_frame =
+      static_cast<double>(events.executed()) / static_cast<double>(port.stats().tx_packets);
+  // One completion event per 16-frame batch (plus the lone first frame).
+  EXPECT_LT(events_per_frame, 0.2);
+  EXPECT_GT(port.stats().tx_packets, 14'000u);
+}
+
+TEST(PortBatching, DisabledBatchingKeepsPerFrameEvents) {
+  ms::EventQueue events;
+  mn::Port port(events, mn::intel_x540(), 10'000, 7);
+  port.set_tx_batch_frames(1);
+  port.tx_queue(0).set_refill([] { return udp_frame(); });
+  events.run_until(ms::kPsPerMs);
+  EXPECT_GE(events.executed(), port.stats().tx_packets);
+}

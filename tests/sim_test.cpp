@@ -2,6 +2,7 @@
 // clock-synchronization algorithm (paper Sections 6.1-6.3).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <random>
 #include <set>
@@ -11,6 +12,7 @@
 #include "sim/event_queue.hpp"
 #include "sim/ptp_clock.hpp"
 #include "sim/time.hpp"
+#include "telemetry/registry.hpp"
 
 namespace ms = moongen::sim;
 
@@ -86,6 +88,167 @@ TEST(EventQueue, SchedulingIntoThePastThrows) {
   q.schedule_at(100, [] {});
   q.run();
   EXPECT_THROW(q.schedule_at(50, [] {}), std::logic_error);
+}
+
+TEST(EventQueue, RoutesNearTimersToWheelAndFarToHeap) {
+  ms::EventQueue q;
+  q.schedule_in(ms::EventQueue::kHorizonPs - 1, [] {});  // last wheel slot
+  EXPECT_EQ(q.wheel_scheduled(), 1u);
+  EXPECT_EQ(q.heap_scheduled(), 0u);
+  q.schedule_in(ms::EventQueue::kHorizonPs, [] {});  // first heap time
+  EXPECT_EQ(q.heap_scheduled(), 1u);
+  q.schedule_in(0, [] {});  // cursor slot: wheel (sorted ready insert)
+  EXPECT_EQ(q.wheel_scheduled(), 2u);
+  q.run();
+  EXPECT_EQ(q.executed(), 3u);
+}
+
+TEST(EventQueue, FifoAcrossWheelHeapBoundary) {
+  // Two events at the SAME time T, scheduled from different distances: the
+  // first lands in the overflow heap (T is beyond the horizon), the second
+  // in the wheel (scheduled later, when T is near). FIFO order among equal
+  // times must still be scheduling order: heap event first.
+  ms::EventQueue q;
+  const ms::SimTime t_target = ms::EventQueue::kHorizonPs + 100'000;
+  std::vector<int> order;
+  q.schedule_at(t_target, [&] { order.push_back(0) ; });  // heap (far)
+  EXPECT_EQ(q.heap_scheduled(), 1u);
+  q.schedule_at(200'000, [&, t_target] {
+    q.schedule_at(t_target, [&] { order.push_back(1); });  // wheel (near now)
+  });
+  q.run();
+  EXPECT_EQ(q.wheel_scheduled(), 2u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(EventQueue, HeapEventBetweenOccupiedWheelSlots) {
+  // A heap timer that fires BEFORE the next occupied wheel slot: the engine
+  // must run it without draining (and skipping past) that slot, because
+  // events scheduled afterwards may still target earlier slots.
+  ms::EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(ms::EventQueue::kHorizonPs + 10, [&] {
+    order.push_back(0);
+    q.schedule_in(100, [&] { order.push_back(1); });  // earlier than the slot below
+  });
+  q.schedule_at(600'000, [&] {
+    // One slot short of the full horizon: lands in the wheel, in a slot
+    // that starts AFTER the heap event above fires.
+    q.schedule_in(ms::EventQueue::kHorizonPs - ms::EventQueue::kSlotWidth,
+                  [&] { order.push_back(2); });
+  });
+  q.run();
+  EXPECT_EQ(q.wheel_scheduled(), 3u);
+  EXPECT_EQ(q.heap_scheduled(), 1u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, WheelWrapsAroundManyHorizons) {
+  // A self-rescheduling timer stepping by ~0.6 slots for > 3 wheel
+  // revolutions: every slot index gets reused, cursor wrap must not lose or
+  // reorder events.
+  ms::EventQueue q;
+  const ms::SimTime step = (ms::EventQueue::kSlotWidth * 3) / 5;
+  const int n = static_cast<int>(3 * ms::EventQueue::kNumSlots * 5 / 3);
+  int fired = 0;
+  std::function<void()> tick = [&] {
+    if (++fired < n) q.schedule_in(step, tick);
+  };
+  q.schedule_at(0, tick);
+  q.run();
+  EXPECT_EQ(fired, n);
+  EXPECT_EQ(q.now(), static_cast<ms::SimTime>(n - 1) * step);
+  EXPECT_EQ(q.executed(), static_cast<std::uint64_t>(n));
+}
+
+TEST(EventQueue, DeterminismPropertyAgainstReferenceOrder) {
+  // Randomized schedule mixing wheel, heap, boundary and same-time events,
+  // partly scheduled from inside running events. Execution order must equal
+  // the specification: stable sort by time with scheduling order as the
+  // tie-break — independently of which structure (wheel slot, ready buffer,
+  // heap) each event traverses.
+  std::mt19937_64 rng(0xE1E77);
+  for (int trial = 0; trial < 20; ++trial) {
+    ms::EventQueue q;
+    struct Rec {
+      ms::SimTime time;
+      std::uint64_t seq;
+    };
+    std::vector<Rec> scheduled;  // in scheduling order
+    std::vector<std::uint64_t> executed;
+    std::uint64_t next_id = 0;
+
+    auto random_time = [&](ms::SimTime from) -> ms::SimTime {
+      switch (rng() % 4) {
+        case 0:  // same-time clusters on a coarse grid
+          return from + (rng() % 16) * ms::EventQueue::kSlotWidth;
+        case 1:  // near future, inside the wheel
+          return from + rng() % ms::EventQueue::kHorizonPs;
+        case 2:  // around the horizon boundary
+          return from + ms::EventQueue::kHorizonPs - 5 + rng() % 10;
+        default:  // far future, overflow heap
+          return from + ms::EventQueue::kHorizonPs * (1 + rng() % 3) + rng() % 1'000;
+      }
+    };
+
+    std::function<void(ms::SimTime, int)> add = [&](ms::SimTime t, int children) {
+      const std::uint64_t id = next_id++;
+      scheduled.push_back({t, id});
+      q.schedule_at(t, [&, t, id, children] {
+        executed.push_back(id);
+        for (int c = 0; c < children; ++c) add(random_time(t), 0);
+      });
+    };
+    for (int i = 0; i < 400; ++i) add(random_time(0), static_cast<int>(rng() % 3));
+    q.run();
+
+    ASSERT_EQ(executed.size(), scheduled.size()) << "trial " << trial;
+    std::stable_sort(scheduled.begin(), scheduled.end(), [](const Rec& a, const Rec& b) {
+      return a.time != b.time ? a.time < b.time : a.seq < b.seq;
+    });
+    for (std::size_t i = 0; i < scheduled.size(); ++i) {
+      ASSERT_EQ(executed[i], scheduled[i].seq) << "trial " << trial << " position " << i;
+    }
+  }
+}
+
+TEST(EventQueue, InlineSchedulingRejectsNothingThatFits) {
+  // The hot-path static_assert gate: a 48-byte closure schedules inline.
+  ms::EventQueue q;
+  struct Big {
+    std::uint64_t a[5];
+    int* hit;
+    void operator()() const { ++*hit; }
+  };
+  static_assert(ms::InlineFunction::fits_inline<Big>());
+  int hits = 0;
+  q.schedule_in_inline(10, Big{{1, 2, 3, 4, 5}, &hits});
+  q.run();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(EventQueue, PublishesEngineTelemetry) {
+  moongen::telemetry::MetricRegistry registry;
+  ms::EventQueue q;
+  q.bind_telemetry(registry, "engine");
+  q.schedule_in(100, [&] { q.schedule_in(ms::EventQueue::kHorizonPs * 2, [] {}); });
+  q.run();
+  q.publish_telemetry();
+  const auto snap = registry.snapshot();
+  std::uint64_t executed = 0, wheel = 0, heap = 0;
+  for (const auto& c : snap.counters) {
+    if (c.name == "engine.events_executed") executed = c.value;
+    if (c.name == "engine.wheel_scheduled") wheel = c.value;
+    if (c.name == "engine.heap_scheduled") heap = c.value;
+  }
+  EXPECT_EQ(executed, 2u);
+  EXPECT_EQ(wheel, 1u);
+  EXPECT_EQ(heap, 1u);
+  bool found_rate = false;
+  for (const auto& g : snap.gauges) {
+    if (g.name == "engine.events_per_wall_second") found_rate = g.value > 0.0;
+  }
+  EXPECT_TRUE(found_rate);
 }
 
 TEST(SimTime, ByteTimes) {
