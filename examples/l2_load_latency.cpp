@@ -16,10 +16,17 @@
 // virtual time and the snapshot series is written as JSON (schema in
 // DESIGN.md, "Telemetry"); stdout is unchanged.
 //
+// With `--faults SPEC` a deterministic fault plane is installed on the
+// testbed (frame loss/corruption/reordering, link flaps, DuT stalls, clock
+// faults — see src/fault/fault.hpp for the spec mini-language); fault and
+// recovery counters are printed and exported with the telemetry.
+//
 // Usage: l2_load_latency [rate_mpps] [seconds] [cbr|poisson] [--json FILE]
+//                        [--faults SPEC]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <string>
@@ -29,6 +36,7 @@
 #include "core/rate_control.hpp"
 #include "core/timestamper.hpp"
 #include "dut/forwarder.hpp"
+#include "fault/fault.hpp"
 #include "nic/chip.hpp"
 #include "telemetry/exporters.hpp"
 #include "telemetry/registry.hpp"
@@ -37,6 +45,7 @@
 
 namespace mc = moongen::core;
 namespace md = moongen::dut;
+namespace mf = moongen::fault;
 namespace mn = moongen::nic;
 namespace ms = moongen::sim;
 namespace mt = moongen::telemetry;
@@ -44,12 +53,24 @@ namespace mw = moongen::wire;
 
 int main(int argc, char** argv) {
   std::string json_path;
+  std::string fault_spec_text;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc) {
+      fault_spec_text = argv[++i];
     } else {
       positional.push_back(argv[i]);
+    }
+  }
+  mf::FaultSpec fault_spec;
+  if (!fault_spec_text.empty()) {
+    try {
+      fault_spec = mf::FaultSpec::parse(fault_spec_text);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bad --faults spec: %s\n", e.what());
+      return 2;
     }
   }
   const double rate_mpps = positional.size() > 0 ? std::atof(positional[0]) : 1.0;
@@ -69,7 +90,22 @@ int main(int argc, char** argv) {
   md::Forwarder forwarder(events, dut_in, 0, dut_out, 0);
   sink.rx_queue(0).set_store(false);
 
+  // Fault plane: one seeded plane per run; every site draws its own RNG
+  // stream, so the fault sequence is reproducible for a fixed spec.
+  std::unique_ptr<mf::FaultPlane> faults;
+  if (!fault_spec.empty()) {
+    faults = std::make_unique<mf::FaultPlane>(fault_spec, &events);
+    l1.install_faults(*faults, "wire.l1");
+    l2.install_faults(*faults, "wire.l2");
+    dut_in.install_faults(*faults, "nic.dut_in");
+    sink.install_faults(*faults, "nic.sink");
+    forwarder.install_faults(*faults, "dut.fwd");
+    faults->arm_clock_faults(gen_tx.ptp_clock(), "clock.gen_tx");
+    faults->arm_clock_faults(sink.ptp_clock(), "clock.sink");
+  }
+
   mt::MetricRegistry registry;
+  if (faults) faults->bind_telemetry(registry);
   events.bind_telemetry(registry, "engine");
   gen_tx.bind_telemetry(registry, "port.gen_tx");
   dut_in.bind_telemetry(registry, "port.dut_in");
@@ -137,6 +173,23 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(forwarder.interrupts()),
               static_cast<unsigned long long>(forwarder.polls()),
               static_cast<unsigned long long>(dut_in.stats().rx_ring_drops));
+  if (faults) {
+    std::printf("faults:   %llu injected (l1: %llu lost / %llu corrupt / %llu flaps, "
+                "dut stalls %llu, crc errors %llu)\n",
+                static_cast<unsigned long long>(faults->total_fires()),
+                static_cast<unsigned long long>(l1.fault_drops() + l1.flap_drops()),
+                static_cast<unsigned long long>(l1.corrupted()),
+                static_cast<unsigned long long>(l1.flaps()),
+                static_cast<unsigned long long>(forwarder.stalls()),
+                static_cast<unsigned long long>(dut_in.stats().crc_errors));
+    // Flaps pause the link's *transmitting* port, so resumes land on
+    // gen_tx/dut_out (l1/l2 senders); sum every port to catch both.
+    std::printf("recover:  %llu link resumes, %llu timestamper resyncs\n",
+                static_cast<unsigned long long>(
+                    gen_tx.stats().link_up_events + dut_in.stats().link_up_events +
+                    dut_out.stats().link_up_events + sink.stats().link_up_events),
+                static_cast<unsigned long long>(ts.resyncs()));
+  }
 
   if (!json_path.empty()) {
     events.publish_telemetry();  // engine.events_executed / wheel / heap / rate

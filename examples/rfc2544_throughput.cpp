@@ -7,20 +7,31 @@
 // sampled with hardware timestamps. This demonstrates that the commodity
 // generator covers the headline use case of IXIA/Spirent appliances.
 //
-// Usage: rfc2544_throughput [trial_seconds]
+// With `--faults SPEC` a deterministic fault plane (src/fault) is installed
+// on every trial testbed, so the binary search runs against real loss,
+// corruption, flapping links and a stalling DuT instead of a perfect lab.
+// The RFC 2544 criterion is unchanged — a trial passes only if the DuT
+// dropped nothing — so wire faults upstream of the DuT shrink the delivered
+// load while DuT-side faults (stalls, rx_overflow) shrink the loss-free rate.
+//
+// Usage: rfc2544_throughput [trial_seconds] [--faults SPEC]
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <exception>
 #include <memory>
 
 #include "core/rate_control.hpp"
 #include "core/timestamper.hpp"
 #include "dut/forwarder.hpp"
+#include "fault/fault.hpp"
 #include "nic/chip.hpp"
 #include "nic/throughput_model.hpp"
 #include "wire/link.hpp"
 
 namespace mc = moongen::core;
 namespace md = moongen::dut;
+namespace mf = moongen::fault;
 namespace mn = moongen::nic;
 namespace ms = moongen::sim;
 namespace mw = moongen::wire;
@@ -31,9 +42,11 @@ struct TrialResult {
   bool loss_free;
   double forwarded_mpps;
   double median_latency_us;
+  std::uint64_t faults_fired = 0;
 };
 
-TrialResult run_trial(std::size_t frame_size, double mpps, double seconds) {
+TrialResult run_trial(std::size_t frame_size, double mpps, double seconds,
+                      const mf::FaultSpec* fault_spec) {
   ms::EventQueue events;
   mn::Port gen_tx(events, mn::intel_x540(), 10'000, 11);
   mn::Port dut_in(events, mn::intel_x540(), 10'000, 12);
@@ -43,6 +56,19 @@ TrialResult run_trial(std::size_t frame_size, double mpps, double seconds) {
   mw::Link l2(dut_out, sink, mw::cat5e_10gbaset(2.0), 16);
   md::Forwarder forwarder(events, dut_in, 0, dut_out, 0);
   sink.rx_queue(0).set_store(false);
+
+  // Per-trial fault plane: every trial sees the same seeded fault sequence,
+  // so the binary search stays deterministic and comparable across rates.
+  std::unique_ptr<mf::FaultPlane> faults;
+  if (fault_spec != nullptr && !fault_spec->empty()) {
+    faults = std::make_unique<mf::FaultPlane>(*fault_spec, &events);
+    l1.install_faults(*faults, "wire.l1");
+    l2.install_faults(*faults, "wire.l2");
+    dut_in.install_faults(*faults, "nic.dut_in");
+    forwarder.install_faults(*faults, "dut.fwd");
+    faults->arm_clock_faults(gen_tx.ptp_clock(), "clock.gen_tx");
+    faults->arm_clock_faults(sink.ptp_clock(), "clock.sink");
+  }
   std::uint64_t sink_count = 0;
   sink.rx_queue(0).set_callback([&](const mn::RxQueueModel::Entry&) { ++sink_count; });
 
@@ -82,20 +108,42 @@ TrialResult run_trial(std::size_t frame_size, double mpps, double seconds) {
   r.loss_free = dut_in.stats().rx_ring_drops == 0;
   r.forwarded_mpps = static_cast<double>(forwarder.forwarded()) / seconds / 1e6;
   r.median_latency_us = static_cast<double>(ts.histogram().median()) / 1e6;
+  r.faults_fired = faults ? faults->total_fires() : 0;
   return r;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string fault_spec_text;
+  double trial_s = 0.5;
   // Short trials under-detect loss (the DuT's 4096-slot ring absorbs the
   // excess); 0.5 s is enough for the overload backlog to hit the ring.
-  const double trial_s = argc > 1 ? std::atof(argv[1]) : 0.5;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc) {
+      fault_spec_text = argv[++i];
+    } else {
+      trial_s = std::atof(argv[i]);
+    }
+  }
+  mf::FaultSpec fault_spec;
+  if (!fault_spec_text.empty()) {
+    try {
+      fault_spec = mf::FaultSpec::parse(fault_spec_text);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bad --faults spec: %s\n", e.what());
+      return 2;
+    }
+  }
   std::printf("RFC 2544-style throughput search (loss-free rate, OVS-like DuT)\n");
-  std::printf("trial duration %.2f s, binary search to 1%% resolution\n\n", trial_s);
-  std::printf("  %-10s %16s %16s %18s\n", "frame [B]", "line rate [Mpps]",
+  std::printf("trial duration %.2f s, binary search to 1%% resolution\n", trial_s);
+  if (!fault_spec.empty())
+    std::printf("fault plane: \"%s\" (seed %llu)\n", fault_spec_text.c_str(),
+                static_cast<unsigned long long>(fault_spec.seed));
+  std::printf("\n  %-10s %16s %16s %18s\n", "frame [B]", "line rate [Mpps]",
               "loss-free [Mpps]", "median lat. [us]");
 
+  std::uint64_t total_faults = 0;
   for (std::size_t frame_size : {64u, 128u, 256u, 512u, 1024u, 1518u}) {
     const double line = mn::line_rate_pps(10'000, frame_size) / 1e6;
     double lo = 0.0, hi = line;
@@ -103,7 +151,8 @@ int main(int argc, char** argv) {
     // DuT capacity is ~1.94 Mpps: start the search from the line rate.
     for (int iter = 0; iter < 8 && (hi - lo) / hi > 0.01; ++iter) {
       const double mid = (lo + hi) / 2.0;
-      const auto r = run_trial(frame_size, mid, trial_s);
+      const auto r = run_trial(frame_size, mid, trial_s, &fault_spec);
+      total_faults += r.faults_fired;
       if (r.loss_free) {
         lo = mid;
         best = r;
@@ -116,5 +165,8 @@ int main(int argc, char** argv) {
   }
   std::printf("\n(the DuT forwards ~1.94 Mpps regardless of frame size: small frames are\n"
               " CPU-bound; large frames approach their line rate)\n");
+  if (!fault_spec.empty())
+    std::printf("faults injected across all trials: %llu\n",
+                static_cast<unsigned long long>(total_faults));
   return 0;
 }

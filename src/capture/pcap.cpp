@@ -48,7 +48,13 @@ PcapWriter::PcapWriter(const std::string& path, std::uint32_t snaplen)
 
 PcapWriter::~PcapWriter() { out_.flush(); }
 
-void PcapWriter::write(std::span<const std::uint8_t> frame, std::uint64_t time_ns) {
+bool PcapWriter::write(std::span<const std::uint8_t> frame, std::uint64_t time_ns) {
+  if (!out_.good()) {
+    // Stream already failed (bad path, disk full earlier): refuse instead
+    // of silently pretending the record landed.
+    ++write_errors_;
+    return false;
+  }
   const auto incl = static_cast<std::uint32_t>(
       std::min<std::size_t>(frame.size(), snaplen_));
   const RecordHeader rec{static_cast<std::uint32_t>(time_ns / 1'000'000'000ull),
@@ -56,7 +62,14 @@ void PcapWriter::write(std::span<const std::uint8_t> frame, std::uint64_t time_n
                          static_cast<std::uint32_t>(frame.size())};
   out_.write(reinterpret_cast<const char*>(&rec), sizeof(rec));
   out_.write(reinterpret_cast<const char*>(frame.data()), incl);
+  if (!out_.good()) {
+    // The record is truncated on disk; report it so the capture's consumer
+    // knows the tail is not trustworthy.
+    ++write_errors_;
+    return false;
+  }
   ++packets_;
+  return true;
 }
 
 // ---------------------------------------------------------------------------

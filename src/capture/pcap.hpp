@@ -29,23 +29,33 @@ class PcapWriter {
   PcapWriter(const PcapWriter&) = delete;
   PcapWriter& operator=(const PcapWriter&) = delete;
 
-  /// Appends one frame with the given capture time.
-  void write(std::span<const std::uint8_t> frame, std::uint64_t time_ns);
+  /// Appends one frame with the given capture time. Returns false if the
+  /// record could not be (fully) written — disk full, closed file, earlier
+  /// stream error. Failed records are counted in write_errors() and NOT in
+  /// packets_written(): a fault-run capture must not silently lose frames.
+  bool write(std::span<const std::uint8_t> frame, std::uint64_t time_ns);
 
   /// Convenience for simulated frames (FCS is not part of the capture, as
   /// with real NIC captures).
-  void write(const nic::Frame& frame, sim::SimTime time_ps) {
-    write({frame.data->data(), frame.data->size()}, time_ps / sim::kPsPerNs);
+  bool write(const nic::Frame& frame, sim::SimTime time_ps) {
+    return write({frame.data->data(), frame.data->size()}, time_ps / sim::kPsPerNs);
   }
 
-  void flush() { out_.flush(); }
+  /// Flushes buffered records; false if the underlying stream is in error.
+  bool flush() {
+    out_.flush();
+    return out_.good();
+  }
   [[nodiscard]] std::uint64_t packets_written() const { return packets_; }
+  /// Records that failed to write (truncated or refused by the stream).
+  [[nodiscard]] std::uint64_t write_errors() const { return write_errors_; }
   [[nodiscard]] bool ok() const { return out_.good(); }
 
  private:
   std::ofstream out_;
   std::uint32_t snaplen_;
   std::uint64_t packets_ = 0;
+  std::uint64_t write_errors_ = 0;
 };
 
 struct PcapRecord {

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "proto/headers.hpp"
+#include "telemetry/registry.hpp"
 
 namespace moongen::core {
 
@@ -97,7 +98,65 @@ void TxQueue::pace(std::size_t wire_bytes) {
                                               rate_mbit_);
 }
 
+bool TxQueue::wait_for_link() {
+  // Bounded exponential backoff: ~1 us doubling per round. Sleeping (not
+  // spinning) frees the core; the bound guarantees forward progress even if
+  // the link never returns.
+  std::uint64_t wait_ns = 1'000;
+  for (unsigned round = 0; round < link_retry_limit_; ++round) {
+    if (dev_.link_up()) return true;
+    std::this_thread::sleep_for(std::chrono::nanoseconds(wait_ns));
+    wait_ns *= 2;
+  }
+  return dev_.link_up();
+}
+
+void TxQueue::drop_batch(membuf::BufArray& bufs) {
+  const auto packets = bufs.packets();
+  // Group frees by pool (same idiom as recycling) — cold path, but a flap
+  // storm should not hammer the pool lock per buffer.
+  std::size_t start = 0;
+  while (start < packets.size()) {
+    membuf::Mempool* pool = packets[start]->pool();
+    std::size_t end = start + 1;
+    while (end < packets.size() && packets[end]->pool() == pool) ++end;
+    pool->free_batch({packets.data() + start, end - start});
+    start = end;
+  }
+  dropped_ += packets.size();
+  if (tm_dropped_ != nullptr) tm_dropped_->add(packets.size());
+  bufs.set_size(0);
+}
+
+void TxQueue::bind_telemetry(telemetry::MetricRegistry& registry, const std::string& prefix) {
+  if (tm_sent_ != nullptr) return;  // already bound
+  tm_sent_ = &registry.counter(prefix + ".sent_packets");
+  tm_dropped_ = &registry.counter(prefix + ".dropped");
+  tm_short_ = &registry.counter(prefix + ".short_batches");
+  tm_link_wait_ = &registry.counter("recover." + prefix + ".link_wait");
+  tm_sent_->add(sent_packets_);
+  tm_dropped_->add(dropped_);
+  tm_short_->add(short_batches_);
+  tm_link_wait_->add(link_waits_);
+}
+
 std::uint16_t TxQueue::send(membuf::BufArray& bufs) {
+  if (!dev_.link_up()) {
+    if (!wait_for_link()) {
+      // Link stayed down through the whole retry budget: shed the batch
+      // instead of wedging the generator loop.
+      drop_batch(bufs);
+      return 0;
+    }
+    ++link_waits_;  // survived the outage — a recovery, not a drop
+    if (tm_link_wait_ != nullptr) tm_link_wait_->add(1);
+  }
+  if (bufs.last_shortfall() > 0) {
+    // The mempool came back short: the burst on the wire is smaller than
+    // the script asked for. Surface it — silent shrinkage skews CBR spacing.
+    ++short_batches_;
+    if (tm_short_ != nullptr) tm_short_->add(1);
+  }
   const auto packets = bufs.packets();
   if (rate_mbit_ > 0.0) {
     // Only a rate-limited queue needs the wire-size total; unlimited sends
@@ -162,6 +221,7 @@ std::uint16_t TxQueue::send(membuf::BufArray& bufs) {
   const auto n = static_cast<std::uint16_t>(packets.size());
   sent_packets_ += n;
   sent_bytes_ += batch_bytes;
+  if (tm_sent_ != nullptr) tm_sent_->add(n);
   bufs.set_size(0);  // buffers now belong to the queue until recycled
   return n;
 }

@@ -40,8 +40,10 @@ void Timestamper::bind_telemetry(telemetry::MetricRegistry& registry,
   tm_latency_ns_ = &registry.histogram(prefix + ".latency_ns", hist_cfg);
   tm_samples_ = &registry.counter(prefix + ".samples");
   tm_lost_ = &registry.counter(prefix + ".lost");
+  tm_resync_ = &registry.counter("recover." + prefix + ".resync");
   tm_samples_->add(samples_);
   tm_lost_->add(lost_);
+  tm_resync_->add(resyncs_);
 }
 
 void Timestamper::start() {
@@ -56,10 +58,18 @@ void Timestamper::take_sample() {
   (void)rx_port_.read_rx_timestamp();
 
   // Resynchronizing before each timestamped packet reduces drift to a
-  // ~0.0035 % relative error (Section 6.3).
-  if (cfg_.sync_clocks_each_sample) {
+  // ~0.0035 % relative error (Section 6.3). After a failed sample a resync
+  // is forced even when per-sample sync is off: a stepped clock (fault
+  // injection, NTP on the host) must not poison the rest of the run.
+  const bool forced = resync_pending_;
+  resync_pending_ = false;
+  if (cfg_.sync_clocks_each_sample || forced) {
     sim::synchronize_clocks(tx_port_.ptp_clock(), rx_port_.ptp_clock(), events_.now(), rng_,
                             cfg_.sync);
+    if (forced && !cfg_.sync_clocks_each_sample) {
+      ++resyncs_;
+      if (tm_resync_ != nullptr) tm_resync_->add(1);
+    }
   }
 
   armed_ = true;
@@ -108,8 +118,9 @@ void Timestamper::on_rx_stamp() {
   }
 }
 
-void Timestamper::finish_sample(bool /*success*/) {
+void Timestamper::finish_sample(bool success) {
   armed_ = false;
+  if (!success) resync_pending_ = true;
   if (!running_) return;
   events_.schedule_in(cfg_.sample_interval_ps, [this] { take_sample(); });
 }

@@ -63,6 +63,10 @@ class Timestamper {
   [[nodiscard]] const stats::RunningStats& latency_ns() const { return latency_ns_; }
   [[nodiscard]] std::uint64_t samples() const { return samples_; }
   [[nodiscard]] std::uint64_t lost() const { return lost_; }
+  /// Forced clock resyncs after a failed sample (recovery actions; only
+  /// incremented when sync_clocks_each_sample is off, where a stepped clock
+  /// would otherwise poison every later sample).
+  [[nodiscard]] std::uint64_t resyncs() const { return resyncs_; }
 
   /// Feeds every latency sample (in ns) into `<prefix>.latency_ns` of
   /// `registry` and counts samples/lost packets in `<prefix>.samples` /
@@ -88,6 +92,12 @@ class Timestamper {
   bool running_ = false;
   bool armed_ = false;
   std::uint64_t arm_token_ = 0;
+  /// A failed sample (timeout or negative delta) is the symptom of a lost
+  /// packet — or of a stepped/drifting clock. Force a resync before the
+  /// next sample so one clock fault cannot poison the rest of the run.
+  bool resync_pending_ = false;
+  std::uint64_t resyncs_ = 0;
+  telemetry::ShardedCounter* tm_resync_ = nullptr;
 
   stats::Histogram hist_;
   stats::RunningStats latency_ns_;

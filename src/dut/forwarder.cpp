@@ -51,7 +51,22 @@ void Forwarder::fire_interrupt() {
   poll();
 }
 
+void Forwarder::install_faults(fault::FaultPlane& plane, const std::string& site) {
+  fp_stall_ = plane.point(fault::FaultKind::kStall, site);
+}
+
 void Forwarder::poll() {
+  if (fp_stall_.installed()) {
+    if (const auto* rule = fp_stall_.fire(events_.now()); rule != nullptr) {
+      // The DuT core is off doing something else; the poll resumes after
+      // the stall and finds a fuller ring (latency spike, Figure 11 style).
+      ++stalls_;
+      const auto stall_ps =
+          rule->param > 0 ? static_cast<sim::SimTime>(rule->param) : sim::SimTime{50'000'000};
+      events_.schedule_in(stall_ps, [this] { poll(); });
+      return;
+    }
+  }
   ++polls_;
   poll_scratch_.clear();
   rx_.drain_into(poll_scratch_, static_cast<std::size_t>(cfg_.poll_budget));

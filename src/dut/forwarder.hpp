@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <random>
 
+#include "fault/fault.hpp"
 #include "nic/port.hpp"
 #include "sim/event_queue.hpp"
 #include "stats/running_stats.hpp"
@@ -71,6 +72,12 @@ class Forwarder {
   [[nodiscard]] const stats::RunningStats& internal_latency_ns() const { return latency_ns_; }
   [[nodiscard]] int itr_class() const { return itr_class_; }
 
+  /// Arms the stall fault site: a fire freezes the poll loop for the
+  /// rule's `param` ps (default 50 us) — scheduler preemption, SMI, or cache
+  /// trashing on the DuT core. Packets queue in the RX ring meanwhile.
+  void install_faults(fault::FaultPlane& plane, const std::string& site);
+  [[nodiscard]] std::uint64_t stalls() const { return stalls_; }
+
   /// Interrupt count can be sampled and reset to compute rates per window.
   std::uint64_t take_interrupt_count() {
     const std::uint64_t n = interrupts_;
@@ -102,6 +109,9 @@ class Forwarder {
   std::mt19937_64 rng_;
   /// Reused RX burst array (cleared per poll); grows to poll_budget once.
   std::vector<nic::RxQueueModel::Entry> poll_scratch_;
+
+  fault::FaultPoint fp_stall_;
+  std::uint64_t stalls_ = 0;
 
   std::uint64_t interrupts_ = 0;
   std::uint64_t interrupts_since_sample_ = 0;

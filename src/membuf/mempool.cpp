@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/registry.hpp"
+
 namespace moongen::membuf {
 
 Mempool::Mempool(std::size_t capacity, InitFn init) {
@@ -17,8 +19,20 @@ Mempool::Mempool(std::size_t capacity, InitFn init) {
   low_watermark_ = capacity;
 }
 
+void Mempool::note_exhausted() {
+  ++exhausted_events_;
+  if (tm_exhausted_ != nullptr) tm_exhausted_->add(1);
+}
+
 std::size_t Mempool::alloc_batch(std::span<PktBuf*> out, std::size_t frame_length) {
   lock();
+  if (fp_alloc_fail_.installed() && fp_alloc_fail_.fire() != nullptr) {
+    // Injected transient exhaustion: the whole request fails, exactly as if
+    // another queue had momentarily drained the pool.
+    note_exhausted();
+    unlock();
+    return 0;
+  }
   const std::size_t n = std::min(out.size(), free_list_.size());
   for (std::size_t i = 0; i < n; ++i) {
     PktBuf* buf = free_list_.back();
@@ -27,9 +41,26 @@ std::size_t Mempool::alloc_batch(std::span<PktBuf*> out, std::size_t frame_lengt
     buf->flags_ = OffloadFlags{};
     out[i] = buf;
   }
+  if (n < out.size()) note_exhausted();
   low_watermark_ = std::min(low_watermark_, free_list_.size());
   unlock();
   return n;
+}
+
+void Mempool::bind_telemetry(telemetry::MetricRegistry& registry, const std::string& prefix) {
+  if (tm_exhausted_ != nullptr) return;  // already bound
+  auto& counter = registry.counter(prefix + ".exhausted");
+  lock();
+  counter.add(exhausted_events_);  // seed with history, as elsewhere
+  tm_exhausted_ = &counter;
+  unlock();
+}
+
+void Mempool::install_faults(fault::FaultPlane& plane, const std::string& site) {
+  auto point = plane.point(fault::FaultKind::kAllocFail, site);
+  lock();
+  fp_alloc_fail_ = point;
+  unlock();
 }
 
 PktBuf* Mempool::alloc(std::size_t frame_length) {

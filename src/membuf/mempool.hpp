@@ -7,12 +7,20 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "membuf/pktbuf.hpp"
+
+namespace moongen::telemetry {
+class MetricRegistry;
+class ShardedCounter;
+}  // namespace moongen::telemetry
 
 namespace moongen::membuf {
 
@@ -47,6 +55,19 @@ class Mempool {
   /// Smallest number of free buffers ever observed (diagnostic watermark).
   [[nodiscard]] std::size_t low_watermark() const { return low_watermark_; }
 
+  /// Times an allocation came back short (pool genuinely empty or an
+  /// injected transient failure) — the signal the TX path's retry logic and
+  /// the `<prefix>.exhausted` telemetry counter are built on.
+  [[nodiscard]] std::uint64_t exhausted_events() const { return exhausted_events_; }
+
+  /// Mirrors exhaustion events into `<prefix>.exhausted` of `registry`.
+  void bind_telemetry(telemetry::MetricRegistry& registry, const std::string& prefix);
+
+  /// Arms the alloc-failure fault site: a fire makes the next alloc_batch
+  /// return 0, as if the pool were momentarily drained. Probes run under
+  /// the pool lock, so multi-threaded pools stay deterministic per seed.
+  void install_faults(fault::FaultPlane& plane, const std::string& site);
+
  private:
   /// Tells the CPU this is a spin-wait: on x86 PAUSE backs off the
   /// speculative pipeline and yields the core to the lock holder on SMT
@@ -68,10 +89,15 @@ class Mempool {
   }
   void unlock() const { lock_.clear(std::memory_order_release); }
 
+  void note_exhausted();
+
   std::vector<std::unique_ptr<PktBuf>> storage_;
   std::vector<PktBuf*> free_list_;
   std::size_t low_watermark_;
   mutable std::atomic_flag lock_ = ATOMIC_FLAG_INIT;
+  std::uint64_t exhausted_events_ = 0;  // guarded by lock_
+  telemetry::ShardedCounter* tm_exhausted_ = nullptr;
+  fault::FaultPoint fp_alloc_fail_;
 };
 
 }  // namespace moongen::membuf

@@ -117,7 +117,7 @@ void Port::fetch_descriptors(TxQueueModel& q) {
 }
 
 void Port::try_transmit() {
-  if (serializer_busy_) return;
+  if (serializer_busy_ || !link_up_) return;
   const sim::SimTime now = events_.now();
   const int n = spec_.num_queues;
   sim::SimTime earliest_blocked = UINT64_MAX;
@@ -347,7 +347,11 @@ void Port::deliver_frame(const Frame& frame, sim::SimTime first_bit_ps) {
       queue_index = rss_->steer(frame);
     }
     auto& q = *rx_queues_[static_cast<std::size_t>(queue_index)];
-    if (q.store_ && q.ring_.size() >= q.ring_capacity_) {
+    // Injected overflow takes the same path as a genuinely full ring: only
+    // the drop counter moves, software sees a gap in the stream.
+    if (q.store_ &&
+        (q.ring_.size() >= q.ring_capacity_ ||
+         (fp_rx_overflow_.installed() && fp_rx_overflow_.fire(events_.now()) != nullptr))) {
       stats_.rx_ring_drops += 1;
       if (tm_.rx_ring_drops != nullptr) tm_.rx_ring_drops->add(1);
       return;
@@ -376,6 +380,7 @@ void Port::bind_telemetry(telemetry::MetricRegistry& registry, const std::string
   tm_.rx_bytes = &registry.counter(prefix + ".rx_bytes");
   tm_.crc_errors = &registry.counter(prefix + ".crc_errors");
   tm_.rx_ring_drops = &registry.counter(prefix + ".rx_ring_drops");
+  tm_.link_resume = &registry.counter("recover." + prefix + ".link_resume");
   // Re-binding mid-run would double-count history; seed the counters with
   // the current totals so registry and PortStats agree from this point on.
   tm_.tx_packets->add(stats_.tx_packets);
@@ -384,6 +389,25 @@ void Port::bind_telemetry(telemetry::MetricRegistry& registry, const std::string
   tm_.rx_bytes->add(stats_.rx_bytes);
   tm_.crc_errors->add(stats_.crc_errors);
   tm_.rx_ring_drops->add(stats_.rx_ring_drops);
+  tm_.link_resume->add(stats_.link_up_events);
+}
+
+void Port::set_link_state(bool up) {
+  if (up == link_up_) return;
+  link_up_ = up;
+  if (up) {
+    stats_.link_up_events += 1;
+    if (tm_.link_resume != nullptr) tm_.link_resume->add(1);
+    // Resume: drain everything that queued up during the outage.
+    try_transmit();
+  } else {
+    stats_.link_down_events += 1;
+  }
+  if (link_state_callback_) link_state_callback_(up);
+}
+
+void Port::install_faults(fault::FaultPlane& plane, const std::string& site) {
+  fp_rx_overflow_ = plane.point(fault::FaultKind::kRxOverflow, site);
 }
 
 void Port::enable_rss(int queues, RssHashType type) {

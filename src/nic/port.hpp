@@ -28,6 +28,7 @@
 #include <random>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "membuf/ring.hpp"
 #include "nic/chip.hpp"
 #include "nic/flow_director.hpp"
@@ -69,6 +70,9 @@ struct PortStats {
   std::uint64_t crc_errors = 0;
   /// Frames dropped because the RX ring was full.
   std::uint64_t rx_ring_drops = 0;
+  /// Carrier transitions (injected link flaps).
+  std::uint64_t link_down_events = 0;
+  std::uint64_t link_up_events = 0;
 };
 
 /// Registry counters mirroring PortStats, filled by bind_telemetry.
@@ -79,6 +83,8 @@ struct PortTelemetry {
   telemetry::ShardedCounter* rx_bytes = nullptr;
   telemetry::ShardedCounter* crc_errors = nullptr;
   telemetry::ShardedCounter* rx_ring_drops = nullptr;
+  /// `recover.<prefix>.link_resume`: carrier-up transitions after an outage.
+  telemetry::ShardedCounter* link_resume = nullptr;
 };
 
 /// One hardware transmit queue.
@@ -222,6 +228,21 @@ class Port {
   /// of `registry`. The registry must outlive the port.
   void bind_telemetry(telemetry::MetricRegistry& registry, const std::string& prefix);
 
+  // --- link state (propagated from the attached wire on carrier faults) ----
+  /// Carrier up/down. Down pauses the transmit path (frames queue in the
+  /// descriptor rings and FIFOs — backpressure to software); the up edge
+  /// resumes transmission and counts as a recovery.
+  void set_link_state(bool up);
+  [[nodiscard]] bool link_up() const { return link_up_; }
+  /// Invoked on every carrier transition (after internal state updates).
+  void set_link_state_callback(std::function<void(bool)> cb) {
+    link_state_callback_ = std::move(cb);
+  }
+
+  /// Arms this port's fault sites (currently: RX-ring overflow) against
+  /// `plane` under the given site name.
+  void install_faults(fault::FaultPlane& plane, const std::string& site);
+
   [[nodiscard]] sim::PtpClock& ptp_clock() { return ptp_clock_; }
 
   // --- PTP timestamp registers (single-slot, read-to-clear; Section 6) -----
@@ -297,6 +318,9 @@ class Port {
   sim::SimTime scheduled_wake_ps_ = 0;
   int rr_next_ = 0;  // round-robin arbiter position
   std::size_t tx_batch_frames_ = 16;
+  bool link_up_ = true;
+  std::function<void(bool)> link_state_callback_;
+  fault::FaultPoint fp_rx_overflow_;
 
   PortStats stats_;
   PortTelemetry tm_;

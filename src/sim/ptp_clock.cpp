@@ -31,4 +31,11 @@ std::uint64_t PtpClock::read(SimTime now) const {
 
 void PtpClock::adjust(std::int64_t delta_ps) { offset_ps_ += delta_ps; }
 
+void PtpClock::set_drift_ppb(std::int64_t ppb, SimTime now) {
+  // Continuity at `now`: now*(1+d1e-9)+off1 == now*(1+d2e-9)+off2.
+  offset_ps_ += static_cast<std::int64_t>(
+      static_cast<double>(now) * static_cast<double>(config_.drift_ppb - ppb) * 1e-9);
+  config_.drift_ppb = ppb;
+}
+
 }  // namespace moongen::sim

@@ -46,6 +46,12 @@ class PtpClock {
   /// clock by `delta_ps` (positive or negative).
   void adjust(std::int64_t delta_ps);
 
+  /// Changes the drift rate (TIMINCA reprogramming / oscillator fault) at
+  /// true time `now`. The offset is rebased so the clock value is
+  /// continuous at `now`: readings before the change are unaffected, the
+  /// new rate applies from `now` on.
+  void set_drift_ppb(std::int64_t ppb, SimTime now);
+
   [[nodiscard]] const PtpClockConfig& config() const { return config_; }
 
   /// Raw (unquantized) clock value at `now`; used internally and by tests.

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <random>
 
+#include "fault/fault.hpp"
 #include "nic/port.hpp"
 #include "wire/cable.hpp"
 
@@ -17,16 +18,55 @@ class Link : public nic::FrameSink {
 
   void on_frame(const nic::Frame& frame, sim::SimTime tx_start_ps) override;
 
+  /// Arms this link's fault sites (loss, corrupt, reorder, dup, flap)
+  /// against `plane` under the given site name. Without this call the link
+  /// carries every frame intact, exactly as before the fault plane existed.
+  /// Link flap needs the plane's event queue for the carrier-up event; with
+  /// a queue-less plane, flap rules are ignored.
+  void install_faults(fault::FaultPlane& plane, const std::string& site);
+
   [[nodiscard]] const CableSpec& cable() const { return cable_; }
   [[nodiscard]] std::uint64_t frames_carried() const { return frames_; }
 
+  /// True while carrier is present (false during an injected flap).
+  [[nodiscard]] bool carrier_up() const { return carrier_up_; }
+
+  // --- fault accounting (all zero when no faults installed) ----------------
+  [[nodiscard]] std::uint64_t fault_drops() const { return fault_drops_; }
+  [[nodiscard]] std::uint64_t flap_drops() const { return flap_drops_; }
+  [[nodiscard]] std::uint64_t corrupted() const { return corrupted_; }
+  [[nodiscard]] std::uint64_t reordered() const { return reordered_; }
+  [[nodiscard]] std::uint64_t duplicated() const { return duplicated_; }
+  [[nodiscard]] std::uint64_t flaps() const { return flaps_; }
+
  private:
   [[nodiscard]] std::int64_t phy_jitter_ps();
+  void begin_flap(sim::SimTime now_ps, double down_ps_param);
+  void corrupt_frame(nic::Frame& frame);
 
+  nic::Port& from_;
   nic::Port& to_;
   CableSpec cable_;
   std::mt19937_64 rng_;
   std::uint64_t frames_ = 0;
+
+  // Fault plane wiring (all disabled by default; on_frame's fast path is
+  // unchanged when nothing is installed).
+  fault::FaultPlane* plane_ = nullptr;
+  fault::FaultPoint fp_loss_;
+  fault::FaultPoint fp_corrupt_;
+  fault::FaultPoint fp_reorder_;
+  fault::FaultPoint fp_dup_;
+  fault::FaultPoint fp_flap_;
+  std::mt19937_64 corrupt_rng_;  // byte-flip positions: separate stream so
+                                 // corruption never perturbs phy jitter
+  bool carrier_up_ = true;
+  std::uint64_t fault_drops_ = 0;
+  std::uint64_t flap_drops_ = 0;
+  std::uint64_t corrupted_ = 0;
+  std::uint64_t reordered_ = 0;
+  std::uint64_t duplicated_ = 0;
+  std::uint64_t flaps_ = 0;
 };
 
 /// Bidirectional convenience wrapper (one Link per direction).

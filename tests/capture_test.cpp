@@ -179,3 +179,31 @@ TEST_F(PcapTest, LoadFramesHonorsLimit) {
   EXPECT_EQ(cap::load_frames(path_.string(), 4).size(), 4u);
   EXPECT_EQ(cap::load_frames(path_.string()).size(), 10u);
 }
+
+TEST_F(PcapTest, WriterReportsUnopenableFile) {
+  cap::PcapWriter writer("/nonexistent_dir_for_moongen_test/capture.pcap");
+  EXPECT_FALSE(writer.ok());
+  std::vector<std::uint8_t> frame(64, 0xcc);
+  // Every write is refused and accounted; none is reported as written.
+  EXPECT_FALSE(writer.write(frame, 0));
+  EXPECT_FALSE(writer.write(frame, 1));
+  EXPECT_EQ(writer.packets_written(), 0u);
+  EXPECT_EQ(writer.write_errors(), 2u);
+  EXPECT_FALSE(writer.flush());
+}
+
+TEST_F(PcapTest, WriterErrorPathAlsoCoversFrameOverload) {
+  cap::PcapWriter writer("/nonexistent_dir_for_moongen_test/capture.pcap");
+  mn::Frame frame = mn::make_frame(std::vector<std::uint8_t>(64, 0x11));
+  EXPECT_FALSE(writer.write(frame, ms::SimTime{1'000'000}));
+  EXPECT_EQ(writer.write_errors(), 1u);
+}
+
+TEST_F(PcapTest, WriterSucceedsAfterGoodPathAndFlushes) {
+  cap::PcapWriter writer(path_.string());
+  std::vector<std::uint8_t> frame(64, 0x22);
+  EXPECT_TRUE(writer.write(frame, 42));
+  EXPECT_TRUE(writer.flush());
+  EXPECT_EQ(writer.write_errors(), 0u);
+  EXPECT_EQ(writer.packets_written(), 1u);
+}

@@ -11,6 +11,7 @@
 #include "core/field_modifier.hpp"
 #include "core/task.hpp"
 #include "proto/packet_view.hpp"
+#include "telemetry/registry.hpp"
 
 namespace mc = moongen::core;
 namespace mb = moongen::membuf;
@@ -261,4 +262,67 @@ TEST(FieldModifier, TauswortheSequencesDifferBySeed) {
 TEST(FieldModifier, LcgMatchesKnownRecurrence) {
   mc::Lcg lcg(1);
   EXPECT_EQ(lcg.next(), 1u * 1664525u + 1013904223u);
+}
+
+// ---------------------------------------------------------------------------
+// TxQueue robustness: link-down backoff and short-batch surfacing
+// ---------------------------------------------------------------------------
+
+TEST(FastDevice, SendDropsBatchWhenLinkStaysDown) {
+  auto& dev = mc::Device::config(10, 1, 1);
+  dev.disconnect();
+  dev.set_link_up(false);
+  mb::Mempool pool(128);
+  mb::BufArray bufs(pool, 32);
+  auto& q = dev.get_tx_queue(0);
+  q.set_link_retry_limit(2);  // ~3 us of backoff, then give up
+
+  bufs.alloc(60);
+  EXPECT_EQ(q.send(bufs), 0u);
+  // The batch was shed, not wedged and not leaked: buffers are back in the
+  // pool and the drop is visible.
+  EXPECT_EQ(q.dropped(), 32u);
+  EXPECT_EQ(q.sent_packets(), 0u);
+  EXPECT_EQ(bufs.size(), 0u);
+  EXPECT_EQ(pool.available(), 128u);
+  dev.set_link_up(true);
+}
+
+TEST(FastDevice, SendRecoversWhenLinkReturnsDuringBackoff) {
+  auto& dev = mc::Device::config(11, 1, 1);
+  dev.disconnect();
+  dev.set_link_up(false);
+  mb::Mempool pool(128);
+  mb::BufArray bufs(pool, 32);
+  auto& q = dev.get_tx_queue(0);
+  q.set_link_retry_limit(20);  // generous budget: the flap ends first
+
+  std::thread flap_end([&dev] {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    dev.set_link_up(true);
+  });
+  bufs.alloc(60);
+  EXPECT_EQ(q.send(bufs), 32u);
+  flap_end.join();
+  // The outage was survived by waiting, and counted as a recovery.
+  EXPECT_EQ(q.link_waits(), 1u);
+  EXPECT_EQ(q.dropped(), 0u);
+  EXPECT_EQ(q.sent_packets(), 32u);
+}
+
+TEST(FastDevice, ShortBatchesAreCountedAndExported) {
+  auto& dev = mc::Device::config(12, 1, 1);
+  dev.disconnect();
+  mb::Mempool pool(8);
+  mb::BufArray bufs(pool, 16);  // batch larger than the pool
+  auto& q = dev.get_tx_queue(0);
+  moongen::telemetry::MetricRegistry registry;
+  q.bind_telemetry(registry, "txq");
+
+  ASSERT_EQ(bufs.alloc(60), 8u);
+  EXPECT_EQ(q.send(bufs), 8u);
+  EXPECT_EQ(q.short_batches(), 1u);
+  EXPECT_EQ(registry.counter("txq.short_batches").value(), 1u);
+  EXPECT_EQ(registry.counter("txq.sent_packets").value(), 8u);
+  EXPECT_EQ(registry.counter("recover.txq.link_wait").value(), 0u);
 }

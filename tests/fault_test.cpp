@@ -1,0 +1,514 @@
+// Tests for the deterministic fault-injection plane (src/fault): spec
+// parsing, the per-site determinism contract, exact loss/corruption
+// accounting through the simulated testbed, and the recovery paths
+// (link-flap backpressure, mempool retry, timestamper resync).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/rate_control.hpp"
+#include "core/timestamper.hpp"
+#include "dut/forwarder.hpp"
+#include "fault/fault.hpp"
+#include "membuf/buf_array.hpp"
+#include "membuf/mempool.hpp"
+#include "sim_testbed.hpp"
+#include "telemetry/registry.hpp"
+
+namespace mb = moongen::membuf;
+namespace mc = moongen::core;
+namespace md = moongen::dut;
+namespace mf = moongen::fault;
+namespace mn = moongen::nic;
+namespace ms = moongen::sim;
+namespace mt = moongen::telemetry;
+namespace mw = moongen::wire;
+
+using moongen::test::TenGbeFiberBed;
+
+namespace {
+
+/// Posts `n` copies of `frame`, draining the event queue whenever the TX
+/// descriptor ring fills up (so arbitrarily large counts work).
+void post_n(TenGbeFiberBed& bed, const mn::Frame& frame, std::size_t n) {
+  for (std::size_t posted = 0; posted < n;) {
+    if (bed.a.tx_queue(0).post(frame)) {
+      ++posted;
+    } else {
+      bed.events.run();
+    }
+  }
+  bed.events.run();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// FaultSpec parsing
+// ---------------------------------------------------------------------------
+
+TEST(FaultSpec, ParsesSeedAndRules) {
+  const auto spec = mf::FaultSpec::parse(
+      "seed=42;loss@wire.l1:p=0.001,burst=2;flap@wire.l1:p=1e-6,param=5e9");
+  EXPECT_EQ(spec.seed, 42u);
+  ASSERT_EQ(spec.rules.size(), 2u);
+  EXPECT_EQ(spec.rules[0].kind, mf::FaultKind::kFrameLoss);
+  EXPECT_EQ(spec.rules[0].site, "wire.l1");
+  EXPECT_DOUBLE_EQ(spec.rules[0].probability, 0.001);
+  EXPECT_EQ(spec.rules[0].burst, 2u);
+  EXPECT_EQ(spec.rules[1].kind, mf::FaultKind::kLinkFlap);
+  EXPECT_DOUBLE_EQ(spec.rules[1].param, 5e9);
+}
+
+TEST(FaultSpec, DefaultsAndWindow) {
+  const auto spec = mf::FaultSpec::parse("corrupt:p=0.5,from=1000,to=2000");
+  EXPECT_EQ(spec.seed, 1u);  // default
+  ASSERT_EQ(spec.rules.size(), 1u);
+  const auto& r = spec.rules[0];
+  EXPECT_TRUE(r.site.empty());  // empty site matches every site
+  EXPECT_EQ(r.burst, 1u);
+  EXPECT_EQ(r.window_start_ps, 1000u);
+  EXPECT_EQ(r.window_end_ps, 2000u);
+  EXPECT_TRUE(r.matches(mf::FaultKind::kFrameCorrupt, "anything.at.all"));
+}
+
+TEST(FaultSpec, RejectsMalformedInput) {
+  EXPECT_THROW(mf::FaultSpec::parse("loss"), std::invalid_argument);
+  EXPECT_THROW(mf::FaultSpec::parse("not_a_kind:p=1"), std::invalid_argument);
+  EXPECT_THROW(mf::FaultSpec::parse("loss:bogus_key=1"), std::invalid_argument);
+  EXPECT_THROW(mf::FaultSpec::parse("loss:p=abc"), std::invalid_argument);
+  EXPECT_THROW(mf::FaultSpec::parse("loss:p"), std::invalid_argument);
+  EXPECT_THROW(mf::FaultSpec::parse("seed=xyz"), std::invalid_argument);
+}
+
+TEST(FaultSpec, KindNamesRoundTrip) {
+  for (int k = 0; k < static_cast<int>(mf::FaultKind::kCount); ++k) {
+    const auto kind = static_cast<mf::FaultKind>(k);
+    const auto back = mf::kind_from_string(mf::to_string(kind));
+    ASSERT_TRUE(back.has_value()) << mf::to_string(kind);
+    EXPECT_EQ(*back, kind);
+  }
+  EXPECT_FALSE(mf::kind_from_string("nonsense").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// FaultPoint semantics
+// ---------------------------------------------------------------------------
+
+TEST(FaultPoint, DisabledWhenNoRuleMatches) {
+  auto spec = mf::FaultSpec::parse("loss@wire.l1:p=1");
+  mf::FaultPlane plane(spec);
+  auto miss_site = plane.point(mf::FaultKind::kFrameLoss, "other.site");
+  auto miss_kind = plane.point(mf::FaultKind::kFrameCorrupt, "wire.l1");
+  EXPECT_FALSE(miss_site.installed());
+  EXPECT_FALSE(miss_kind.installed());
+  EXPECT_EQ(miss_site.fire(), nullptr);
+  EXPECT_EQ(miss_site.fires(), 0u);
+  // Default-constructed points behave identically.
+  mf::FaultPoint off;
+  EXPECT_FALSE(off.installed());
+  EXPECT_EQ(off.fire(123), nullptr);
+}
+
+TEST(FaultPoint, FireSequenceIsDeterministicPerSeed) {
+  const auto spec = mf::FaultSpec::parse("seed=99;loss@wire.l1:p=0.1");
+  std::vector<bool> run1, run2;
+  for (auto* out : {&run1, &run2}) {
+    mf::FaultPlane plane(spec);
+    auto fp = plane.point(mf::FaultKind::kFrameLoss, "wire.l1");
+    ASSERT_TRUE(fp.installed());
+    for (int i = 0; i < 2000; ++i) out->push_back(fp.fire(0) != nullptr);
+  }
+  EXPECT_EQ(run1, run2);
+  const auto fires = static_cast<std::size_t>(std::count(run1.begin(), run1.end(), true));
+  EXPECT_GT(fires, 100u);  // ~200 expected at p=0.1
+  EXPECT_LT(fires, 400u);
+}
+
+TEST(FaultPoint, SiteStreamsAreIndependentOfCreationOrder) {
+  const auto spec = mf::FaultSpec::parse("seed=7;loss:p=0.2");
+  std::vector<bool> alone, crowded;
+  {
+    mf::FaultPlane plane(spec);
+    auto fp = plane.point(mf::FaultKind::kFrameLoss, "s1");
+    for (int i = 0; i < 500; ++i) alone.push_back(fp.fire(0) != nullptr);
+  }
+  {
+    mf::FaultPlane plane(spec);
+    auto other = plane.point(mf::FaultKind::kFrameLoss, "s2");
+    auto fp = plane.point(mf::FaultKind::kFrameLoss, "s1");
+    // Interleave probes of the other site: s1's stream must not notice.
+    for (int i = 0; i < 500; ++i) {
+      (void)other.fire(0);
+      crowded.push_back(fp.fire(0) != nullptr);
+    }
+  }
+  EXPECT_EQ(alone, crowded);
+}
+
+TEST(FaultPoint, WindowGatesFiring) {
+  const auto spec = mf::FaultSpec::parse("loss:p=1,from=100,to=200");
+  mf::FaultPlane plane(spec);
+  auto fp = plane.point(mf::FaultKind::kFrameLoss, "s");
+  EXPECT_EQ(fp.fire(50), nullptr);
+  EXPECT_EQ(fp.fire(99), nullptr);
+  EXPECT_NE(fp.fire(100), nullptr);
+  EXPECT_NE(fp.fire(150), nullptr);
+  EXPECT_NE(fp.fire(199), nullptr);
+  EXPECT_EQ(fp.fire(200), nullptr);  // window is half-open
+  EXPECT_EQ(fp.fire(5000), nullptr);
+  EXPECT_EQ(fp.fires(), 3u);
+}
+
+TEST(FaultPoint, BurstContinuesAcrossWindowEdge) {
+  const auto spec = mf::FaultSpec::parse("loss:p=1,burst=3,from=100,to=101");
+  mf::FaultPlane plane(spec);
+  auto fp = plane.point(mf::FaultKind::kFrameLoss, "s");
+  EXPECT_NE(fp.fire(100), nullptr);  // arms a 3-probe burst
+  EXPECT_NE(fp.fire(500), nullptr);  // burst survives leaving the window
+  EXPECT_NE(fp.fire(900), nullptr);
+  EXPECT_EQ(fp.fire(1300), nullptr);  // burst exhausted, window closed
+  EXPECT_EQ(fp.fires(), 3u);
+}
+
+TEST(FaultPlane, TelemetryCountsFiresPerSiteAndTotal) {
+  const auto spec = mf::FaultSpec::parse("loss:p=1");
+  mf::FaultPlane plane(spec);
+  auto early = plane.point(mf::FaultKind::kFrameLoss, "pre.bind");
+  (void)early.fire(0);
+  (void)early.fire(0);
+
+  mt::MetricRegistry registry;
+  plane.bind_telemetry(registry);
+  // History is seeded at bind time, not lost.
+  EXPECT_EQ(registry.counter("fault.loss.pre.bind").value(), 2u);
+  EXPECT_EQ(registry.counter("fault.total").value(), 2u);
+
+  // Sites created after binding are wired up on creation.
+  auto late = plane.point(mf::FaultKind::kFrameLoss, "post.bind");
+  (void)late.fire(0);
+  EXPECT_EQ(registry.counter("fault.loss.post.bind").value(), 1u);
+  EXPECT_EQ(registry.counter("fault.total").value(), 3u);
+  EXPECT_EQ(plane.total_fires(), 3u);
+  EXPECT_EQ(plane.fires_at("pre.bind"), 2u);
+  EXPECT_EQ(plane.fires_at("post.bind"), 1u);
+  EXPECT_EQ(plane.fires_at("never.seen"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Wire faults: exact accounting through the simulated testbed
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct LossRunResult {
+  std::uint64_t tx, rx, drops, fires;
+  bool operator==(const LossRunResult&) const = default;
+};
+
+LossRunResult run_loss_scenario() {
+  TenGbeFiberBed bed;
+  const auto spec = mf::FaultSpec::parse("seed=7;loss@wire.ab:p=0.02");
+  mf::FaultPlane plane(spec, &bed.events);
+  bed.link.install_faults(plane, "wire.ab");
+  bed.b.rx_queue(0).set_store(false);
+
+  mc::UdpTemplateOptions opts;
+  opts.frame_size = 60;
+  post_n(bed, mc::make_udp_frame(opts), 3000);
+  return {bed.a.stats().tx_packets, bed.b.stats().rx_packets, bed.link.fault_drops(),
+          plane.fires_at("wire.ab")};
+}
+
+}  // namespace
+
+TEST(WireFaults, LossAccountingIsExactAndReproducible) {
+  const auto r1 = run_loss_scenario();
+  EXPECT_EQ(r1.tx, 3000u);
+  EXPECT_GT(r1.drops, 0u);
+  // Every fire is a drop and every drop is a fire; nothing else goes missing.
+  EXPECT_EQ(r1.drops, r1.fires);
+  EXPECT_EQ(r1.rx, r1.tx - r1.drops);
+  // Identical spec => identical run, bit for bit.
+  const auto r2 = run_loss_scenario();
+  EXPECT_EQ(r1, r2);
+}
+
+TEST(WireFaults, CorruptionFeedsTheHardwareCrcCounter) {
+  TenGbeFiberBed bed;
+  const auto spec = mf::FaultSpec::parse("seed=3;corrupt@wire.ab:p=0.05");
+  mf::FaultPlane plane(spec, &bed.events);
+  bed.link.install_faults(plane, "wire.ab");
+  bed.b.rx_queue(0).set_store(false);
+
+  mc::UdpTemplateOptions opts;
+  opts.frame_size = 60;
+  post_n(bed, mc::make_udp_frame(opts), 2000);
+
+  const auto corrupted = bed.link.corrupted();
+  EXPECT_GT(corrupted, 0u);
+  EXPECT_EQ(corrupted, plane.fires_at("wire.ab"));
+  // Corrupted frames are dropped by the receiving MAC (bad FCS), moving
+  // only the CRC error counter — exactly like the paper's CRC rate control.
+  EXPECT_EQ(bed.b.stats().crc_errors, corrupted);
+  EXPECT_EQ(bed.b.stats().rx_packets, 2000u - corrupted);
+}
+
+TEST(WireFaults, DuplicationAndReorderingDeliverEveryFrame) {
+  TenGbeFiberBed bed;
+  const auto spec =
+      mf::FaultSpec::parse("seed=5;dup@wire.ab:p=0.03;reorder@wire.ab:p=0.03,param=2e6");
+  mf::FaultPlane plane(spec, &bed.events);
+  bed.link.install_faults(plane, "wire.ab");
+
+  std::vector<std::uint64_t> order;
+  bed.b.rx_queue(0).set_store(false);
+  bed.b.rx_queue(0).set_callback(
+      [&order](const mn::RxQueueModel::Entry& e) { order.push_back(e.frame.seq); });
+
+  const std::size_t kFrames = 2000;
+  for (std::size_t seq = 0; seq < kFrames;) {
+    if (bed.a.tx_queue(0).post(mn::make_frame(std::vector<std::uint8_t>(60, 0xee), true, seq))) {
+      ++seq;
+    } else {
+      bed.events.run();
+    }
+  }
+  bed.events.run();
+
+  EXPECT_GT(bed.link.duplicated(), 0u);
+  EXPECT_GT(bed.link.reordered(), 0u);
+  // No loss: every frame arrives, duplicates on top.
+  EXPECT_EQ(order.size(), kFrames + bed.link.duplicated());
+  // A held-back frame really lands after frames sent later.
+  bool inversion = false;
+  for (std::size_t i = 1; i < order.size() && !inversion; ++i)
+    inversion = order[i] < order[i - 1] && order[i] + 1 != order[i - 1];
+  EXPECT_TRUE(inversion);
+}
+
+TEST(WireFaults, LinkFlapBackpressuresAndRecovers) {
+  TenGbeFiberBed bed;
+  const auto spec = mf::FaultSpec::parse("seed=9;flap@wire.ab:p=0.002,param=2e8");
+  mf::FaultPlane plane(spec, &bed.events);
+  bed.link.install_faults(plane, "wire.ab");
+  bed.b.rx_queue(0).set_store(false);
+
+  mt::MetricRegistry registry;
+  bed.a.bind_telemetry(registry, "port.a");
+
+  mc::UdpTemplateOptions opts;
+  opts.frame_size = 60;
+  post_n(bed, mc::make_udp_frame(opts), 2000);
+
+  const auto flaps = bed.link.flaps();
+  ASSERT_GT(flaps, 0u);
+  EXPECT_TRUE(bed.link.carrier_up());  // every outage ended
+  // The transmitting port saw carrier loss and resumption for each flap:
+  // frames posted during an outage queue up and drain on recovery instead
+  // of being lost, so only wire-caught frames are flap drops.
+  EXPECT_EQ(bed.a.stats().link_down_events, flaps);
+  EXPECT_EQ(bed.a.stats().link_up_events, flaps);
+  EXPECT_TRUE(bed.a.link_up());
+  EXPECT_GE(bed.link.flap_drops(), flaps);  // at least the flap-triggering frame
+  EXPECT_EQ(bed.b.stats().rx_packets, 2000u - bed.link.flap_drops());
+  // Recovery telemetry: carrier-up transitions are recoveries.
+  EXPECT_EQ(registry.counter("recover.port.a.link_resume").value(), flaps);
+}
+
+TEST(NicFaults, RxOverflowDropsLookLikeAFullRing) {
+  TenGbeFiberBed bed;
+  const auto spec = mf::FaultSpec::parse("seed=13;rx_overflow@nic.b:p=0.05");
+  mf::FaultPlane plane(spec, &bed.events);
+  bed.b.install_faults(plane, "nic.b");  // ring stays stored (default)
+
+  mc::UdpTemplateOptions opts;
+  opts.frame_size = 60;
+  post_n(bed, mc::make_udp_frame(opts), 1000);
+
+  const auto drops = bed.b.stats().rx_ring_drops;
+  EXPECT_GT(drops, 0u);
+  EXPECT_EQ(drops, plane.fires_at("nic.b"));
+  // The MAC accepted every frame; the loss is behind the ring boundary.
+  EXPECT_EQ(bed.b.stats().rx_packets, 1000u);
+  EXPECT_EQ(bed.b.rx_queue(0).pending(), 1000u - drops);
+}
+
+// ---------------------------------------------------------------------------
+// Mempool exhaustion injection and the TX-side retry
+// ---------------------------------------------------------------------------
+
+TEST(MempoolFaults, InjectedExhaustionIsCountedAndExported) {
+  const auto spec = mf::FaultSpec::parse("seed=11;alloc_fail@pool.tx:p=0.3");
+  mf::FaultPlane plane(spec);  // no event queue: pools live on the fast path
+  mb::Mempool pool(64);
+  pool.install_faults(plane, "pool.tx");
+  mt::MetricRegistry registry;
+  pool.bind_telemetry(registry, "mempool");
+
+  std::size_t failures = 0;
+  std::vector<mb::PktBuf*> bufs(8);
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t n = pool.alloc_batch({bufs.data(), bufs.size()}, 60);
+    if (n == 0) ++failures;
+    pool.free_batch({bufs.data(), n});
+  }
+  EXPECT_GT(failures, 0u);
+  // The injection is the only exhaustion source here (the pool never
+  // genuinely empties), so all three counts agree exactly.
+  EXPECT_EQ(failures, plane.fires_at("pool.tx"));
+  EXPECT_EQ(failures, pool.exhausted_events());
+  EXPECT_EQ(registry.counter("mempool.exhausted").value(), failures);
+}
+
+TEST(MempoolFaults, AllocFullRetriesThroughTransientFailures) {
+  const auto spec = mf::FaultSpec::parse("seed=17;alloc_fail@pool.tx:p=0.5");
+  mf::FaultPlane plane(spec);
+  mb::Mempool pool(256);
+  pool.install_faults(plane, "pool.tx");
+  mb::BufArray bufs(pool, 16);
+
+  bool saw_retry = false;
+  std::size_t full_batches = 0;
+  for (int i = 0; i < 50; ++i) {
+    const std::size_t n = bufs.alloc_full(60);
+    EXPECT_EQ(n + bufs.last_shortfall(), 16u);
+    saw_retry = saw_retry || bufs.last_retries() > 0;
+    if (bufs.last_shortfall() == 0) ++full_batches;
+    bufs.free_all();
+  }
+  // At p=0.5 roughly half the initial allocations fail; the bounded retry
+  // turns nearly all of them into full batches.
+  EXPECT_TRUE(saw_retry);
+  EXPECT_GT(full_batches, 40u);
+}
+
+// ---------------------------------------------------------------------------
+// DuT stalls
+// ---------------------------------------------------------------------------
+
+TEST(DutFaults, StallsDelayButDoNotLosePackets) {
+  ms::EventQueue events;
+  mn::Port gen(events, mn::intel_x540(), 10'000, 21);
+  mn::Port dut_in(events, mn::intel_x540(), 10'000, 22);
+  mn::Port dut_out(events, mn::intel_x540(), 10'000, 23);
+  mn::Port sink(events, mn::intel_x540(), 10'000, 24);
+  mw::Link l1(gen, dut_in, mw::cat5e_10gbaset(2.0), 25);
+  mw::Link l2(dut_out, sink, mw::cat5e_10gbaset(2.0), 26);
+  md::Forwarder forwarder(events, dut_in, 0, dut_out, 0);
+  sink.rx_queue(0).set_store(false);
+
+  const auto spec = mf::FaultSpec::parse("seed=19;stall@dut.fwd:p=0.2,param=5e7");
+  mf::FaultPlane plane(spec, &events);
+  forwarder.install_faults(plane, "dut.fwd");
+
+  mc::UdpTemplateOptions opts;
+  opts.frame_size = 60;
+  const auto frame = mc::make_udp_frame(opts);
+  for (int i = 0; i < 2000;) {
+    if (gen.tx_queue(0).post(frame)) {
+      ++i;
+    } else {
+      events.run();
+    }
+  }
+  events.run();
+
+  EXPECT_GT(forwarder.stalls(), 0u);
+  EXPECT_EQ(forwarder.stalls(), plane.fires_at("dut.fwd"));
+  // Stalls back the ring up but the 4096-slot ring absorbs this load:
+  // everything is forwarded eventually.
+  EXPECT_EQ(dut_in.stats().rx_ring_drops, 0u);
+  EXPECT_EQ(forwarder.forwarded(), 2000u);
+  EXPECT_EQ(sink.stats().rx_packets, 2000u);
+}
+
+// ---------------------------------------------------------------------------
+// Clock faults and the timestamper's resync recovery
+// ---------------------------------------------------------------------------
+
+TEST(ClockFaults, DriftChangeIsContinuousAndRestoredAtWindowEnd) {
+  TenGbeFiberBed bed;
+  auto& clk = bed.a.ptp_clock();
+  const auto original_ppb = clk.config().drift_ppb;
+
+  // The rebasing contract, tested directly: the clock value is continuous
+  // at the change point, and the new rate applies from there on.
+  const double at_change = clk.raw(1'000'000'000);
+  clk.set_drift_ppb(original_ppb + 50'000, 1'000'000'000);
+  EXPECT_NEAR(clk.raw(1'000'000'000), at_change, 1e-6);
+  // One second later the faulty oscillator has gained ~50 us over nominal.
+  EXPECT_NEAR(clk.raw(2'000'000'000) - clk.raw(1'000'000'000),
+              1e9 + 1e9 * 50'000 * 1e-9, 1.0);
+  clk.set_drift_ppb(original_ppb, 1'000'000'000);
+
+  const auto spec =
+      mf::FaultSpec::parse("seed=23;clock_drift@clock.a:p=1,param=50000,from=1e9,to=2e9");
+  mf::FaultPlane plane(spec, &bed.events);
+  plane.arm_clock_faults(clk, "clock.a");
+
+  bed.events.run();  // executes the drift-on and drift-restore events
+  EXPECT_EQ(plane.fires_at("clock.a"), 1u);
+  // Restored to the pre-fault rate after the window.
+  EXPECT_EQ(clk.config().drift_ppb, original_ppb);
+}
+
+TEST(ClockFaults, StepForcesTimestamperResync) {
+  TenGbeFiberBed bed;
+  // +2 ms step on the TX clock at t=5 ms: until the timestamper resyncs,
+  // every latency delta would be hugely negative.
+  const auto spec = mf::FaultSpec::parse("seed=29;clock_step@clock.a:p=1,param=2e9,from=5e9");
+  mf::FaultPlane plane(spec, &bed.events);
+  plane.arm_clock_faults(bed.a.ptp_clock(), "clock.a");
+
+  mc::TimestamperConfig cfg;
+  cfg.sample_interval_ps = 100 * ms::kPsPerUs;
+  cfg.sync_clocks_each_sample = false;  // the §6.3 resync must be *forced*
+  mc::Timestamper ts(bed.events, bed.a, 0, bed.b, mc::make_ptp_ethernet_frame(96), cfg);
+  ts.start();
+  bed.events.run_until(50 * ms::kPsPerMs);
+  ts.stop();
+  bed.events.run();
+
+  EXPECT_EQ(plane.fires_at("clock.a"), 1u);
+  // One resync recovers from the step (plus at most one for the initial
+  // clock offset); afterwards sampling continues normally.
+  EXPECT_GE(ts.resyncs(), 1u);
+  EXPECT_LE(ts.resyncs(), 2u);
+  EXPECT_GT(ts.samples(), 400u);  // ~500 samples in 50 ms minus the failures
+}
+
+TEST(TimestamperFaults, LostSamplesEqualInjectedDropsExactly) {
+  TenGbeFiberBed bed;
+  // The timestamper's probes are the only traffic, so every wire drop is a
+  // lost sample and vice versa — satellite check for ISSUE.md.
+  const auto spec = mf::FaultSpec::parse("seed=31;loss@wire.ab:p=0.1");
+  mf::FaultPlane plane(spec, &bed.events);
+  bed.link.install_faults(plane, "wire.ab");
+
+  mt::MetricRegistry registry;
+  plane.bind_telemetry(registry);
+
+  mc::TimestamperConfig cfg;
+  cfg.sample_interval_ps = 100 * ms::kPsPerUs;
+  cfg.timeout_ps = 1 * ms::kPsPerMs;
+  mc::Timestamper ts(bed.events, bed.a, 0, bed.b, mc::make_ptp_ethernet_frame(96), cfg);
+  ts.bind_telemetry(registry, "timestamper");
+  ts.start();
+  bed.events.run_until(200 * ms::kPsPerMs);
+  ts.stop();
+  bed.events.run();  // drain in-flight probes and pending timeouts
+
+  const auto drops = bed.link.fault_drops();
+  EXPECT_GT(drops, 0u);
+  EXPECT_EQ(drops, plane.fires_at("wire.ab"));
+  EXPECT_EQ(ts.lost(), drops);
+  EXPECT_GT(ts.samples(), 0u);
+  // Telemetry mirrors agree with the injected counts exactly.
+  EXPECT_EQ(registry.counter("timestamper.lost").value(), drops);
+  EXPECT_EQ(registry.counter("fault.loss.wire.ab").value(), drops);
+  // Lost samples forced resyncs on the following samples.
+  EXPECT_EQ(registry.counter("recover.timestamper.resync").value(), ts.resyncs());
+}

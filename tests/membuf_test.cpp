@@ -7,6 +7,7 @@
 
 #include "membuf/buf_array.hpp"
 #include "membuf/mempool.hpp"
+#include "membuf/ring.hpp"
 #include "proto/checksum.hpp"
 #include "proto/packet_view.hpp"
 
@@ -182,5 +183,80 @@ TEST(BufArray, IndexingAndSpans) {
   bufs.alloc(60);
   EXPECT_EQ(bufs.packets().size(), 8u);
   EXPECT_EQ(bufs[0], bufs.packets()[0]);
+  bufs.free_all();
+}
+
+// ---------------------------------------------------------------------------
+// BoundedRing capacity changes
+// ---------------------------------------------------------------------------
+
+TEST(BoundedRing, ShrinkBelowFillDropsNewest) {
+  mb::BoundedRing<int> ring(16);
+  for (int i = 0; i < 10; ++i) ring.push_back(i);
+  // An RX ring reprogrammed smaller keeps the oldest descriptors: the
+  // elements already handed to hardware stay, the newest are dropped.
+  ring.set_capacity(4);
+  EXPECT_EQ(ring.capacity(), 4u);
+  ASSERT_EQ(ring.size(), 4u);
+  EXPECT_TRUE(ring.full());
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(ring.pop_front(), i);
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(BoundedRing, ShrinkAboveFillKeepsEverything) {
+  mb::BoundedRing<int> ring(16);
+  for (int i = 0; i < 3; ++i) ring.push_back(i);
+  ring.set_capacity(8);
+  EXPECT_EQ(ring.size(), 3u);
+  // Growing back restores headroom without disturbing contents.
+  ring.set_capacity(16);
+  for (int i = 3; i < 16; ++i) ring.push_back(i);
+  EXPECT_TRUE(ring.full());
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(ring.pop_front(), i);
+}
+
+TEST(BoundedRing, ShrinkAfterWrapDropsNewest) {
+  mb::BoundedRing<int> ring(8);
+  // Wrap the head/tail indices around the slot array first.
+  for (int i = 0; i < 6; ++i) ring.push_back(i);
+  for (int i = 0; i < 6; ++i) ring.pop_front();
+  for (int i = 100; i < 108; ++i) ring.push_back(i);
+  ring.set_capacity(3);
+  ASSERT_EQ(ring.size(), 3u);
+  for (int i = 100; i < 103; ++i) EXPECT_EQ(ring.pop_front(), i);
+}
+
+// ---------------------------------------------------------------------------
+// BufArray::alloc_full (retrying allocation)
+// ---------------------------------------------------------------------------
+
+TEST(BufArray, AllocTracksShortfall) {
+  mb::Mempool pool(8);
+  mb::BufArray bufs(pool, 16);
+  EXPECT_EQ(bufs.alloc(60), 8u);  // pool smaller than the batch
+  EXPECT_EQ(bufs.last_shortfall(), 8u);
+  EXPECT_EQ(bufs.last_retries(), 0u);
+  bufs.free_all();
+  EXPECT_EQ(bufs.alloc(60, 4), 4u);
+  EXPECT_EQ(bufs.last_shortfall(), 0u);
+  bufs.free_all();
+}
+
+TEST(BufArray, AllocFullGivesUpAfterBoundedRetries) {
+  mb::Mempool pool(8);
+  mb::BufArray bufs(pool, 16);
+  // The pool genuinely cannot satisfy 16: alloc_full must not spin forever.
+  EXPECT_EQ(bufs.alloc_full(60, /*max_retries=*/3), 8u);
+  EXPECT_EQ(bufs.last_shortfall(), 8u);
+  EXPECT_EQ(bufs.last_retries(), 3u);
+  bufs.free_all();
+}
+
+TEST(BufArray, AllocFullSucceedsWithoutRetriesWhenPoolIsHealthy) {
+  mb::Mempool pool(64);
+  mb::BufArray bufs(pool, 16);
+  EXPECT_EQ(bufs.alloc_full(60), 16u);
+  EXPECT_EQ(bufs.last_shortfall(), 0u);
+  EXPECT_EQ(bufs.last_retries(), 0u);
   bufs.free_all();
 }
