@@ -1,0 +1,135 @@
+// parallel_scaling: wall-clock scaling of the sharded simulation runtime.
+//
+// Four independent generator -> sink port pairs (XL710 at 40 GbE, hardware
+// rate control near line rate for 64 B frames) are pinned one pair per
+// shard. The pairs exchange no cross-shard traffic, so this measures the
+// runtime's best case: the embarrassingly parallel multi-port scaling
+// experiment of paper Figures 3/4. The same virtual duration is run at 1,
+// 2, and 4 shards and the wall-clock times are written as
+// BENCH_parallel_scaling.json.
+//
+// The simulated outputs (per-port TX counts) are asserted identical across
+// shard counts before any timing is reported — a benchmark of a wrong
+// result is worthless.
+//
+// Usage: parallel_scaling [virtual_ms] [json_path]
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/rate_control.hpp"
+#include "nic/chip.hpp"
+#include "testbed/scenario.hpp"
+
+namespace mc = moongen::core;
+namespace mn = moongen::nic;
+namespace ms = moongen::sim;
+namespace mtb = moongen::testbed;
+
+namespace {
+
+constexpr int kPairs = 4;
+
+struct RunOutcome {
+  double wall_ms = 0;
+  std::size_t shards = 0;
+  std::vector<std::uint64_t> tx_packets;  // per pair, for the identity check
+};
+
+RunOutcome run_config(int shards, double virtual_ms) {
+  mtb::Scenario s;
+  s.seed(1).shards(shards).telemetry(false);
+  for (int p = 0; p < kPairs; ++p) {
+    const int gen = 2 * p;
+    const int sink = 2 * p + 1;
+    s.device(gen, mn::intel_xl710()).name("gen" + std::to_string(p)).link_mbit(40'000)
+        .device(sink, mn::intel_xl710()).name("sink" + std::to_string(p)).link_mbit(40'000)
+            .rx_store(false)
+        .link(gen, sink)
+        .couple(gen, sink);
+  }
+  // Groups are {0,1},{2,3},{4,5},{6,7}; round-robin puts pair p on shard
+  // p % effective, so each shard carries an equal share of the load.
+  auto tb = s.build();
+
+  mc::UdpTemplateOptions opts;
+  opts.frame_size = 64;
+  std::vector<std::unique_ptr<mc::SimLoadGen>> gens;
+  gens.reserve(kPairs);
+  for (int p = 0; p < kPairs; ++p) {
+    auto& queue = tb->port(2 * p).tx_queue(0);
+    queue.set_rate_mpps(40.0, 64);  // ~2/3 of 64 B line rate: CPU-bound shards
+    gens.push_back(mc::SimLoadGen::hardware_paced(queue, mc::make_udp_frame(opts)));
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  tb->run_until(static_cast<ms::SimTime>(virtual_ms * 1e9));
+  const auto t1 = std::chrono::steady_clock::now();
+
+  RunOutcome out;
+  out.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  out.shards = tb->shard_count();
+  for (int p = 0; p < kPairs; ++p) out.tx_packets.push_back(tb->port(2 * p).stats().tx_packets);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double virtual_ms = argc > 1 ? std::atof(argv[1]) : 20.0;
+  const std::string json_path = argc > 2 ? argv[2] : "BENCH_parallel_scaling.json";
+  std::printf("parallel_scaling: %d independent 40 GbE pairs, %.0f ms virtual time\n", kPairs,
+              virtual_ms);
+
+  const int configs[] = {1, 2, 4};
+  std::vector<RunOutcome> results;
+  for (const int n : configs) {
+    // Warm-up run (first-touch allocations, page faults), then the timed one.
+    (void)run_config(n, virtual_ms / 10.0);
+    results.push_back(run_config(n, virtual_ms));
+    std::printf("  shards=%d (effective %zu): %8.1f ms wall\n", n, results.back().shards,
+                results.back().wall_ms);
+  }
+
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    if (results[i].tx_packets != results[0].tx_packets) {
+      std::fprintf(stderr, "FATAL: shard config %d produced different TX counts\n", configs[i]);
+      return 1;
+    }
+  }
+  std::printf("  simulated outputs identical across shard counts\n");
+
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema\": \"moongen-bench-parallel-scaling-v1\",\n");
+  std::fprintf(f,
+               "  \"workload\": \"%d independent XL710 40GbE gen->sink pairs, 64 B frames at 40 "
+               "Mpps hardware pacing, %.0f ms virtual time, no cross-shard traffic\",\n",
+               kPairs, virtual_ms);
+  std::fprintf(f, "  \"cores\": %u,\n", std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"runs\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"requested_shards\": %d, \"effective_shards\": %zu, \"wall_ms\": %.1f, "
+                 "\"speedup_vs_1\": %.2f}%s\n",
+                 configs[i], results[i].shards, results[i].wall_ms,
+                 results[0].wall_ms / results[i].wall_ms, i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"note\": \"speedup is bounded by physical cores: a single-core host time-slices "
+               "the shard threads and can show no parallel gain. Numbers are measured on this "
+               "host, never extrapolated.\"\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}

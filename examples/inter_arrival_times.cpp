@@ -8,35 +8,54 @@
 //
 // Usage: inter_arrival_times [kpps] [mechanism: hw|crc|pktgen|zsend]
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <iostream>
 #include <memory>
+#include <string>
 
 #include "baseline/sw_paced.hpp"
+#include "cli.hpp"
 #include "core/rate_control.hpp"
 #include "nic/chip.hpp"
-#include "wire/link.hpp"
+#include "testbed/scenario.hpp"
 #include "wire/recorder.hpp"
 
 namespace mb = moongen::baseline;
 namespace mc = moongen::core;
+namespace me = moongen::examples;
 namespace mn = moongen::nic;
 namespace ms = moongen::sim;
+namespace mtb = moongen::testbed;
 namespace mw = moongen::wire;
 
+namespace {
+
+constexpr const char* kUsage =
+    "usage: inter_arrival_times [kpps] [mechanism: hw|crc|pktgen|zsend] [--seed N]\n";
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  const double kpps = argc > 1 ? std::atof(argv[1]) : 500.0;
-  const char* mechanism = argc > 2 ? argv[2] : "hw";
+  const auto cli = me::parse_cli(argc, argv, kUsage);
+  if (!cli) return 2;
+  const double kpps = cli->number(0, 500.0);
+  const std::string mechanism = cli->arg(1, "hw");
   const double mpps = kpps / 1e3;
   std::printf("inter-arrival-times: %.0f kpps via '%s' rate control, GbE, 82580 capture\n\n",
-              kpps, mechanism);
+              kpps, mechanism.c_str());
 
-  ms::EventQueue events;
-  mn::Port tx(events, mn::intel_x540(), 1'000, 7);
-  mn::Port rx(events, mn::intel_82580(), 1'000, 8);
-  mw::Link link(tx, rx, mw::cat5e_gbe(2.0), 9);
-  mw::InterArrivalRecorder recorder(rx, 0);
+  // GbE frame times exceed the short cable's latency, so the two ports
+  // cannot run on separate shards — couple() keeps them on one engine.
+  auto tb = mtb::Scenario()
+                .seed(cli->seed)
+                .faults(cli->faults)
+                .telemetry(false)
+                .device(0, mn::intel_x540()).name("tx").link_mbit(1'000).with_seed(7)
+                .device(1, mn::intel_82580()).name("rx").link_mbit(1'000).with_seed(8)
+                .link(0, 1).cable(mw::cat5e_gbe(2.0)).with_seed(9)
+                .couple(0, 1)
+                .build();
+  auto& tx = tb->port("tx");
+  mw::InterArrivalRecorder recorder(tb->port("rx"), 0);
 
   mc::UdpTemplateOptions opts;
   opts.frame_size = 60;
@@ -45,26 +64,26 @@ int main(int argc, char** argv) {
   std::unique_ptr<mc::SimLoadGen> gen;
   std::unique_ptr<mb::PktgenLikePacer> pktgen;
   std::unique_ptr<mb::ZsendLikePacer> zsend;
-  if (std::strcmp(mechanism, "hw") == 0) {
+  if (mechanism == "hw") {
     tx.tx_queue(0).set_rate_mpps(mpps, 64);
     gen = mc::SimLoadGen::hardware_paced(tx.tx_queue(0), frame);
-  } else if (std::strcmp(mechanism, "crc") == 0) {
+  } else if (mechanism == "crc") {
     gen = mc::SimLoadGen::crc_paced(tx.tx_queue(0), frame,
                                     std::make_unique<mc::CbrPattern>(mpps), 1'000);
-  } else if (std::strcmp(mechanism, "pktgen") == 0) {
-    pktgen = std::make_unique<mb::PktgenLikePacer>(events, tx.tx_queue(0), frame,
+  } else if (mechanism == "pktgen") {
+    pktgen = std::make_unique<mb::PktgenLikePacer>(tb->engine(0), tx.tx_queue(0), frame,
                                                    mb::PktgenLikePacer::Config{.mpps = mpps});
     pktgen->start();
-  } else if (std::strcmp(mechanism, "zsend") == 0) {
-    zsend = std::make_unique<mb::ZsendLikePacer>(events, tx.tx_queue(0), frame,
+  } else if (mechanism == "zsend") {
+    zsend = std::make_unique<mb::ZsendLikePacer>(tb->engine(0), tx.tx_queue(0), frame,
                                                  mb::ZsendLikePacer::Config{.mpps = mpps});
     zsend->start();
   } else {
-    std::fprintf(stderr, "unknown mechanism '%s' (hw|crc|pktgen|zsend)\n", mechanism);
+    std::fprintf(stderr, "unknown mechanism '%s' (hw|crc|pktgen|zsend)\n", mechanism.c_str());
     return 1;
   }
 
-  events.run_until(ms::kPsPerSec);  // one second
+  tb->run_until(ms::kPsPerSec);  // one second
 
   const auto target = static_cast<ms::SimTime>(1e6 / mpps);
   std::printf("%llu packets captured\n",

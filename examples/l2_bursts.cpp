@@ -7,30 +7,48 @@
 //
 // Usage: l2_bursts [avg_kpps] [burst_size]
 #include <cstdio>
-#include <cstdlib>
 #include <iostream>
 #include <memory>
 
+#include "cli.hpp"
 #include "core/rate_control.hpp"
 #include "nic/chip.hpp"
-#include "wire/link.hpp"
+#include "testbed/scenario.hpp"
 #include "wire/recorder.hpp"
 
 namespace mc = moongen::core;
+namespace me = moongen::examples;
 namespace mn = moongen::nic;
 namespace ms = moongen::sim;
+namespace mtb = moongen::testbed;
 namespace mw = moongen::wire;
 
+namespace {
+
+constexpr const char* kUsage = "usage: l2_bursts [avg_kpps] [burst_size] [--seed N]\n";
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  const double kpps = argc > 1 ? std::atof(argv[1]) : 200.0;
-  const std::size_t burst = argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 8;
+  const auto cli = me::parse_cli(argc, argv, kUsage);
+  if (!cli) return 2;
+  const double kpps = cli->number(0, 200.0);
+  const auto burst = static_cast<std::size_t>(cli->number(1, 8));
   std::printf("l2-bursts: %zu-packet bursts at %.0f kpps average, GbE, 1 s\n\n", burst, kpps);
 
-  ms::EventQueue events;
-  mn::Port tx(events, mn::intel_x540(), 1'000, 21);
-  mn::Port rx(events, mn::intel_82580(), 1'000, 22);
-  mw::Link link(tx, rx, mw::cat5e_gbe(2.0), 23);
-  mw::InterArrivalRecorder recorder(rx, 0);
+  // GbE frame times exceed the short cable's latency, so the two ports
+  // cannot run on separate shards — couple() keeps them on one engine.
+  auto tb = mtb::Scenario()
+                .seed(cli->seed)
+                .faults(cli->faults)
+                .telemetry(false)
+                .device(0, mn::intel_x540()).name("tx").link_mbit(1'000).with_seed(21)
+                .device(1, mn::intel_82580()).name("rx").link_mbit(1'000).with_seed(22)
+                .link(0, 1).cable(mw::cat5e_gbe(2.0)).with_seed(23)
+                .couple(0, 1)
+                .build();
+  auto& tx = tb->port("tx");
+  mw::InterArrivalRecorder recorder(tb->port("rx"), 0);
 
   mc::UdpTemplateOptions opts;
   opts.frame_size = 60;
@@ -39,7 +57,7 @@ int main(int argc, char** argv) {
       tx.tx_queue(0), frame,
       std::make_unique<mc::BurstPattern>(kpps / 1e3, burst, frame.wire_bytes(), 1'000), 1'000);
 
-  events.run_until(ms::kPsPerSec);
+  tb->run_until(ms::kPsPerSec);
 
   std::printf("packets: %llu valid on the wire, %llu invalid gap frames\n",
               static_cast<unsigned long long>(gen->valid_frames()),

@@ -21,96 +21,65 @@
 // faults — see src/fault/fault.hpp for the spec mini-language); fault and
 // recovery counters are printed and exported with the telemetry.
 //
-// Usage: l2_load_latency [rate_mpps] [seconds] [cbr|poisson] [--json FILE]
-//                        [--faults SPEC]
+// With `--shards N` the two halves of the testbed (generator+sink vs. the
+// DuT pair) run on parallel event engines bridged by the cables' latency
+// (DESIGN.md Section 10); the output is byte-identical to --shards 1.
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <exception>
 #include <functional>
 #include <memory>
-#include <string>
 #include <string_view>
-#include <vector>
 
+#include "cli.hpp"
 #include "core/rate_control.hpp"
 #include "core/timestamper.hpp"
-#include "dut/forwarder.hpp"
-#include "fault/fault.hpp"
 #include "nic/chip.hpp"
 #include "telemetry/exporters.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/sampler.hpp"
-#include "wire/link.hpp"
+#include "testbed/scenario.hpp"
 
 namespace mc = moongen::core;
-namespace md = moongen::dut;
-namespace mf = moongen::fault;
+namespace me = moongen::examples;
 namespace mn = moongen::nic;
 namespace ms = moongen::sim;
 namespace mt = moongen::telemetry;
-namespace mw = moongen::wire;
+namespace mtb = moongen::testbed;
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: l2_load_latency [rate_mpps] [seconds] [cbr|poisson]\n"
+    "                       [--json FILE] [--faults SPEC] [--seed N] [--shards N]\n";
+
+}  // namespace
 
 int main(int argc, char** argv) {
-  std::string json_path;
-  std::string fault_spec_text;
-  std::vector<const char*> positional;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-      json_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc) {
-      fault_spec_text = argv[++i];
-    } else {
-      positional.push_back(argv[i]);
-    }
-  }
-  mf::FaultSpec fault_spec;
-  if (!fault_spec_text.empty()) {
-    try {
-      fault_spec = mf::FaultSpec::parse(fault_spec_text);
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "bad --faults spec: %s\n", e.what());
-      return 2;
-    }
-  }
-  const double rate_mpps = positional.size() > 0 ? std::atof(positional[0]) : 1.0;
-  const double seconds = positional.size() > 1 ? std::atof(positional[1]) : 1.0;
-  const bool poisson = positional.size() > 2 && std::string_view(positional[2]) == "poisson";
+  const auto cli = me::parse_cli(argc, argv, kUsage);
+  if (!cli) return 2;
+  const double rate_mpps = cli->number(0, 1.0);
+  const double seconds = cli->number(1, 1.0);
+  const bool poisson = cli->arg(2) == "poisson";
   std::printf("l2-load-latency: %.2f Mpps %s through an OVS-like DuT, %.1f s\n\n", rate_mpps,
               poisson ? "Poisson" : "CBR", seconds);
 
-  // Testbed: generator -> DuT -> sink (all X540 at 10 GbE).
-  ms::EventQueue events;
-  mn::Port gen_tx(events, mn::intel_x540(), 10'000, 1);
-  mn::Port dut_in(events, mn::intel_x540(), 10'000, 2);
-  mn::Port dut_out(events, mn::intel_x540(), 10'000, 3);
-  mn::Port sink(events, mn::intel_x540(), 10'000, 4);
-  mw::Link l1(gen_tx, dut_in, mw::cat5e_10gbaset(2.0), 5);
-  mw::Link l2(dut_out, sink, mw::cat5e_10gbaset(2.0), 6);
-  md::Forwarder forwarder(events, dut_in, 0, dut_out, 0);
-  sink.rx_queue(0).set_store(false);
-
-  // Fault plane: one seeded plane per run; every site draws its own RNG
-  // stream, so the fault sequence is reproducible for a fixed spec.
-  std::unique_ptr<mf::FaultPlane> faults;
-  if (!fault_spec.empty()) {
-    faults = std::make_unique<mf::FaultPlane>(fault_spec, &events);
-    l1.install_faults(*faults, "wire.l1");
-    l2.install_faults(*faults, "wire.l2");
-    dut_in.install_faults(*faults, "nic.dut_in");
-    sink.install_faults(*faults, "nic.sink");
-    forwarder.install_faults(*faults, "dut.fwd");
-    faults->arm_clock_faults(gen_tx.ptp_clock(), "clock.gen_tx");
-    faults->arm_clock_faults(sink.ptp_clock(), "clock.sink");
-  }
-
-  mt::MetricRegistry registry;
-  if (faults) faults->bind_telemetry(registry);
-  events.bind_telemetry(registry, "engine");
-  gen_tx.bind_telemetry(registry, "port.gen_tx");
-  dut_in.bind_telemetry(registry, "port.dut_in");
-  dut_out.bind_telemetry(registry, "port.dut_out");
-  sink.bind_telemetry(registry, "port.sink");
+  // Testbed: generator -> DuT -> sink (all X540 at 10 GbE). The timestamper
+  // spans gen_tx and sink, so those two share a shard (couple); the
+  // forwarder couples the DuT pair. With --shards 2 each pair gets its own
+  // engine, bridged at the cables.
+  auto tb = mtb::Scenario()
+                .seed(cli->seed)
+                .shards(cli->shards)
+                .faults(cli->faults)
+                .device(0, mn::intel_x540()).name("gen_tx").with_seed(1)
+                .device(1, mn::intel_x540()).name("dut_in").with_seed(2)
+                .device(2, mn::intel_x540()).name("dut_out").with_seed(3)
+                .device(3, mn::intel_x540()).name("sink").with_seed(4).rx_store(false)
+                .link(0, 1).with_seed(5)
+                .link(2, 3).with_seed(6)
+                .forwarder(1, 2)
+                .couple(0, 3)
+                .build();
+  mt::MetricRegistry& registry = tb->registry();
   registry.gauge("load.offered_mpps").set(rate_mpps);
 
   // Background load: UDP packets carrying a PTP payload with a type the
@@ -119,6 +88,7 @@ int main(int argc, char** argv) {
   bg.frame_size = 96;
   bg.ptp_payload = true;
   bg.ptp_message_type = 5;
+  auto& gen_tx = tb->port("gen_tx");
   auto& queue = gen_tx.tx_queue(0);
   std::unique_ptr<mc::SimLoadGen> gen;
   if (poisson) {
@@ -132,32 +102,37 @@ int main(int argc, char** argv) {
   gen->bind_telemetry(registry, "loadgen");
 
   // Timestamping task: flip every sampled packet's PTP type into the
-  // stampable range.
+  // stampable range. It touches gen_tx and sink directly, so it lives on
+  // their (shared) engine.
   mc::UdpTemplateOptions stamped = bg;
   stamped.ptp_message_type = 0;
   mc::TimestamperConfig cfg;
   cfg.sample_interval_ps = 100 * ms::kPsPerUs;
   cfg.hist_bin_ps = 50'000;
-  mc::Timestamper ts(events, gen_tx, *gen, mc::make_udp_frame(stamped), sink, cfg);
+  mc::Timestamper ts(tb->engine(0), gen_tx, *gen, mc::make_udp_frame(stamped),
+                     tb->port("sink"), cfg);
   ts.bind_telemetry(registry, "timestamper");
   ts.start();
 
-  // Sample the registry every 100 ms of *virtual* time: the Sampler's time
-  // source reads the event queue clock (ps -> ns).
+  // Sample the registry every 100 ms of *virtual* time on the global
+  // timeline: the tick runs while every shard is quiesced at the sample
+  // instant, so the snapshot is a consistent cut across shards.
   mt::SamplerConfig sampler_cfg;
   sampler_cfg.period_ns = 100'000'000;
-  mt::Sampler sampler(registry, [&events] { return events.now() / 1'000; }, sampler_cfg);
+  mt::Sampler sampler(registry, [&tb] { return tb->now() / 1'000; }, sampler_cfg);
   const auto end_ps = static_cast<ms::SimTime>(seconds * 1e12);
   std::function<void()> sample_tick = [&] {
-    events.publish_telemetry();  // engine deltas are flushed, not per-event
+    tb->publish_engine_telemetry();  // engine deltas are flushed, not per-event
     sampler.poll();
-    if (events.now() < end_ps) events.schedule_in(100 * ms::kPsPerMs, sample_tick);
+    if (tb->now() < end_ps) tb->schedule_global(tb->now() + 100 * ms::kPsPerMs, sample_tick);
   };
-  if (!json_path.empty()) sample_tick();
+  if (cli->has_json()) tb->schedule_global(0, sample_tick);
 
-  events.run_until(end_ps);
+  tb->run_until(end_ps);
   ts.stop();
 
+  auto& forwarder = tb->forwarder();
+  auto& dut_in = tb->port("dut_in");
   const auto& h = ts.histogram();
   std::printf("load:     %.2f Mpps offered, %.2f Mpps forwarded\n", rate_mpps,
               static_cast<double>(forwarder.forwarded()) / seconds / 1e6);
@@ -173,10 +148,11 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(forwarder.interrupts()),
               static_cast<unsigned long long>(forwarder.polls()),
               static_cast<unsigned long long>(dut_in.stats().rx_ring_drops));
-  if (faults) {
+  if (tb->has_faults()) {
+    auto& l1 = tb->link(0, 1);
     std::printf("faults:   %llu injected (l1: %llu lost / %llu corrupt / %llu flaps, "
                 "dut stalls %llu, crc errors %llu)\n",
-                static_cast<unsigned long long>(faults->total_fires()),
+                static_cast<unsigned long long>(tb->fault_fires()),
                 static_cast<unsigned long long>(l1.fault_drops() + l1.flap_drops()),
                 static_cast<unsigned long long>(l1.corrupted()),
                 static_cast<unsigned long long>(l1.flaps()),
@@ -187,21 +163,22 @@ int main(int argc, char** argv) {
     std::printf("recover:  %llu link resumes, %llu timestamper resyncs\n",
                 static_cast<unsigned long long>(
                     gen_tx.stats().link_up_events + dut_in.stats().link_up_events +
-                    dut_out.stats().link_up_events + sink.stats().link_up_events),
+                    tb->port("dut_out").stats().link_up_events +
+                    tb->port("sink").stats().link_up_events),
                 static_cast<unsigned long long>(ts.resyncs()));
   }
 
-  if (!json_path.empty()) {
-    events.publish_telemetry();  // engine.events_executed / wheel / heap / rate
+  if (cli->has_json()) {
+    tb->publish_engine_telemetry();  // engine.events_executed / wheel / heap / rate
     registry.gauge("load.forwarded_mpps")
         .set(static_cast<double>(forwarder.forwarded()) / seconds / 1e6);
     registry.gauge("dut.interrupts").set(static_cast<double>(forwarder.interrupts()));
     registry.gauge("dut.polls").set(static_cast<double>(forwarder.polls()));
     sampler.sample_now();  // final snapshot incl. the end-of-run gauges
-    if (mt::dump_json_series_to_file(json_path, sampler.series()))
-      std::fprintf(stderr, "telemetry series written to %s\n", json_path.c_str());
+    if (mt::dump_json_series_to_file(cli->json_path, sampler.series()))
+      std::fprintf(stderr, "telemetry series written to %s\n", cli->json_path.c_str());
     else
-      std::fprintf(stderr, "failed to write telemetry series to %s\n", json_path.c_str());
+      std::fprintf(stderr, "failed to write telemetry series to %s\n", cli->json_path.c_str());
   }
   return 0;
 }

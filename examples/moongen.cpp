@@ -12,35 +12,45 @@
 #include <iostream>
 #include <sstream>
 
-#include "core/task.hpp"
+#include "cli.hpp"
 #include "script/bindings.hpp"
 
+namespace me = moongen::examples;
 namespace sc = moongen::script;
 
+namespace {
+
+constexpr const char* kUsage =
+    "usage: moongen <script> [args...]\n"
+    "bundled scripts: examples/scripts/*.lua\n";
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: %s <script> [args...]\n"
-                 "bundled scripts: examples/scripts/*.lua\n",
-                 argv[0]);
+  const auto cli = me::parse_cli(argc, argv, kUsage);
+  if (!cli) return 2;
+  if (cli->positional.empty()) {
+    std::fprintf(stderr, "%s", kUsage);
     return 2;
   }
-  std::ifstream file(argv[1]);
+  const std::string& script_path = cli->positional[0];
+  std::ifstream file(script_path);
   if (!file) {
-    std::fprintf(stderr, "cannot open script '%s'\n", argv[1]);
+    std::fprintf(stderr, "cannot open script '%s'\n", script_path.c_str());
     return 2;
   }
   std::stringstream buffer;
   buffer << file.rdbuf();
 
   std::vector<sc::Value> args;
-  for (int i = 2; i < argc; ++i) {
+  for (std::size_t i = 1; i < cli->positional.size(); ++i) {
+    const std::string& a = cli->positional[i];
     char* end = nullptr;
-    const double number = std::strtod(argv[i], &end);
-    if (end != argv[i] && *end == '\0') {
+    const double number = std::strtod(a.c_str(), &end);
+    if (end != a.c_str() && *end == '\0') {
       args.emplace_back(number);
     } else {
-      args.emplace_back(std::string(argv[i]));
+      args.emplace_back(a);
     }
   }
 

@@ -8,29 +8,51 @@
 //
 // Usage: packet_capture [file.pcap]
 #include <cstdio>
-#include <cstdlib>
 #include <memory>
+#include <string>
 
 #include "capture/pcap.hpp"
+#include "cli.hpp"
 #include "core/rate_control.hpp"
 #include "nic/chip.hpp"
-#include "wire/link.hpp"
+#include "testbed/scenario.hpp"
 
 namespace cap = moongen::capture;
 namespace mc = moongen::core;
+namespace me = moongen::examples;
 namespace mn = moongen::nic;
 namespace ms = moongen::sim;
-namespace mw = moongen::wire;
+namespace mtb = moongen::testbed;
+
+namespace {
+
+constexpr const char* kUsage = "usage: packet_capture [file.pcap] [--seed N]\n";
+
+// Both scenes are a simple A -> B pair; the replay runs the engine to
+// exhaustion, which needs the single-engine form (couple).
+std::unique_ptr<mtb::Testbed> make_pair(std::uint64_t seed, std::uint64_t a_seed) {
+  return mtb::Scenario()
+      .seed(seed)
+      .telemetry(false)
+      .device(0, mn::intel_x540()).name("a").with_seed(a_seed)
+      .device(1, mn::intel_x540()).name("b").with_seed(a_seed + 1)
+      .link(0, 1).with_seed(a_seed + 2)
+      .couple(0, 1)
+      .build();
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
-  const std::string tx_path = argc > 1 ? argv[1] : "/tmp/moongen_tx.pcap";
+  const auto cli = me::parse_cli(argc, argv, kUsage);
+  if (!cli) return 2;
+  const std::string tx_path = cli->arg(0, "/tmp/moongen_tx.pcap");
   const std::string rx_path = tx_path + ".rx";
 
   {
-    ms::EventQueue events;
-    mn::Port a(events, mn::intel_x540(), 10'000, 31);
-    mn::Port b(events, mn::intel_x540(), 10'000, 32);
-    mw::Link link(a, b, mw::cat5e_10gbaset(2.0), 33);
+    auto tb = make_pair(cli->seed, 31);
+    auto& a = tb->port("a");
+    auto& b = tb->port("b");
 
     cap::PcapWriter tx_writer(tx_path);
     cap::TxTee tee(a, tx_writer);  // everything leaving port A
@@ -41,7 +63,7 @@ int main(int argc, char** argv) {
     opts.frame_size = 96;
     auto gen = mc::SimLoadGen::crc_paced(a.tx_queue(0), mc::make_udp_frame(opts),
                                          std::make_unique<mc::CbrPattern>(0.5), 10'000);
-    events.run_until(2 * ms::kPsPerMs);
+    tb->run_until(2 * ms::kPsPerMs);
 
     std::printf("captured %llu TX frames (incl. invalid gap frames) -> %s\n",
                 static_cast<unsigned long long>(tx_writer.packets_written()), tx_path.c_str());
@@ -54,14 +76,12 @@ int main(int argc, char** argv) {
   // Replay: read the RX capture and push it through a fresh port pair.
   const auto frames = cap::load_frames(rx_path);
   std::printf("replaying %zu frames from %s...\n", frames.size(), rx_path.c_str());
-  ms::EventQueue events;
-  mn::Port a(events, mn::intel_x540(), 10'000, 41);
-  mn::Port b(events, mn::intel_x540(), 10'000, 42);
-  mw::Link link(a, b, mw::cat5e_10gbaset(2.0), 43);
+  auto tb = make_pair(cli->seed, 41);
+  auto& a = tb->port("a");
   for (const auto& frame : frames) a.tx_queue(0).post(frame);
-  events.run();
+  tb->engine().run();
   std::printf("replay delivered %llu packets\n",
-              static_cast<unsigned long long>(b.stats().rx_packets));
+              static_cast<unsigned long long>(tb->port("b").stats().rx_packets));
 
   std::remove(tx_path.c_str());
   std::remove(rx_path.c_str());

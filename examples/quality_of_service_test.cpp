@@ -11,12 +11,12 @@
 //   loadSlave()    -> load_slave(): pre-filled mempool, per-packet edit
 //   counterSlave() -> counter_slave(): per-port RX counters
 #include <cstdio>
-#include <cstdlib>
 #include <iostream>
 #include <thread>
 #include <map>
 #include <memory>
 
+#include "cli.hpp"
 #include "core/device.hpp"
 #include "core/field_modifier.hpp"
 #include "core/task.hpp"
@@ -24,18 +24,21 @@
 #include "membuf/mempool.hpp"
 #include "proto/packet_view.hpp"
 #include "stats/counters.hpp"
+#include "testbed/scenario.hpp"
 
 namespace mc = moongen::core;
 namespace mb = moongen::membuf;
+namespace me = moongen::examples;
 namespace mp = moongen::proto;
 namespace st = moongen::stats;
+namespace mtb = moongen::testbed;
 
 namespace {
 
 constexpr std::size_t kPktSize = 124;  // PKT_SIZE from Listing 2
 
 // Listing 2: the transmission slave task.
-void load_slave(mc::TxQueue* queue, std::uint16_t port) {
+void load_slave(mc::TxQueue* queue, std::uint16_t port, const mc::RunState* run) {
   auto mem = std::make_unique<mb::Mempool>(2048, [port](mb::PktBuf& buf) {
     buf.set_length(kPktSize);
     mp::UdpPacketView pkt{buf.bytes()};
@@ -53,7 +56,7 @@ void load_slave(mc::TxQueue* queue, std::uint16_t port) {
   const auto base_ip = mp::IPv4Address::parse("10.0.0.1").value();
   mb::BufArray bufs(*mem, 64);
   mc::Tausworthe rng(port);
-  while (mc::running()) {
+  while (run->running()) {
     bufs.alloc(kPktSize);
     for (auto* buf : bufs) {
       mp::UdpPacketView pkt{buf->bytes()};
@@ -67,10 +70,10 @@ void load_slave(mc::TxQueue* queue, std::uint16_t port) {
 }
 
 // Listing 3: the packet counter slave task.
-void counter_slave(mc::RxQueue* queue) {
+void counter_slave(mc::RxQueue* queue, const mc::RunState* run) {
   mb::BufArray bufs(128);
   std::map<std::uint16_t, std::unique_ptr<st::PktRxCounter>> counters;
-  while (mc::running()) {
+  while (run->running()) {
     const auto rx = queue->recv(bufs);
     if (rx == 0) std::this_thread::yield();  // be polite on small hosts
     for (std::size_t i = 0; i < rx; ++i) {
@@ -93,24 +96,32 @@ void counter_slave(mc::RxQueue* queue) {
 
 // Listing 1: the master function.
 int main(int argc, char** argv) {
-  const double bg_rate = argc > 1 ? std::atof(argv[1]) : 800.0;  // Mbit/s
-  const double fg_rate = argc > 2 ? std::atof(argv[2]) : 100.0;
+  const auto cli = me::parse_cli(
+      argc, argv, "usage: quality_of_service_test [bg_mbit] [fg_mbit]\n");
+  if (!cli) return 2;
+  const double bg_rate = cli->number(0, 800.0);  // Mbit/s
+  const double fg_rate = cli->number(1, 100.0);
   std::printf("quality-of-service-test: background %.0f Mbit/s (port 42),"
               " foreground %.0f Mbit/s (port 43), 3 s\n",
               bg_rate, fg_rate);
 
-  auto& t_dev = mc::Device::config(0, 1, 2);
-  auto& r_dev = mc::Device::config(1, 1, 1);
-  mc::Device::wait_for_links();  // line 4
-  t_dev.connect_to(r_dev);
+  auto tb = mtb::Scenario()
+                .fast_device(0, 1, 2)
+                .fast_device(1, 1, 1)
+                .fast_connect(0, 1)
+                .build();
+  auto& t_dev = tb->fast_device(0);
+  auto& r_dev = tb->fast_device(1);
+  mc::Device::wait_for_links();                  // line 4
   t_dev.get_tx_queue(0).set_rate_mbit(bg_rate);  // line 5
   t_dev.get_tx_queue(1).set_rate_mbit(fg_rate);  // line 6
 
+  mc::RunState& run = tb->run_state();
   mc::TaskSet mg;
-  mg.launch("loadSlave", load_slave, &t_dev.get_tx_queue(0), std::uint16_t{42});  // line 7
-  mg.launch("loadSlave", load_slave, &t_dev.get_tx_queue(1), std::uint16_t{43});  // line 8
-  mg.launch("counterSlave", counter_slave, &r_dev.get_rx_queue(0));               // line 9
-  mc::stop_after(3.0);
+  mg.launch("loadSlave", load_slave, &t_dev.get_tx_queue(0), std::uint16_t{42}, &run);  // line 7
+  mg.launch("loadSlave", load_slave, &t_dev.get_tx_queue(1), std::uint16_t{43}, &run);  // line 8
+  mg.launch("counterSlave", counter_slave, &r_dev.get_rx_queue(0), &run);               // line 9
+  run.stop_after(3.0);
   mg.wait();  // line 10
 
   // On hosts with fewer cores than tasks the receive ring can overflow

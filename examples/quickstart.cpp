@@ -17,17 +17,19 @@
 #include "membuf/mempool.hpp"
 #include "proto/packet_view.hpp"
 #include "stats/counters.hpp"
+#include "testbed/scenario.hpp"
 
 namespace mc = moongen::core;
 namespace mb = moongen::membuf;
 namespace mp = moongen::proto;
 namespace st = moongen::stats;
+namespace mtb = moongen::testbed;
 
 namespace {
 
 constexpr std::size_t kPktSize = 60;
 
-void load_slave(mc::TxQueue& queue) {
+void load_slave(mc::TxQueue& queue, const mc::RunState& run) {
   // Pool of pre-filled UDP packets: the transmit loop only touches the
   // source address.
   mb::Mempool pool(2048, [](mb::PktBuf& buf) {
@@ -46,7 +48,7 @@ void load_slave(mc::TxQueue& queue) {
   const auto base_ip = mp::IPv4Address::parse("10.0.0.1").value();
 
   st::ManualTxCounter ctr("tx", st::Format::kPlain, st::wall_clock(), &std::cout);
-  while (mc::running()) {
+  while (run.running()) {
     bufs.alloc(kPktSize);
     for (auto* buf : bufs) {
       mp::UdpPacketView pkt{buf->bytes()};
@@ -59,10 +61,10 @@ void load_slave(mc::TxQueue& queue) {
   ctr.finalize();
 }
 
-void counter_slave(mc::RxQueue& queue) {
+void counter_slave(mc::RxQueue& queue, const mc::RunState& run) {
   mb::BufArray bufs(128);
   st::PktRxCounter ctr("rx", st::Format::kPlain, st::wall_clock(), &std::cout);
-  while (mc::running()) {
+  while (run.running()) {
     const auto n = queue.recv(bufs);
     for (std::size_t i = 0; i < n; ++i) ctr.count_packet(bufs[i]->length());
     bufs.free_all();
@@ -75,15 +77,22 @@ void counter_slave(mc::RxQueue& queue) {
 
 int main() {
   std::printf("quickstart: 3 seconds of UDP load over a loopback pair\n");
-  auto& tx_dev = mc::Device::config(0, 1, 1);
-  auto& rx_dev = mc::Device::config(1, 1, 1);
+  auto tb = mtb::Scenario()
+                .fast_device(0, 1, 1)
+                .fast_device(1, 1, 1)
+                .fast_connect(0, 1)
+                .build();
+  auto& tx_dev = tb->fast_device(0);
+  auto& rx_dev = tb->fast_device(1);
   mc::Device::wait_for_links();
-  tx_dev.connect_to(rx_dev);
 
+  // The testbed's private run state replaces the process-global flag: two
+  // experiments in one process can no longer stop each other.
+  mc::RunState& run = tb->run_state();
   mc::TaskSet tasks;
-  tasks.launch("load", load_slave, std::ref(tx_dev.get_tx_queue(0)));
-  tasks.launch("counter", counter_slave, std::ref(rx_dev.get_rx_queue(0)));
-  mc::stop_after(3.0);
+  tasks.launch("load", load_slave, std::ref(tx_dev.get_tx_queue(0)), std::cref(run));
+  tasks.launch("counter", counter_slave, std::ref(rx_dev.get_rx_queue(0)), std::cref(run));
+  run.stop_after(3.0);
   tasks.wait();
   return 0;
 }

@@ -14,29 +14,27 @@
 // dropped nothing — so wire faults upstream of the DuT shrink the delivered
 // load while DuT-side faults (stalls, rx_overflow) shrink the loss-free rate.
 //
-// Usage: rfc2544_throughput [trial_seconds] [--faults SPEC]
+// Usage: rfc2544_throughput [trial_seconds] [--faults SPEC] [--shards N]
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <exception>
 #include <memory>
 
+#include "cli.hpp"
 #include "core/rate_control.hpp"
 #include "core/timestamper.hpp"
-#include "dut/forwarder.hpp"
-#include "fault/fault.hpp"
 #include "nic/chip.hpp"
 #include "nic/throughput_model.hpp"
-#include "wire/link.hpp"
+#include "testbed/scenario.hpp"
 
 namespace mc = moongen::core;
-namespace md = moongen::dut;
-namespace mf = moongen::fault;
+namespace me = moongen::examples;
 namespace mn = moongen::nic;
 namespace ms = moongen::sim;
-namespace mw = moongen::wire;
+namespace mtb = moongen::testbed;
 
 namespace {
+
+constexpr const char* kUsage =
+    "usage: rfc2544_throughput [trial_seconds] [--faults SPEC] [--seed N] [--shards N]\n";
 
 struct TrialResult {
   bool loss_free;
@@ -46,29 +44,28 @@ struct TrialResult {
 };
 
 TrialResult run_trial(std::size_t frame_size, double mpps, double seconds,
-                      const mf::FaultSpec* fault_spec) {
-  ms::EventQueue events;
-  mn::Port gen_tx(events, mn::intel_x540(), 10'000, 11);
-  mn::Port dut_in(events, mn::intel_x540(), 10'000, 12);
-  mn::Port dut_out(events, mn::intel_x540(), 10'000, 13);
-  mn::Port sink(events, mn::intel_x540(), 10'000, 14);
-  mw::Link l1(gen_tx, dut_in, mw::cat5e_10gbaset(2.0), 15);
-  mw::Link l2(dut_out, sink, mw::cat5e_10gbaset(2.0), 16);
-  md::Forwarder forwarder(events, dut_in, 0, dut_out, 0);
-  sink.rx_queue(0).set_store(false);
+                      const me::Cli& cli) {
+  // Per-trial testbed (and per-trial fault plane: every trial sees the same
+  // seeded fault sequence, so the binary search stays deterministic and
+  // comparable across rates). Telemetry is off — trials read stats directly.
+  auto tb = mtb::Scenario()
+                .seed(cli.seed)
+                .shards(cli.shards)
+                .faults(cli.faults)
+                .telemetry(false)
+                .device(0, mn::intel_x540()).name("gen_tx").with_seed(11)
+                .device(1, mn::intel_x540()).name("dut_in").with_seed(12)
+                .device(2, mn::intel_x540()).name("dut_out").with_seed(13)
+                .device(3, mn::intel_x540()).name("sink").with_seed(14).rx_store(false)
+                .link(0, 1).with_seed(15)
+                .link(2, 3).with_seed(16)
+                .forwarder(1, 2)
+                .couple(0, 3)
+                .build();
+  auto& gen_tx = tb->port("gen_tx");
+  auto& dut_in = tb->port("dut_in");
+  auto& sink = tb->port("sink");
 
-  // Per-trial fault plane: every trial sees the same seeded fault sequence,
-  // so the binary search stays deterministic and comparable across rates.
-  std::unique_ptr<mf::FaultPlane> faults;
-  if (fault_spec != nullptr && !fault_spec->empty()) {
-    faults = std::make_unique<mf::FaultPlane>(*fault_spec, &events);
-    l1.install_faults(*faults, "wire.l1");
-    l2.install_faults(*faults, "wire.l2");
-    dut_in.install_faults(*faults, "nic.dut_in");
-    forwarder.install_faults(*faults, "dut.fwd");
-    faults->arm_clock_faults(gen_tx.ptp_clock(), "clock.gen_tx");
-    faults->arm_clock_faults(sink.ptp_clock(), "clock.sink");
-  }
   std::uint64_t sink_count = 0;
   sink.rx_queue(0).set_callback([&](const mn::RxQueueModel::Entry&) { ++sink_count; });
 
@@ -94,10 +91,10 @@ TrialResult run_trial(std::size_t frame_size, double mpps, double seconds,
   mc::TimestamperConfig cfg;
   cfg.sample_interval_ps = 200 * ms::kPsPerUs;
   cfg.hist_bin_ps = 50'000;
-  mc::Timestamper ts(events, gen_tx, *gen, stamped_frame, sink, cfg);
+  mc::Timestamper ts(tb->engine(0), gen_tx, *gen, stamped_frame, sink, cfg);
   ts.start();
 
-  events.run_until(static_cast<ms::SimTime>(seconds * 1e12));
+  tb->run_until(static_cast<ms::SimTime>(seconds * 1e12));
   ts.stop();
 
   TrialResult r;
@@ -106,40 +103,25 @@ TrialResult run_trial(std::size_t frame_size, double mpps, double seconds,
   // the pipeline at the end of the trial are not losses.
   (void)sink_count;
   r.loss_free = dut_in.stats().rx_ring_drops == 0;
-  r.forwarded_mpps = static_cast<double>(forwarder.forwarded()) / seconds / 1e6;
+  r.forwarded_mpps = static_cast<double>(tb->forwarder().forwarded()) / seconds / 1e6;
   r.median_latency_us = static_cast<double>(ts.histogram().median()) / 1e6;
-  r.faults_fired = faults ? faults->total_fires() : 0;
+  r.faults_fired = tb->fault_fires();
   return r;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string fault_spec_text;
-  double trial_s = 0.5;
+  const auto cli = me::parse_cli(argc, argv, kUsage);
+  if (!cli) return 2;
   // Short trials under-detect loss (the DuT's 4096-slot ring absorbs the
   // excess); 0.5 s is enough for the overload backlog to hit the ring.
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc) {
-      fault_spec_text = argv[++i];
-    } else {
-      trial_s = std::atof(argv[i]);
-    }
-  }
-  mf::FaultSpec fault_spec;
-  if (!fault_spec_text.empty()) {
-    try {
-      fault_spec = mf::FaultSpec::parse(fault_spec_text);
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "bad --faults spec: %s\n", e.what());
-      return 2;
-    }
-  }
+  const double trial_s = cli->number(0, 0.5);
   std::printf("RFC 2544-style throughput search (loss-free rate, OVS-like DuT)\n");
   std::printf("trial duration %.2f s, binary search to 1%% resolution\n", trial_s);
-  if (!fault_spec.empty())
-    std::printf("fault plane: \"%s\" (seed %llu)\n", fault_spec_text.c_str(),
-                static_cast<unsigned long long>(fault_spec.seed));
+  if (cli->has_faults())
+    std::printf("fault plane: \"%s\" (seed %llu)\n", cli->faults_text.c_str(),
+                static_cast<unsigned long long>(cli->faults.seed));
   std::printf("\n  %-10s %16s %16s %18s\n", "frame [B]", "line rate [Mpps]",
               "loss-free [Mpps]", "median lat. [us]");
 
@@ -151,7 +133,7 @@ int main(int argc, char** argv) {
     // DuT capacity is ~1.94 Mpps: start the search from the line rate.
     for (int iter = 0; iter < 8 && (hi - lo) / hi > 0.01; ++iter) {
       const double mid = (lo + hi) / 2.0;
-      const auto r = run_trial(frame_size, mid, trial_s, &fault_spec);
+      const auto r = run_trial(frame_size, mid, trial_s, *cli);
       total_faults += r.faults_fired;
       if (r.loss_free) {
         lo = mid;
@@ -165,7 +147,7 @@ int main(int argc, char** argv) {
   }
   std::printf("\n(the DuT forwards ~1.94 Mpps regardless of frame size: small frames are\n"
               " CPU-bound; large frames approach their line rate)\n");
-  if (!fault_spec.empty())
+  if (cli->has_faults())
     std::printf("faults injected across all trials: %llu\n",
                 static_cast<unsigned long long>(total_faults));
   return 0;

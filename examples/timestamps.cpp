@@ -4,41 +4,59 @@
 //
 // Usage: timestamps [cable_m] [fiber|copper] [samples]
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 
+#include "cli.hpp"
 #include "core/rate_control.hpp"
 #include "core/timestamper.hpp"
 #include "nic/chip.hpp"
-#include "wire/link.hpp"
+#include "testbed/scenario.hpp"
+#include "wire/cable.hpp"
 
 namespace mc = moongen::core;
+namespace me = moongen::examples;
 namespace mn = moongen::nic;
 namespace ms = moongen::sim;
+namespace mtb = moongen::testbed;
 namespace mw = moongen::wire;
 
-int main(int argc, char** argv) {
-  const double cable_m = argc > 1 ? std::atof(argv[1]) : 8.5;
-  const bool fiber = argc <= 2 || std::strcmp(argv[2], "fiber") == 0;
-  const auto samples = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 100'000ull;
-  std::printf("timestamps: %.1f m %s loopback, %llu samples\n\n", cable_m,
-              fiber ? "OM3 fiber (82599)" : "Cat 5e copper (X540)",
-              static_cast<unsigned long long>(samples));
+namespace {
 
-  ms::EventQueue events;
+constexpr const char* kUsage = "usage: timestamps [cable_m] [fiber|copper] [samples] [--seed N]\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto cli = me::parse_cli(argc, argv, kUsage);
+  if (!cli) return 2;
+  const double cable_m = cli->number(0, 8.5);
+  const bool fiber = cli->positional.size() <= 1 || cli->arg(1) == "fiber";
+  const auto samples = static_cast<unsigned long long>(cli->number(2, 100'000));
+  std::printf("timestamps: %.1f m %s loopback, %llu samples\n\n", cable_m,
+              fiber ? "OM3 fiber (82599)" : "Cat 5e copper (X540)", samples);
+
+  // The timestamper injects on port a and reads back on port b, and both
+  // share one oscillator — they must live on one engine (couple).
   const auto chip = fiber ? mn::intel_82599() : mn::intel_x540();
-  mn::Port a(events, chip, 10'000, 1);
-  mn::Port b(events, chip, 10'000, 2);
+  auto tb = mtb::Scenario()
+                .seed(cli->seed)
+                .telemetry(false)
+                .device(0, chip).name("a").with_seed(1)
+                .device(1, chip).name("b").with_seed(2)
+                .link(0, 1).cable(fiber ? mw::fiber_om3(cable_m) : mw::cat5e_10gbaset(cable_m))
+                .with_seed(3)
+                .couple(0, 1)
+                .build();
+  auto& a = tb->port("a");
+  auto& b = tb->port("b");
   b.ptp_clock() = a.ptp_clock();  // one oscillator per card
-  mw::Link link(a, b, fiber ? mw::fiber_om3(cable_m) : mw::cat5e_10gbaset(cable_m), 3);
 
   mc::TimestamperConfig cfg;
   cfg.sample_interval_ps = 3'300;
   cfg.sync_clocks_each_sample = false;
   cfg.hist_bin_ps = 100;
-  mc::Timestamper ts(events, a, 0, b, mc::make_ptp_ethernet_frame(80), cfg);
+  mc::Timestamper ts(tb->engine(0), a, 0, b, mc::make_ptp_ethernet_frame(80), cfg);
   ts.start();
-  events.run_until(static_cast<ms::SimTime>(samples) * 250'000);
+  tb->run_until(static_cast<ms::SimTime>(samples) * 250'000);
   ts.stop();
 
   std::printf("samples: %llu (lost %llu)\n",

@@ -19,15 +19,10 @@ std::uint64_t nanotime() {
                                         .count());
 }
 
-std::array<std::unique_ptr<Device>, Device::kMaxDevices>& registry() {
-  static std::array<std::unique_ptr<Device>, Device::kMaxDevices> devices;
-  return devices;
-}
-
 }  // namespace
 
 // ---------------------------------------------------------------------------
-// Device
+// Device / DeviceTable
 // ---------------------------------------------------------------------------
 
 Device::Device(int id, int rx_queues, int tx_queues) : id_(id), rx_pool_(4096) {
@@ -38,13 +33,27 @@ Device::Device(int id, int rx_queues, int tx_queues) : id_(id), rx_pool_(4096) {
 }
 
 Device& Device::config(int id, int rx_queues, int tx_queues) {
-  if (id < 0 || static_cast<std::size_t>(id) >= kMaxDevices)
+  return DeviceTable::process_default().config(id, rx_queues, tx_queues);
+}
+
+Device& DeviceTable::config(int id, int rx_queues, int tx_queues) {
+  if (id < 0 || static_cast<std::size_t>(id) >= Device::kMaxDevices)
     throw std::out_of_range("Device id out of range");
-  auto& slot = registry()[static_cast<std::size_t>(id)];
+  auto& slot = devices_[static_cast<std::size_t>(id)];
   if (!slot || slot->num_rx_queues() < rx_queues || slot->num_tx_queues() < tx_queues) {
     slot.reset(new Device(id, rx_queues, tx_queues));
   }
   return *slot;
+}
+
+Device* DeviceTable::find(int id) {
+  if (id < 0 || static_cast<std::size_t>(id) >= Device::kMaxDevices) return nullptr;
+  return devices_[static_cast<std::size_t>(id)].get();
+}
+
+DeviceTable& DeviceTable::process_default() {
+  static DeviceTable table;
+  return table;
 }
 
 proto::MacAddress Device::mac() const {

@@ -13,6 +13,7 @@
 //    evaluated in the virtual-time simulation, not here).
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -159,7 +160,14 @@ class Device {
   static constexpr std::size_t kMaxDevices = 64;
 
   /// Returns the device with the given id, (re)configured with the given
-  /// queue counts. Devices live for the process lifetime, like DPDK ports.
+  /// queue counts.
+  ///
+  /// \deprecated This is the process-global registry
+  /// (DeviceTable::process_default()): two experiments in one process share
+  /// every device it hands out, including link state and connected peers.
+  /// New code should build a testbed::Scenario and use its per-testbed
+  /// DeviceTable instead; this entry point remains for the script bindings
+  /// and legacy tests.
   static Device& config(int id, int rx_queues = 1, int tx_queues = 1);
 
   /// Waits for configured links — a no-op in the fast path, kept for
@@ -203,6 +211,32 @@ class Device {
   std::atomic<bool> link_up_{true};
 
   friend class TxQueue;
+  friend class DeviceTable;
+};
+
+/// Owns the fast-path devices of one testbed. Each testbed::Testbed holds
+/// a private table, so two testbeds in one process (or one test binary) no
+/// longer share mutable device state — the deprecated Device::config
+/// static registry is just the process-default instance of this class.
+class DeviceTable {
+ public:
+  DeviceTable() = default;
+  DeviceTable(const DeviceTable&) = delete;
+  DeviceTable& operator=(const DeviceTable&) = delete;
+
+  /// Returns the device with the given id, (re)configured with at least the
+  /// given queue counts (mirrors `device.config{}` from Listing 1). Devices
+  /// live as long as the table.
+  Device& config(int id, int rx_queues = 1, int tx_queues = 1);
+
+  /// The device if already configured, else nullptr.
+  [[nodiscard]] Device* find(int id);
+
+  /// The table behind the deprecated Device::config registry.
+  static DeviceTable& process_default();
+
+ private:
+  std::array<std::unique_ptr<Device>, Device::kMaxDevices> devices_;
 };
 
 }  // namespace moongen::core

@@ -11,18 +11,6 @@ namespace moongen::core {
 
 namespace {
 
-std::atomic<bool>& run_flag() {
-  static std::atomic<bool> flag{true};
-  return flag;
-}
-
-// Bumped on every reset_run_state; a stop_after timer armed under an older
-// generation must not fire into the next experiment.
-std::atomic<std::uint64_t>& generation() {
-  static std::atomic<std::uint64_t> gen{0};
-  return gen;
-}
-
 void pin_to_core(int core) {
 #ifdef __linux__
   const unsigned hw = std::thread::hardware_concurrency();
@@ -38,24 +26,49 @@ void pin_to_core(int core) {
 
 }  // namespace
 
-bool running() { return run_flag().load(std::memory_order_relaxed); }
+RunState::RunState() : state_(std::make_shared<State>()) {}
 
-void request_stop() { run_flag().store(false, std::memory_order_relaxed); }
+bool RunState::running() const { return state_->flag.load(std::memory_order_acquire); }
 
-void reset_run_state() {
-  generation().fetch_add(1, std::memory_order_relaxed);
-  run_flag().store(true, std::memory_order_relaxed);
+void RunState::request_stop() { state_->flag.store(false, std::memory_order_release); }
+
+void RunState::reset() {
+  // Bump the generation first: a stop_after timer armed under the old
+  // generation that fires between the two stores sees the new generation
+  // and stands down instead of stopping the next experiment.
+  state_->generation.fetch_add(1, std::memory_order_acq_rel);
+  state_->flag.store(true, std::memory_order_release);
 }
 
-std::uint64_t run_generation() { return generation().load(std::memory_order_relaxed); }
+std::uint64_t RunState::generation() const {
+  return state_->generation.load(std::memory_order_acquire);
+}
 
-void stop_after(double seconds) {
-  const std::uint64_t armed_gen = run_generation();
-  std::thread([seconds, armed_gen] {
+void RunState::stop_after(double seconds) {
+  const std::uint64_t armed_gen = generation();
+  std::thread([weak = std::weak_ptr<State>(state_), seconds, armed_gen] {
     std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
-    if (run_generation() == armed_gen) request_stop();
+    const auto state = weak.lock();
+    if (state == nullptr) return;  // the owning testbed is gone
+    if (state->generation.load(std::memory_order_acquire) == armed_gen)
+      state->flag.store(false, std::memory_order_release);
   }).detach();
 }
+
+RunState& RunState::global() {
+  static RunState state;
+  return state;
+}
+
+bool running() { return RunState::global().running(); }
+
+void request_stop() { RunState::global().request_stop(); }
+
+void reset_run_state() { RunState::global().reset(); }
+
+std::uint64_t run_generation() { return RunState::global().generation(); }
+
+void stop_after(double seconds) { RunState::global().stop_after(seconds); }
 
 void TaskSet::bind_telemetry(telemetry::MetricRegistry& registry, const std::string& prefix) {
   if (tm_launched_ != nullptr) return;  // already bound

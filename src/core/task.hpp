@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -23,24 +24,69 @@
 
 namespace moongen::core {
 
-/// Equivalent of `dpdk.running()`: transmit/receive loops poll this.
+/// Run/stop state of one experiment: the flag behind `dpdk.running()`.
+///
+/// Every testbed::Testbed owns a private RunState, so parallel shards and
+/// back-to-back experiments in one process cannot race each other's resets;
+/// the free functions below operate on the process-global instance for
+/// script parity and legacy callers.
+///
+/// Memory ordering: running() is an acquire load and request_stop() a
+/// release store, so a task that observes the stop also observes everything
+/// the stopping thread wrote before it (final stats, shutdown markers) —
+/// with the old relaxed loads that was only true by accident of x86.
+class RunState {
+ public:
+  RunState();
+  RunState(const RunState&) = delete;
+  RunState& operator=(const RunState&) = delete;
+
+  /// Equivalent of `dpdk.running()`: transmit/receive loops poll this.
+  [[nodiscard]] bool running() const;
+
+  /// Asks all tasks to wind down (mirrors MoonGen's SIGINT handling).
+  void request_stop();
+
+  /// Re-arms the run flag (between experiments in one process) and
+  /// invalidates any timers armed by earlier stop_after calls.
+  void reset();
+
+  /// Requests stop after `seconds` of wall-clock time, from a helper
+  /// thread. Returns immediately. The timer is generation-counted (a
+  /// reset() makes a pending timer a no-op) and holds only a weak
+  /// reference to this state, so it cannot fire into a destroyed testbed.
+  void stop_after(double seconds);
+
+  /// Generation of the run state; bumped by reset(). Exposed for tests of
+  /// the stop_after invalidation contract.
+  [[nodiscard]] std::uint64_t generation() const;
+
+  /// The process-global instance the free functions delegate to.
+  static RunState& global();
+
+ private:
+  struct State {
+    std::atomic<bool> flag{true};
+    std::atomic<std::uint64_t> generation{0};
+  };
+  /// Shared so detached stop_after timers can outlive the RunState safely.
+  std::shared_ptr<State> state_;
+};
+
+/// Equivalent of `dpdk.running()` on the process-global run state.
 bool running();
 
 /// Asks all tasks to wind down (mirrors MoonGen's SIGINT handling).
 void request_stop();
 
-/// Re-arms the run flag (between experiments in one process) and
+/// Re-arms the global run flag (between experiments in one process) and
 /// invalidates any timers armed by earlier stop_after calls.
 void reset_run_state();
 
-/// Requests stop after `seconds` of wall-clock time, from a helper thread.
-/// Returns immediately. The timer is generation-counted: if
-/// reset_run_state() runs before it fires, the stale timer is a no-op
-/// instead of stopping the next experiment.
+/// RunState::stop_after on the process-global instance.
 void stop_after(double seconds);
 
-/// Generation of the run state; bumped by reset_run_state. Exposed for
-/// tests of the stop_after invalidation contract.
+/// RunState::generation of the process-global instance.
 std::uint64_t run_generation();
 
 class TaskSet {

@@ -207,6 +207,8 @@ class Port {
   Port(const Port&) = delete;
   Port& operator=(const Port&) = delete;
 
+  /// The engine this port's events run on (its shard in a parallel run).
+  [[nodiscard]] sim::EventQueue& events() { return events_; }
   [[nodiscard]] const ChipSpec& spec() const { return spec_; }
   [[nodiscard]] std::uint64_t link_mbit() const { return link_mbit_; }
   [[nodiscard]] sim::SimTime byte_time_ps() const { return byte_time_ps_; }

@@ -1,0 +1,165 @@
+#include "sim/parallel.hpp"
+
+#include <barrier>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace moongen::sim {
+
+ParallelRuntime::ParallelRuntime(std::size_t shards)
+    : incoming_(shards == 0 ? 1 : shards), outgoing_(shards == 0 ? 1 : shards) {
+  if (shards == 0) shards = 1;
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) shards_.push_back(std::make_unique<EventQueue>());
+  executor_ = &ParallelRuntime::default_executor;
+}
+
+void ParallelRuntime::add_channel(std::size_t from_shard, std::size_t to_shard,
+                                  SimTime lookahead_ps, std::function<void()> drain,
+                                  std::function<void()> flush) {
+  if (from_shard >= shards_.size() || to_shard >= shards_.size())
+    throw std::out_of_range("ParallelRuntime::add_channel: shard index out of range");
+  if (from_shard == to_shard)
+    throw std::invalid_argument("ParallelRuntime::add_channel: channel within one shard");
+  if (lookahead_ps == 0)
+    throw std::invalid_argument(
+        "ParallelRuntime::add_channel: zero lookahead cannot bound a window");
+  auto ch = std::make_unique<Channel>();
+  ch->from = from_shard;
+  ch->to = to_shard;
+  ch->lookahead_ps = lookahead_ps;
+  ch->drain = std::move(drain);
+  ch->flush = std::move(flush);
+  incoming_[to_shard].push_back(ch.get());
+  outgoing_[from_shard].push_back(ch.get());
+  if (lookahead_ps < window_ps_) window_ps_ = lookahead_ps;
+  channels_.push_back(std::move(ch));
+}
+
+void ParallelRuntime::schedule_global(SimTime t, std::function<void()> fn) {
+  if (t < now_) throw std::logic_error("ParallelRuntime: scheduling a global into the past");
+  globals_.emplace(t, std::move(fn));
+}
+
+SimTime ParallelRuntime::next_target(SimTime cur, SimTime end) const {
+  SimTime next = end;
+  if (window_ps_ != UINT64_MAX && end - cur > window_ps_) next = cur + window_ps_;
+  if (!globals_.empty() && globals_.begin()->first < next) next = globals_.begin()->first;
+  return next;
+}
+
+void ParallelRuntime::run_globals() {
+  // Callbacks may schedule further globals at the current time; keep
+  // draining until none are due (mirrors the event queue's same-time FIFO).
+  while (!globals_.empty() && globals_.begin()->first <= now_) {
+    auto fn = std::move(globals_.begin()->second);
+    globals_.erase(globals_.begin());
+    fn();
+  }
+}
+
+void ParallelRuntime::run_sequential(SimTime t) {
+  while (true) {
+    const SimTime target = next_target(now_, t);
+    shards_[0]->run_until(target);
+    now_ = target;
+    run_globals();
+    if (now_ >= t) return;
+  }
+}
+
+void ParallelRuntime::run_parallel(SimTime t) {
+  const std::size_t n = shards_.size();
+  SimTime next = next_target(now_, t);
+  bool done = false;
+  std::atomic<bool> failed{false};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  // Completion step: every shard is quiesced at `next` — advance global
+  // time, run due globals single-threaded, pick the next window boundary.
+  auto on_window = [&]() noexcept {
+    now_ = next;
+    ++windows_;
+    if (!failed.load(std::memory_order_acquire)) {
+      try {
+        run_globals();
+      } catch (...) {
+        std::scoped_lock lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_release);
+      }
+    }
+    if (now_ >= t || failed.load(std::memory_order_acquire)) {
+      done = true;
+      return;
+    }
+    next = next_target(now_, t);
+  };
+  std::barrier sync(static_cast<std::ptrdiff_t>(n), on_window);
+
+  std::vector<Work> work;
+  work.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    work.emplace_back([this, s, &sync, &next, &done, &failed, &error_mutex, &first_error] {
+      EventQueue& engine = *shards_[s];
+      try {
+        for (;;) {
+          // Catch up on every published epoch: one from the previous
+          // window in steady state, possibly more right after a previous
+          // run_until left its final markers undrained.
+          for (Channel* ch : incoming_[s]) {
+            const std::uint64_t published = ch->epochs_flushed.load(std::memory_order_acquire);
+            while (ch->epochs_drained < published) {
+              ch->drain();
+              ++ch->epochs_drained;
+            }
+          }
+          engine.run_until(next);
+          for (Channel* ch : outgoing_[s]) {
+            ch->flush();
+            ch->epochs_flushed.fetch_add(1, std::memory_order_release);
+          }
+          sync.arrive_and_wait();
+          if (done) return;
+        }
+      } catch (...) {
+        {
+          std::scoped_lock lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        failed.store(true, std::memory_order_release);
+        // Leave the barrier so the surviving shards cannot wait for this
+        // thread; they stop at the next window boundary.
+        sync.arrive_and_drop();
+      }
+    });
+  }
+  executor_(work);
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void ParallelRuntime::run_until(SimTime t) {
+  if (t < now_) throw std::logic_error("ParallelRuntime: run_until into the past");
+  if (t == now_) {
+    run_globals();
+    return;
+  }
+  if (shards_.size() == 1) {
+    run_sequential(t);
+  } else {
+    run_parallel(t);
+  }
+}
+
+void ParallelRuntime::default_executor(std::vector<Work>& work) {
+  std::vector<std::thread> threads;
+  threads.reserve(work.size());
+  for (auto& w : work) threads.emplace_back(w);
+  for (auto& th : threads) th.join();
+}
+
+}  // namespace moongen::sim

@@ -1,0 +1,93 @@
+#include "testbed/testbed.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace moongen::testbed {
+
+nic::Port& Testbed::port(int id) {
+  const auto it = devices_.find(id);
+  if (it == devices_.end())
+    throw std::out_of_range("Testbed::port: no device " + std::to_string(id));
+  return *it->second.port;
+}
+
+nic::Port& Testbed::port(std::string_view name) {
+  for (auto& [id, entry] : devices_) {
+    if (entry.name == name) return *entry.port;
+  }
+  throw std::out_of_range("Testbed::port: no device named " + std::string(name));
+}
+
+wire::Link& Testbed::link(int from, int to) {
+  for (auto& entry : links_) {
+    if (entry.from == from && entry.to == to) return *entry.link;
+  }
+  throw std::out_of_range("Testbed::link: no link " + std::to_string(from) + " -> " +
+                          std::to_string(to));
+}
+
+dut::Forwarder& Testbed::forwarder(std::size_t index) {
+  if (index >= forwarders_.size())
+    throw std::out_of_range("Testbed::forwarder: index out of range");
+  return *forwarders_[index];
+}
+
+sim::EventQueue& Testbed::engine(int device_id) {
+  return runtime_->shard(shard_of(device_id));
+}
+
+sim::EventQueue& Testbed::engine() {
+  if (runtime_->shard_count() != 1)
+    throw std::logic_error(
+        "Testbed::engine(): testbed has multiple shards; use engine(device_id)");
+  return runtime_->shard(0);
+}
+
+std::size_t Testbed::shard_of(int device_id) const {
+  const auto it = devices_.find(device_id);
+  if (it == devices_.end())
+    throw std::out_of_range("Testbed::shard_of: no device " + std::to_string(device_id));
+  return it->second.shard;
+}
+
+void Testbed::run_for(double seconds) {
+  runtime_->run_until(now() + static_cast<sim::SimTime>(seconds * 1e12));
+}
+
+std::uint64_t Testbed::cross_shard_frames() const {
+  std::uint64_t total = 0;
+  for (const auto& entry : links_) total += entry.link->remote_frames();
+  return total;
+}
+
+void Testbed::publish_engine_telemetry() {
+  for (std::size_t i = 0; i < runtime_->shard_count(); ++i)
+    runtime_->shard(i).publish_telemetry();
+}
+
+fault::FaultPlane* Testbed::fault_plane(std::size_t shard) {
+  if (shard >= planes_.size()) return nullptr;
+  return planes_[shard].get();
+}
+
+std::uint64_t Testbed::fault_fires() const {
+  std::uint64_t total = 0;
+  for (const auto& plane : planes_) total += plane->total_fires();
+  return total;
+}
+
+std::uint64_t Testbed::fault_fires_at(std::string_view site) const {
+  std::uint64_t total = 0;
+  for (const auto& plane : planes_) total += plane->fires_at(site);
+  return total;
+}
+
+core::Device& Testbed::fast_device(int id) {
+  core::Device* dev = fast_devices_.find(id);
+  if (dev == nullptr)
+    throw std::out_of_range("Testbed::fast_device: no fast device " + std::to_string(id));
+  return *dev;
+}
+
+}  // namespace moongen::testbed

@@ -1,0 +1,148 @@
+// Testbed: one constructed experiment — ports, links, DuTs, fault planes
+// and the (possibly parallel) simulation runtime that drives them.
+//
+// A Testbed is built by testbed::Scenario (scenario.hpp), which replaces
+// the hand-wiring previously duplicated across every example: construct an
+// EventQueue, four Ports, two Links, a Forwarder, a FaultPlane, bind
+// telemetry, remember the right seeds. The Scenario declares the topology
+// once; build() places every device on a simulation shard, bridges
+// cross-shard links with lock-free frame channels, and wires fault
+// injection and telemetry with the same site/metric names the hand-wired
+// examples used — so existing CI greps and JSON consumers keep working.
+//
+// Determinism contract (DESIGN.md Section 10): for a fixed scenario, seed
+// and shard count, every run produces identical outputs; and the paper's
+// figure scenarios produce byte-identical telemetry for 1, 2 and 4 shards.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/device.hpp"
+#include "core/task.hpp"
+#include "dut/forwarder.hpp"
+#include "fault/fault.hpp"
+#include "nic/port.hpp"
+#include "sim/parallel.hpp"
+#include "telemetry/registry.hpp"
+#include "wire/link.hpp"
+
+namespace moongen::testbed {
+
+class Scenario;
+
+class Testbed {
+ public:
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+  ~Testbed() = default;
+
+  // --- topology access -----------------------------------------------------
+
+  /// The simulated port declared as `device(id, ...)`.
+  [[nodiscard]] nic::Port& port(int id);
+  /// Lookup by the name given with `.name("gen_tx")`.
+  [[nodiscard]] nic::Port& port(std::string_view name);
+  /// The link declared as `link(from, to)` (first match in declaration
+  /// order; a duplex link's reverse direction is `link(to, from)`).
+  [[nodiscard]] wire::Link& link(int from, int to);
+  /// The i-th forwarder in declaration order.
+  [[nodiscard]] dut::Forwarder& forwarder(std::size_t index = 0);
+  [[nodiscard]] std::size_t forwarder_count() const { return forwarders_.size(); }
+
+  // --- runtime -------------------------------------------------------------
+
+  /// The event engine of the shard that owns `device_id`. Components that
+  /// take an EventQueue& (Timestamper, SimLoadGen patterns, baselines) must
+  /// be constructed on the engine of the ports they touch.
+  [[nodiscard]] sim::EventQueue& engine(int device_id);
+  /// The single engine of a one-shard testbed; throws std::logic_error if
+  /// there is more than one shard (use engine(device_id) then).
+  [[nodiscard]] sim::EventQueue& engine();
+  [[nodiscard]] sim::ParallelRuntime& runtime() { return *runtime_; }
+  [[nodiscard]] std::size_t shard_count() const { return runtime_->shard_count(); }
+  [[nodiscard]] std::size_t shard_of(int device_id) const;
+
+  /// Runs every shard up to absolute virtual time `t` (see
+  /// sim::ParallelRuntime::run_until).
+  void run_until(sim::SimTime t) { runtime_->run_until(t); }
+  /// Runs for `seconds` of virtual time from now.
+  void run_for(double seconds);
+  [[nodiscard]] sim::SimTime now() const { return runtime_->now(); }
+
+  /// Schedules `fn` at absolute virtual time `t` on the global (cross-
+  /// shard) timeline: it runs single-threaded while every shard is
+  /// quiesced at `t`, so it may touch any shard's components. This is
+  /// where telemetry sampling ticks belong.
+  void schedule_global(sim::SimTime t, std::function<void()> fn) {
+    runtime_->schedule_global(t, std::move(fn));
+  }
+
+  /// Frames that crossed a shard boundary so far (0 on one shard).
+  [[nodiscard]] std::uint64_t cross_shard_frames() const;
+
+  // --- telemetry -----------------------------------------------------------
+
+  [[nodiscard]] telemetry::MetricRegistry& registry() { return *registry_; }
+  /// Flushes every shard engine's batched counters into the registry; call
+  /// before sampling a snapshot (mirrors EventQueue::publish_telemetry).
+  void publish_engine_telemetry();
+
+  // --- fault plane ---------------------------------------------------------
+
+  [[nodiscard]] bool has_faults() const { return !planes_.empty(); }
+  /// The per-shard fault plane (sites live on the plane of the shard that
+  /// executes them). Null when the scenario declared no faults.
+  [[nodiscard]] fault::FaultPlane* fault_plane(std::size_t shard = 0);
+  /// Total fault fires across all shards' planes.
+  [[nodiscard]] std::uint64_t fault_fires() const;
+  /// Fault fires at one site (sites are unique to one shard's plane).
+  [[nodiscard]] std::uint64_t fault_fires_at(std::string_view site) const;
+
+  // --- run state & fast path ----------------------------------------------
+
+  /// The private run/stop flag of this testbed (the per-experiment
+  /// equivalent of core::running()).
+  [[nodiscard]] core::RunState& run_state() { return run_state_; }
+  /// This testbed's private fast-path device table.
+  [[nodiscard]] core::DeviceTable& fast_devices() { return fast_devices_; }
+  /// A fast-path device declared with `fast_device(id, ...)`.
+  [[nodiscard]] core::Device& fast_device(int id);
+
+ private:
+  friend class Scenario;
+  Testbed() = default;
+
+  struct DeviceEntry {
+    std::string name;
+    std::size_t shard = 0;
+    std::unique_ptr<nic::Port> port;
+  };
+  struct LinkEntry {
+    int from = -1;
+    int to = -1;
+    std::unique_ptr<wire::Link> link;
+  };
+
+  // Declaration order is destruction-order-sensitive: links reference ports
+  // and channels, ports reference shard engines and fault planes, so the
+  // members they point into must be declared first (destroyed last).
+  core::RunState run_state_;
+  std::unique_ptr<telemetry::MetricRegistry> owned_registry_;
+  telemetry::MetricRegistry* registry_ = nullptr;
+  std::unique_ptr<sim::ParallelRuntime> runtime_;
+  std::vector<std::unique_ptr<fault::FaultPlane>> planes_;  // one per shard
+  std::deque<wire::FrameChannel> channels_;
+  std::map<int, DeviceEntry> devices_;
+  std::vector<LinkEntry> links_;
+  std::vector<std::unique_ptr<dut::Forwarder>> forwarders_;
+  core::DeviceTable fast_devices_;
+};
+
+}  // namespace moongen::testbed

@@ -1,5 +1,7 @@
 #include "wire/link.hpp"
 
+#include <stdexcept>
+
 #include "sim/event_queue.hpp"
 
 namespace moongen::wire {
@@ -80,6 +82,31 @@ void Link::begin_flap(sim::SimTime now_ps, double down_ps_param) {
   });
 }
 
+void Link::deliver(const nic::Frame& frame, sim::SimTime arrival_ps) {
+  if (remote_ != nullptr) {
+    remote_->push(RemoteHop{frame, arrival_ps});
+    ++remote_frames_;
+    return;
+  }
+  to_.deliver_frame(frame, arrival_ps);
+}
+
+void Link::flush_remote_epoch() {
+  remote_->push(RemoteHop{nic::Frame{}, RemoteHop::kEpochMark});
+}
+
+void Link::drain_remote_epoch() {
+  RemoteHop hop;
+  for (;;) {
+    if (!remote_->try_pop(hop))
+      throw std::logic_error("Link::drain_remote_epoch: epoch marker missing");
+    if (hop.arrival_ps == RemoteHop::kEpochMark) return;
+    if (hop.arrival_ps < to_.events().now())
+      throw std::logic_error("Link::drain_remote_epoch: lookahead violated");
+    to_.deliver_frame(hop.frame, hop.arrival_ps);
+  }
+}
+
 void Link::corrupt_frame(nic::Frame& frame) {
   // Copy-on-corrupt: payloads are shared (template frames, interned gap
   // frames), so the wire damages a private copy. Flip one byte to a
@@ -114,7 +141,7 @@ void Link::on_frame(const nic::Frame& frame, sim::SimTime tx_start_ps) {
   sim::SimTime arrival = tx_start_ps + static_cast<sim::SimTime>(delay);
 
   if (!fp_corrupt_.installed() && !fp_reorder_.installed() && !fp_dup_.installed()) {
-    to_.deliver_frame(frame, arrival);
+    deliver(frame, arrival);
     return;
   }
 
@@ -131,10 +158,10 @@ void Link::on_frame(const nic::Frame& frame, sim::SimTime tx_start_ps) {
       ++reordered_;
     }
   }
-  to_.deliver_frame(out, arrival);
+  deliver(out, arrival);
   if (fp_dup_.installed() && fp_dup_.fire(tx_start_ps) != nullptr) {
     // The duplicate follows as a separate frame, one frame time behind.
-    to_.deliver_frame(out, arrival + out.wire_bytes() * to_.byte_time_ps());
+    deliver(out, arrival + out.wire_bytes() * to_.byte_time_ps());
     ++duplicated_;
   }
 }

@@ -6,9 +6,23 @@
 
 #include "fault/fault.hpp"
 #include "nic/port.hpp"
+#include "sim/spsc_channel.hpp"
 #include "wire/cable.hpp"
 
 namespace moongen::wire {
+
+/// One frame in flight between shards: the payload plus its computed
+/// arrival time at the destination PHY. `arrival_ps == kEpochMark` closes
+/// a synchronization window's epoch (no frame attached).
+struct RemoteHop {
+  static constexpr sim::SimTime kEpochMark = UINT64_MAX;
+
+  nic::Frame frame;
+  sim::SimTime arrival_ps = 0;
+};
+
+/// SPSC frame channel between a link's shard and its destination's shard.
+using FrameChannel = sim::SpscChannel<RemoteHop>;
 
 class Link : public nic::FrameSink {
  public:
@@ -28,6 +42,42 @@ class Link : public nic::FrameSink {
   [[nodiscard]] const CableSpec& cable() const { return cable_; }
   [[nodiscard]] std::uint64_t frames_carried() const { return frames_; }
 
+  // --- cross-shard mode (parallel runtime) ---------------------------------
+  /// Detaches the link from its destination port: deliveries are pushed
+  /// into `channel` with their computed arrival time instead. The flush and
+  /// drain hooks below pair up through ParallelRuntime::add_channel; the
+  /// producer side (this link's shard) calls flush, the destination shard
+  /// calls drain.
+  void set_remote(FrameChannel* channel) { remote_ = channel; }
+  [[nodiscard]] bool remote() const { return remote_ != nullptr; }
+  /// Producer side: closes the current window's epoch with a marker.
+  void flush_remote_epoch();
+  /// Consumer side: delivers exactly one published epoch into the
+  /// destination port. Throws std::logic_error if the epoch marker is
+  /// missing or a frame would land in the destination engine's past (a
+  /// lookahead violation — the property the conservative window exists to
+  /// rule out).
+  void drain_remote_epoch();
+  /// Conservative lookahead bound: the smallest latency any frame on this
+  /// link can have. Fault rules only ever add delay (reorder holds back,
+  /// duplicates trail), so the cable bound holds with faults installed.
+  [[nodiscard]] sim::SimTime min_latency_ps() const { return cable_.min_latency_ps(); }
+  /// Usable lookahead for a cross-shard channel. The sender's MAC notifies
+  /// the link at the *end* of serialization with the frame's true start
+  /// time, so relative to the engine clock a frame's arrival can fall one
+  /// max-size frame serialization short of the cable bound; the channel
+  /// window must absorb that slack. Zero means this link cannot safely
+  /// cross shards.
+  [[nodiscard]] sim::SimTime lookahead_ps() const {
+    // 1518 B max standard frame + 8 B preamble + 12 B inter-frame gap.
+    constexpr std::uint64_t kMaxFrameWireBytes = 1538;
+    const sim::SimTime slack = kMaxFrameWireBytes * from_.byte_time_ps();
+    const sim::SimTime lat = min_latency_ps();
+    return lat > slack ? lat - slack : 0;
+  }
+  /// Frames pushed into the channel (markers excluded).
+  [[nodiscard]] std::uint64_t remote_frames() const { return remote_frames_; }
+
   /// True while carrier is present (false during an injected flap).
   [[nodiscard]] bool carrier_up() const { return carrier_up_; }
 
@@ -43,12 +93,16 @@ class Link : public nic::FrameSink {
   [[nodiscard]] std::int64_t phy_jitter_ps();
   void begin_flap(sim::SimTime now_ps, double down_ps_param);
   void corrupt_frame(nic::Frame& frame);
+  /// Local mode: into the destination port; remote mode: into the channel.
+  void deliver(const nic::Frame& frame, sim::SimTime arrival_ps);
 
   nic::Port& from_;
   nic::Port& to_;
   CableSpec cable_;
   std::mt19937_64 rng_;
   std::uint64_t frames_ = 0;
+  FrameChannel* remote_ = nullptr;
+  std::uint64_t remote_frames_ = 0;
 
   // Fault plane wiring (all disabled by default; on_frame's fast path is
   // unchanged when nothing is installed).
