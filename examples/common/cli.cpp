@@ -22,13 +22,19 @@ std::optional<Cli> parse_cli(int argc, char** argv, const char* usage) {
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
     const bool has_value = i + 1 < argc;
-    if (std::strcmp(a, "--json") == 0 && has_value) {
+    const bool takes_value = std::strcmp(a, "--json") == 0 || std::strcmp(a, "--faults") == 0 ||
+                             std::strcmp(a, "--seed") == 0 || std::strcmp(a, "--shards") == 0;
+    if (takes_value && !has_value) {
+      std::fprintf(stderr, "%s requires a value\n%s", a, usage != nullptr ? usage : "");
+      return std::nullopt;
+    }
+    if (std::strcmp(a, "--json") == 0) {
       cli.json_path = argv[++i];
-    } else if (std::strcmp(a, "--faults") == 0 && has_value) {
+    } else if (std::strcmp(a, "--faults") == 0) {
       cli.faults_text = argv[++i];
-    } else if (std::strcmp(a, "--seed") == 0 && has_value) {
+    } else if (std::strcmp(a, "--seed") == 0) {
       cli.seed = std::strtoull(argv[++i], nullptr, 10);
-    } else if (std::strcmp(a, "--shards") == 0 && has_value) {
+    } else if (std::strcmp(a, "--shards") == 0) {
       cli.shards = std::atoi(argv[++i]);
       if (cli.shards < 1) {
         std::fprintf(stderr, "--shards must be >= 1\n%s", usage != nullptr ? usage : "");

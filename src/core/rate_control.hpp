@@ -10,6 +10,7 @@
 // (0.8 ns at 10 GbE).
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <memory>
 #include <random>
@@ -56,7 +57,9 @@ class PoissonPattern : public DeparturePattern {
  public:
   PoissonPattern(double mpps, std::uint64_t seed) : dist_(mpps / 1e6), rng_(seed) {}
   sim::SimTime next_gap_ps() override {
-    return static_cast<sim::SimTime>(dist_(rng_));  // mean 1e6/mpps ps
+    // Round to the nearest picosecond: truncation would bias the mean
+    // inter-departure time low by ~0.5 ps per packet.
+    return static_cast<sim::SimTime>(std::llround(dist_(rng_)));  // mean 1e6/mpps ps
   }
 
  private:

@@ -48,6 +48,7 @@ void Timestamper::bind_telemetry(telemetry::MetricRegistry& registry,
 
 void Timestamper::start() {
   running_ = true;
+  if (stream_gen_ != nullptr) tx_port_.set_tx_batch_barrier(events_.now());
   events_.schedule_in(0, [this] { take_sample(); });
 }
 
@@ -122,6 +123,11 @@ void Timestamper::finish_sample(bool success) {
   armed_ = false;
   if (!success) resync_pending_ = true;
   if (!running_) return;
+  // In stream mode the next take_sample marks a frame in the generator
+  // mid-stream; batched TX must not serialize past that instant, or the
+  // mark would land on a different packet than in an unbatched run.
+  if (stream_gen_ != nullptr)
+    tx_port_.set_tx_batch_barrier(events_.now() + cfg_.sample_interval_ps);
   events_.schedule_in(cfg_.sample_interval_ps, [this] { take_sample(); });
 }
 

@@ -71,8 +71,13 @@ PktBuf* Mempool::alloc(std::size_t frame_length) {
 
 void Mempool::free_batch(std::span<PktBuf* const> bufs) {
   lock();
-  for (PktBuf* buf : bufs) {
-    if (buf != nullptr) free_list_.push_back(buf);
+  // Push in reverse: the freelist is LIFO, so a batch freed in array order
+  // would come back reversed on the next alloc_batch. Reversing here makes
+  // the steady-state alloc/free cycle return the same buffers in the same
+  // positions, which keeps caches (hardware and script-side buf wrappers)
+  // hot across batches.
+  for (std::size_t i = bufs.size(); i > 0; --i) {
+    if (bufs[i - 1] != nullptr) free_list_.push_back(bufs[i - 1]);
   }
   unlock();
 }

@@ -124,9 +124,13 @@ void Port::try_transmit() {
   for (int step = 0; step < n; ++step) {
     const int idx = (rr_next_ + step) % n;
     auto& q = *tx_queues_[static_cast<std::size_t>(idx)];
-    if (q.refill_) {
-      while (q.fifo_.size() < q.fifo_capacity_frames_) q.fifo_.push_back(q.refill_());
-    }
+    // Pull-on-demand: generate exactly the frame about to be considered, at
+    // the time it is considered. Prefilling the FIFO to capacity here would
+    // run the generator a whole FIFO ahead of the wire, so a frame marked
+    // for timestamp sampling (SimLoadGen::mark_next_valid) would reach the
+    // wire only after the pre-generated backlog drained — and batched and
+    // unbatched runs would sample different packets.
+    if (q.fifo_.empty() && q.refill_) q.fifo_.push_back(q.refill_());
     if (q.fifo_.empty()) continue;
     if (q.next_allowed_ps_ <= now) {
       rr_next_ = (idx + 1) % n;
@@ -204,7 +208,8 @@ void Port::start_transmission(TxQueueModel& q) {
 
 void Port::start_batch_transmission(TxQueueModel& q) {
   serializer_busy_ = true;
-  sim::SimTime t0 = events_.now();
+  const sim::SimTime now = events_.now();
+  sim::SimTime t0 = now;
   if (t0 != last_busy_end_) t0 = align_up(t0, spec_.mac_cycle_ps);
   q.next_allowed_ps_ = 0;  // what apply_rate_limit does on the uncontrolled path
 
@@ -218,6 +223,19 @@ void Port::start_batch_transmission(TxQueueModel& q) {
   std::uint64_t frames = 0;
   std::uint64_t bytes = 0;
   while (frames < tx_batch_frames_) {
+    // Batch barrier: a consumer (the Timestamper) has announced an event at
+    // `tx_batch_barrier_` that must observe the generator state mid-stream.
+    // No frame may *start* at or after the barrier inside this batch; the
+    // batch ends there and the per-frame arbitration at the completion event
+    // re-reads the (possibly updated) refill source. Frames that merely
+    // finish after the barrier are fine — the unbatched path generates them
+    // before the barrier event too. A batch starting exactly at the barrier
+    // runs after the barrier's own event (scheduled far earlier, so lower
+    // sequence number at equal time): its first frame already sees the
+    // update, but later frames must still be cut so their refill times match
+    // the per-frame path. A barrier before the batch start is stale.
+    if (tx_batch_barrier_ >= now && t0 >= tx_batch_barrier_ && (t0 > now || tx_batch_barrier_ > now))
+      break;
     if (q.fifo_.empty()) {
       if (!q.refill_) break;
       q.fifo_.push_back(q.refill_());

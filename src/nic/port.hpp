@@ -286,6 +286,13 @@ class Port {
   void set_tx_batch_frames(std::size_t n) { tx_batch_frames_ = n > 0 ? n : 1; }
   [[nodiscard]] std::size_t tx_batch_frames() const { return tx_batch_frames_; }
 
+  /// Announces that an event at absolute time `t` must observe generator
+  /// state mid-stream (e.g. the Timestamper arming a sample): no batched
+  /// frame may start at or after `t`, so batched and unbatched runs pick up
+  /// refill-source updates made at `t` on exactly the same frame. A barrier
+  /// in the past is ignored; re-arm before each such event.
+  void set_tx_batch_barrier(sim::SimTime t) { tx_batch_barrier_ = t; }
+
  private:
   friend class TxQueueModel;
 
@@ -320,6 +327,7 @@ class Port {
   sim::SimTime scheduled_wake_ps_ = 0;
   int rr_next_ = 0;  // round-robin arbiter position
   std::size_t tx_batch_frames_ = 16;
+  sim::SimTime tx_batch_barrier_ = 0;
   bool link_up_ = true;
   std::function<void(bool)> link_state_callback_;
   fault::FaultPoint fp_rx_overflow_;

@@ -5,6 +5,7 @@
 #include <iostream>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 
 #ifdef __linux__
 #include <pthread.h>
@@ -35,11 +36,32 @@ struct QueueRef {
 
 struct PacketRef {
   membuf::PktBuf* buf = nullptr;
+  // Identity-stable child accessors. `buf` is fixed for the lifetime of a
+  // PacketRef, so `buf:getUdpPacket()`, `.ip`, `.udp`, `.src` and `.dst`
+  // can hand out the same wrapper on every access (like LuaJIT cdata views
+  // in the original) instead of allocating a fresh one per packet.
+  Value udp_packet;
+  Value ip_hdr;
+  Value udp_hdr;
+  Value src_addr;
+  Value dst_addr;
 };
 
 struct AddrRef {
   membuf::PktBuf* buf = nullptr;
   bool dst = false;
+};
+
+/// Script-side bufArray: the array plus identity-stable `buf` wrappers
+/// keyed by the underlying PktBuf*. Mempools recycle the same buffers
+/// batch after batch (TX frees with a one-batch lag, so two buffer sets
+/// alternate), and keying by pointer makes every recycled buffer hit its
+/// existing wrapper — the steady-state allocates nothing per packet.
+struct BufArrayCache {
+  template <typename... Args>
+  explicit BufArrayCache(Args&&... args) : array(std::forward<Args>(args)...) {}
+  membuf::BufArray array;
+  std::unordered_map<membuf::PktBuf*, Value> elems;
 };
 
 struct CounterRef {
@@ -60,10 +82,61 @@ MethodTable& udp_header_methods();
 MethodTable& addr_methods();
 MethodTable& counter_methods();
 
+// ---------------------------------------------------------------------------
+// Pooled allocation for per-access wrapper objects
+//
+// Scripts create a fresh wrapper every time they touch a packet field
+// (`buf:getUdpPacket().ip.src` allocates three), so on the per-packet hot
+// path the wrapper churn is pure malloc/free traffic. A per-thread freelist
+// recycles the fixed-size allocate_shared nodes instead. Blocks may migrate
+// between threads' freelists (allocated on one, released on another); they
+// are interchangeable, and spill/refill always goes through ::operator new.
+// ---------------------------------------------------------------------------
+
+template <typename T>
+struct PoolAlloc {
+  using value_type = T;
+  PoolAlloc() = default;
+  template <typename U>
+  PoolAlloc(const PoolAlloc<U>&) {}  // NOLINT(google-explicit-constructor)
+
+  static std::vector<void*>& freelist() {
+    static thread_local std::vector<void*> list;
+    return list;
+  }
+  T* allocate(std::size_t n) {
+    auto& list = freelist();
+    if (n == 1 && !list.empty()) {
+      void* p = list.back();
+      list.pop_back();
+      return static_cast<T*>(p);
+    }
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) {
+    auto& list = freelist();
+    if (n == 1 && list.size() < 4096) {
+      list.push_back(p);
+      return;
+    }
+    ::operator delete(p);
+  }
+  template <typename U>
+  bool operator==(const PoolAlloc<U>&) const {
+    return true;
+  }
+};
+
+template <typename T, typename... Args>
+std::shared_ptr<T> pooled_shared(Args&&... args) {
+  return std::allocate_shared<T>(PoolAlloc<T>{}, std::forward<Args>(args)...);
+}
+
 template <typename T>
 Value wrap(const MethodTable& table, std::shared_ptr<T> handle) {
   T* ptr = handle.get();
-  return Value(std::make_shared<UserData>(&table, std::shared_ptr<void>(std::move(handle)), ptr));
+  return Value(
+      pooled_shared<UserData>(&table, std::shared_ptr<void>(std::move(handle)), ptr));
 }
 
 Value wrap_queue(core::Device* dev, core::TxQueue* tx, core::RxQueue* rx) {
@@ -73,8 +146,16 @@ Value wrap_queue(core::Device* dev, core::TxQueue* tx, core::RxQueue* rx) {
 
 /// Wraps a packet buffer as the script-visible `buf` object.
 Value wrap_packet(membuf::PktBuf* buf) {
-  auto ref = std::make_shared<PacketRef>(PacketRef{buf});
+  auto ref = pooled_shared<PacketRef>(PacketRef{buf});
   return wrap(buf_methods(), std::move(ref));
+}
+
+/// Wraps a BufArrayCache so that `as<membuf::BufArray>()` keeps working:
+/// the userdata pointer targets the inner array, the handle owns the cache.
+Value wrap_buf_array(std::shared_ptr<BufArrayCache> cache) {
+  membuf::BufArray* ptr = &cache->array;
+  return Value(pooled_shared<UserData>(&buf_array_methods(),
+                                       std::shared_ptr<void>(std::move(cache)), ptr));
 }
 
 std::vector<Value> no_values() { return {}; }
@@ -142,10 +223,16 @@ MethodTable& tx_queue_methods() {
       self.as<QueueRef>()->tx->set_rate_mbit(arg_number(args, 0, "setRate"));
       return no_values();
     };
-    t.methods["send"] = [](Interpreter&, UserData& self, std::vector<Value>& args) {
+    // Exactly one result: register the single-result fast path too, with
+    // the vector protocol wrapping the same core (identical behaviour).
+    const Method1 send1 = [](Interpreter&, UserData& self, std::vector<Value>& args) -> Value {
       auto bufs = arg_userdata(args, 0, "send", &buf_array_methods());
       const auto n = self.as<QueueRef>()->tx->send(*bufs->as<membuf::BufArray>());
-      return std::vector<Value>{Value(static_cast<double>(n))};
+      return Value(static_cast<double>(n));
+    };
+    t.methods1["send"] = send1;
+    t.methods["send"] = [send1](Interpreter& interp, UserData& self, std::vector<Value>& args) {
+      return std::vector<Value>{send1(interp, self, args)};
     };
     return t;
   }();
@@ -174,8 +261,8 @@ MethodTable& mempool_methods() {
       const std::size_t n =
           args.empty() ? membuf::BufArray::kDefaultBatch
                        : static_cast<std::size_t>(arg_number(args, 0, "bufArray"));
-      auto bufs = std::make_shared<membuf::BufArray>(*self.as<membuf::Mempool>(), n);
-      return std::vector<Value>{wrap(buf_array_methods(), std::move(bufs))};
+      auto bufs = std::make_shared<BufArrayCache>(*self.as<membuf::Mempool>(), n);
+      return std::vector<Value>{wrap_buf_array(std::move(bufs))};
     };
     return t;
   }();
@@ -186,10 +273,14 @@ MethodTable& buf_array_methods() {
   static MethodTable table = [] {
     MethodTable t;
     t.type_name = "bufArray";
-    t.methods["alloc"] = [](Interpreter&, UserData& self, std::vector<Value>& args) {
+    const Method1 alloc1 = [](Interpreter&, UserData& self, std::vector<Value>& args) -> Value {
       const auto size = static_cast<std::size_t>(arg_number(args, 0, "alloc"));
       const auto n = self.as<membuf::BufArray>()->alloc(size);
-      return std::vector<Value>{Value(static_cast<double>(n))};
+      return Value(static_cast<double>(n));
+    };
+    t.methods1["alloc"] = alloc1;
+    t.methods["alloc"] = [alloc1](Interpreter& interp, UserData& self, std::vector<Value>& args) {
+      return std::vector<Value>{alloc1(interp, self, args)};
     };
     t.methods["freeAll"] = [](Interpreter&, UserData& self, std::vector<Value>&) {
       self.as<membuf::BufArray>()->free_all();
@@ -212,10 +303,14 @@ MethodTable& buf_array_methods() {
           Value(static_cast<double>(self.as<membuf::BufArray>()->size()))};
     };
     t.index_number = [](Interpreter&, UserData& self, double index) -> Value {
-      auto* bufs = self.as<membuf::BufArray>();
+      auto* cache = static_cast<BufArrayCache*>(self.handle().get());
+      auto& bufs = cache->array;
       const auto i = static_cast<std::size_t>(index);
-      if (i < 1 || i > bufs->size()) return Value();  // 1-based, nil past end
-      return wrap_packet((*bufs)[i - 1]);
+      if (i < 1 || i > bufs.size()) return Value();  // 1-based, nil past end
+      membuf::PktBuf* buf = bufs[i - 1];
+      Value& slot = cache->elems[buf];
+      if (slot.is_nil()) slot = wrap_packet(buf);
+      return slot;
     };
     return t;
   }();
@@ -226,9 +321,18 @@ MethodTable& buf_methods() {
   static MethodTable table = [] {
     MethodTable t;
     t.type_name = "buf";
-    t.methods["getUdpPacket"] = [](Interpreter&, UserData& self, std::vector<Value>&) {
-      auto pkt = std::make_shared<PacketRef>(*self.as<PacketRef>());
-      return std::vector<Value>{wrap(udp_packet_methods(), std::move(pkt))};
+    const Method1 get_udp1 = [](Interpreter&, UserData& self, std::vector<Value>&) -> Value {
+      auto* ref = self.as<PacketRef>();
+      if (ref->udp_packet.is_nil()) {
+        ref->udp_packet =
+            wrap(udp_packet_methods(), pooled_shared<PacketRef>(PacketRef{ref->buf}));
+      }
+      return ref->udp_packet;
+    };
+    t.methods1["getUdpPacket"] = get_udp1;
+    t.methods["getUdpPacket"] = [get_udp1](Interpreter& interp, UserData& self,
+                                           std::vector<Value>& args) {
+      return std::vector<Value>{get_udp1(interp, self, args)};
     };
     t.methods["getLength"] = [](Interpreter&, UserData& self, std::vector<Value>&) {
       return std::vector<Value>{
@@ -243,7 +347,9 @@ MethodTable& addr_methods() {
   static MethodTable table = [] {
     MethodTable t;
     t.type_name = "ipAddr";
-    t.methods["set"] = [](Interpreter&, UserData& self, std::vector<Value>& args) {
+    // No results: the single-result variant returns nil, which is exactly
+    // what fixed-result-count sites would pad with.
+    const Method1 set1 = [](Interpreter&, UserData& self, std::vector<Value>& args) -> Value {
       auto* ref = self.as<AddrRef>();
       proto::UdpPacketView view{ref->buf->bytes()};
       const auto addr = proto::IPv4Address{
@@ -253,6 +359,11 @@ MethodTable& addr_methods() {
       } else {
         view.ip().set_src(addr);
       }
+      return Value();
+    };
+    t.methods1["set"] = set1;
+    t.methods["set"] = [set1](Interpreter& interp, UserData& self, std::vector<Value>& args) {
+      set1(interp, self, args);
       return no_values();
     };
     t.methods["get"] = [](Interpreter&, UserData& self, std::vector<Value>&) {
@@ -279,8 +390,12 @@ MethodTable& ip_header_methods() {
     t.index = [](Interpreter&, UserData& self, const std::string& field) -> Value {
       auto* ref = self.as<PacketRef>();
       if (field == "src" || field == "dst") {
-        auto addr = std::make_shared<AddrRef>(AddrRef{ref->buf, field == "dst"});
-        return wrap(addr_methods(), std::move(addr));
+        const bool dst = field == "dst";
+        Value& slot = dst ? ref->dst_addr : ref->src_addr;
+        if (slot.is_nil()) {
+          slot = wrap(addr_methods(), pooled_shared<AddrRef>(AddrRef{ref->buf, dst}));
+        }
+        return slot;
       }
       return Value();
     };
@@ -358,12 +473,18 @@ MethodTable& udp_packet_methods() {
     t.index = [](Interpreter&, UserData& self, const std::string& field) -> Value {
       auto* ref = self.as<PacketRef>();
       if (field == "ip") {
-        auto pkt = std::make_shared<PacketRef>(*ref);
-        return wrap(ip_header_methods(), std::move(pkt));
+        if (ref->ip_hdr.is_nil()) {
+          ref->ip_hdr =
+              wrap(ip_header_methods(), pooled_shared<PacketRef>(PacketRef{ref->buf}));
+        }
+        return ref->ip_hdr;
       }
       if (field == "udp") {
-        auto pkt = std::make_shared<PacketRef>(*ref);
-        return wrap(udp_header_methods(), std::move(pkt));
+        if (ref->udp_hdr.is_nil()) {
+          ref->udp_hdr =
+              wrap(udp_header_methods(), pooled_shared<PacketRef>(PacketRef{ref->buf}));
+        }
+        return ref->udp_hdr;
       }
       return Value();
     };
@@ -470,8 +591,8 @@ void install_modules(Interpreter& interp, const std::shared_ptr<ScriptRuntime::S
                            args.empty() ? membuf::BufArray::kDefaultBatch
                                         : static_cast<std::size_t>(
                                               arg_number(args, 0, "memory.bufArray"));
-                       auto bufs = std::make_shared<membuf::BufArray>(n);
-                       return std::vector<Value>{wrap(buf_array_methods(), std::move(bufs))};
+                       auto bufs = std::make_shared<BufArrayCache>(n);
+                       return std::vector<Value>{wrap_buf_array(std::move(bufs))};
                      }));
   interp.set_global("memory", Value(memory_module));
 

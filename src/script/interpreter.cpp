@@ -2,11 +2,14 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <iostream>
 #include <random>
 #include <thread>
 
+#include "script/compiler.hpp"
 #include "script/lexer.hpp"
+#include "script/vm.hpp"
 
 namespace moongen::script {
 
@@ -68,7 +71,8 @@ std::shared_ptr<UserData> arg_userdata(const std::vector<Value>& args, std::size
 }
 
 Value make_native(std::string name, NativeFn fn) {
-  return Value(std::make_shared<NativeFunction>(NativeFunction{std::move(name), std::move(fn)}));
+  return Value(
+      std::make_shared<NativeFunction>(NativeFunction{std::move(name), std::move(fn), nullptr}));
 }
 
 // ---------------------------------------------------------------------------
@@ -80,6 +84,27 @@ Interpreter::Interpreter(std::shared_ptr<const Program> program)
   install_base_library();
 }
 
+Interpreter::~Interpreter() = default;
+
+bool Interpreter::default_tree_walk() {
+  const char* env = std::getenv("MOONGEN_SCRIPT_TREEWALK");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+void Interpreter::ensure_compiled() {
+  if (!chunk_) chunk_ = compile_program(*program_);
+}
+
+Vm& Interpreter::vm() {
+  if (!vm_) vm_ = std::make_unique<Vm>(*this);
+  return *vm_;
+}
+
+std::vector<Value> Interpreter::call_compiled(const std::shared_ptr<VmClosure>& closure,
+                                              std::vector<Value>& args) {
+  return vm().call_closure(closure, args);
+}
+
 void Interpreter::set_global(const std::string& name, Value value) {
   globals_->declare(name, std::move(value));
 }
@@ -87,8 +112,13 @@ void Interpreter::set_global(const std::string& name, Value value) {
 Value Interpreter::get_global(const std::string& name) const { return globals_->get(name); }
 
 void Interpreter::run() {
-  const auto flow = execute_block(program_->block, globals_);
-  (void)flow;
+  if (tree_walk_) {
+    const auto flow = execute_block(program_->block, globals_);
+    (void)flow;
+    return;
+  }
+  ensure_compiled();
+  vm().run_toplevel(chunk_);
 }
 
 std::vector<Value> Interpreter::call_global(const std::string& name, std::vector<Value> args) {
@@ -112,9 +142,8 @@ std::vector<Value> Interpreter::call(const Value& callee, std::vector<Value> arg
   throw ScriptError("attempt to call a " + callee.type_name() + " value", line);
 }
 
-void Interpreter::count_step(int line) {
-  if (step_limit_ != 0 && ++steps_ > step_limit_)
-    throw ScriptError("script exceeded its execution budget", line);
+void Interpreter::step_budget_exceeded(int line) {
+  throw ScriptError("script exceeded its execution budget", line);
 }
 
 // --- statements -------------------------------------------------------------
@@ -403,7 +432,11 @@ Value Interpreter::binary_op(int op, const Expr& lhs_expr, const Expr& rhs_expr,
 
   const Value lhs = evaluate(lhs_expr, env);
   const Value rhs = evaluate(rhs_expr, env);
+  return apply_binary_op(op, lhs, rhs, line);
+}
 
+Value apply_binary_op(int op, const Value& lhs, const Value& rhs, int line) {
+  const auto type = static_cast<TokenType>(op);
   if (type == TokenType::kEq) return Value(lhs.equals(rhs));
   if (type == TokenType::kNe) return Value(!lhs.equals(rhs));
   if (type == TokenType::kConcat) {
@@ -444,15 +477,6 @@ Value Interpreter::binary_op(int op, const Expr& lhs_expr, const Expr& rhs_expr,
     case TokenType::kGe: return Value(a >= b);
     default: throw ScriptError("bad binary operator", line);
   }
-}
-
-Value Interpreter::index_for_iteration(const Value& container, double index) {
-  if (container.is_table()) return container.as_table()->get(Table::Key{index});
-  if (container.is_userdata()) {
-    auto& ud = *container.as_userdata();
-    if (ud.methods()->index_number) return ud.methods()->index_number(*this, ud, index);
-  }
-  return Value();
 }
 
 Value Interpreter::index_value(const Value& object, const Value& key, int line) {
@@ -576,6 +600,9 @@ void Interpreter::install_base_library() {
                      if (element.is_nil()) return std::vector<Value>{Value()};
                      return std::vector<Value>{Value(next), element};
                    });
+               // Let the VM open-code calls to this iterator (same
+               // semantics, no argument/result vectors per element).
+               (*iter.native())->builtin = NativeFunction::Builtin::kIpairsIter;
                (void)interp;
                return std::vector<Value>{iter, target, Value(0.0)};
              }));
@@ -606,22 +633,29 @@ void Interpreter::install_base_library() {
   // math.*
   auto math = std::make_shared<Table>();
   auto rng = std::make_shared<std::mt19937_64>(0x5eed);
-  math->set(Table::Key{"random"},
-            make_native("math.random", [rng](Interpreter&, std::vector<Value>& args) {
-              if (args.empty()) {
-                return std::vector<Value>{
-                    Value(static_cast<double>((*rng)() >> 11) / 9007199254740992.0)};
-              }
-              const auto m = static_cast<std::uint64_t>(arg_number(args, 0, "math.random"));
-              if (args.size() >= 2) {
-                const auto lo = static_cast<std::int64_t>(m);
-                const auto hi = static_cast<std::int64_t>(arg_number(args, 1, "math.random"));
-                return std::vector<Value>{Value(static_cast<double>(
-                    lo + static_cast<std::int64_t>((*rng)() % static_cast<std::uint64_t>(
-                                                       hi - lo + 1))))};
-              }
-              return std::vector<Value>{Value(static_cast<double>(1 + (*rng)() % m))};
-            }));
+  // math.random always yields exactly one number, so the single-result
+  // protocol is registered alongside the vector one (same core lambda —
+  // identical behaviour by construction; the VM uses fn1 on the hot path).
+  const NativeFn1 random1 = [rng](Interpreter&, std::vector<Value>& args) -> Value {
+    if (args.empty()) {
+      return Value(static_cast<double>((*rng)() >> 11) / 9007199254740992.0);
+    }
+    const auto m = static_cast<std::uint64_t>(arg_number(args, 0, "math.random"));
+    if (args.size() >= 2) {
+      const auto lo = static_cast<std::int64_t>(m);
+      const auto hi = static_cast<std::int64_t>(arg_number(args, 1, "math.random"));
+      return Value(static_cast<double>(
+          lo + static_cast<std::int64_t>((*rng)() %
+                                         static_cast<std::uint64_t>(hi - lo + 1))));
+    }
+    return Value(static_cast<double>(1 + (*rng)() % m));
+  };
+  Value random_fn =
+      make_native("math.random", [random1](Interpreter& interp, std::vector<Value>& args) {
+        return std::vector<Value>{random1(interp, args)};
+      });
+  (*random_fn.native())->fn1 = random1;
+  math->set(Table::Key{"random"}, std::move(random_fn));
   math->set(Table::Key{"randomseed"},
             make_native("math.randomseed", [rng](Interpreter&, std::vector<Value>& args) {
               rng->seed(static_cast<std::uint64_t>(arg_number(args, 0, "math.randomseed")));

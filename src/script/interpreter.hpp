@@ -10,6 +10,10 @@
 
 namespace moongen::script {
 
+struct Chunk;
+struct VmClosure;
+class Vm;
+
 /// Lexical environment: locals of one scope plus a parent chain ending in
 /// the interpreter's global table.
 class Environment : public std::enable_shared_from_this<Environment> {
@@ -27,6 +31,16 @@ class Environment : public std::enable_shared_from_this<Environment> {
   /// scope declares it (the caller then writes a global).
   bool assign(const std::string& name, const Value& value);
 
+  /// Pointer to this scope's own entry for `name` (no parent walk), or
+  /// nullptr. std::map nodes are stable, so the VM caches these pointers.
+  Value* find_local(const std::string& name) {
+    const auto it = values_.find(name);
+    return it != values_.end() ? &it->second : nullptr;
+  }
+
+  /// Reference to this scope's entry for `name`, creating a nil one.
+  Value& slot(const std::string& name) { return values_[name]; }
+
  private:
   std::map<std::string, Value> values_;
   std::shared_ptr<Environment> parent_;
@@ -37,9 +51,23 @@ class Interpreter {
   /// Creates an interpreter over a parsed chunk with the base library
   /// (print, math, string helpers, ipairs/pairs, tostring/tonumber...).
   explicit Interpreter(std::shared_ptr<const Program> program);
+  ~Interpreter();  // out of line: Vm is incomplete here
 
   /// Executes the top-level block (declares functions, runs statements).
+  /// By default this compiles to bytecode and runs on the register VM;
+  /// set_tree_walk(true) (or MOONGEN_SCRIPT_TREEWALK=1) selects the
+  /// tree-walking reference interpreter instead.
   void run();
+
+  /// Engine selection. The tree-walker is the reference semantics; the VM
+  /// is the default fast path (see DESIGN.md section 11).
+  void set_tree_walk(bool tree_walk) { tree_walk_ = tree_walk; }
+  [[nodiscard]] bool tree_walk() const { return tree_walk_; }
+
+  /// Invokes a compiled closure (used by VM closure wrappers, so compiled
+  /// functions stay callable from natives and from the tree-walker).
+  std::vector<Value> call_compiled(const std::shared_ptr<VmClosure>& closure,
+                                   std::vector<Value>& args);
 
   /// Calls a global function by name (the `master`/slave entry points).
   std::vector<Value> call_global(const std::string& name, std::vector<Value> args);
@@ -58,8 +86,18 @@ class Interpreter {
   void set_step_limit(std::uint64_t limit) { step_limit_ = limit; }
 
   /// 1-based element access used by ipairs(): tables and userdata with a
-  /// numeric-index hook.
-  Value index_for_iteration(const Value& container, double index);
+  /// numeric-index hook. Inline: the VM's open-coded iterator calls this
+  /// once per element.
+  Value index_for_iteration(const Value& container, double index) {
+    if (container.is_table()) return container.as_table()->get(Table::Key{index});
+    if (container.is_userdata()) {
+      auto& ud = *container.as_userdata();
+      if (ud.methods()->index_number != nullptr) {
+        return ud.methods()->index_number(*this, ud, index);
+      }
+    }
+    return Value();
+  }
 
  private:
   struct Flow {
@@ -82,12 +120,27 @@ class Interpreter {
                      const std::shared_ptr<Environment>& env);
 
   void install_base_library();
-  void count_step(int line);
+  /// Statement budget tick — inline: both engines pay it per statement.
+  void count_step(int line) {
+    if (step_limit_ != 0 && ++steps_ > step_limit_) step_budget_exceeded(line);
+  }
+  [[noreturn]] void step_budget_exceeded(int line);
+
+  /// Compiles the program once (lazily) and returns the owned VM.
+  void ensure_compiled();
+  Vm& vm();
+
+  friend class Vm;  // the VM reuses call/index_value/count_step/globals_
 
   std::shared_ptr<const Program> program_;
   std::shared_ptr<Environment> globals_;
   std::uint64_t step_limit_ = 0;
   std::uint64_t steps_ = 0;
+  bool tree_walk_ = default_tree_walk();
+  std::shared_ptr<const Chunk> chunk_;
+  std::unique_ptr<Vm> vm_;
+
+  static bool default_tree_walk();
 };
 
 /// Convenience: number/string/table argument extraction with diagnostics.
@@ -100,5 +153,10 @@ std::shared_ptr<UserData> arg_userdata(const std::vector<Value>& args, std::size
 
 /// Wraps a NativeFn into a Value.
 Value make_native(std::string name, NativeFn fn);
+
+/// Non-short-circuit binary operator semantics (==, ~=, .., relational,
+/// arithmetic) shared by the interpreter, the VM and the compiler's
+/// constant folder. `op` is the lexer TokenType.
+Value apply_binary_op(int op, const Value& lhs, const Value& rhs, int line);
 
 }  // namespace moongen::script

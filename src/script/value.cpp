@@ -1,18 +1,31 @@
 #include "script/value.hpp"
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 
 namespace moongen::script {
+
+std::uint64_t Table::next_version() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
 
 Value Table::get(const Key& key) const {
   const auto it = entries_.find(key);
   return it != entries_.end() ? it->second : Value();
 }
 
+const Value* Table::find_slot(const Key& key) const {
+  const auto it = entries_.find(key);
+  return it != entries_.end() ? &it->second : nullptr;
+}
+
 void Table::set(const Key& key, Value value) {
   if (value.is_nil()) {
-    entries_.erase(key);
+    // Erasure invalidates cached slot pointers; draw a fresh token so every
+    // inline cache referencing this table misses and re-resolves.
+    if (entries_.erase(key) > 0) version_ = next_version();
   } else {
     entries_[key] = std::move(value);
   }

@@ -25,9 +25,27 @@ class Interpreter;
 /// Host function: receives evaluated arguments, returns results.
 using NativeFn = std::function<std::vector<Value>(Interpreter&, std::vector<Value>&)>;
 
+/// Single-result variant: returns the call's first result (nil when the
+/// call yields none). The VM uses it at call sites with a fixed result
+/// count — where truncation/nil-padding makes it exactly equivalent to the
+/// vector protocol — to skip the per-call result-vector allocation.
+using NativeFn1 = std::function<Value(Interpreter&, std::vector<Value>&)>;
+
 struct NativeFunction {
+  /// Well-known natives the VM is allowed to open-code at call sites
+  /// ("direct-call sites for known bindings"). The open-coded path must be
+  /// behaviourally identical to `fn`.
+  enum class Builtin : std::uint8_t { kNone, kIpairsIter };
+
   std::string name;
   NativeFn fn;
+  /// Set when this function wraps a compiled VM closure (a VmClosure); the
+  /// VM uses it to call compiled code directly instead of through `fn`.
+  std::shared_ptr<void> compiled;
+  Builtin builtin = Builtin::kNone;
+  /// Optional single-result fast path; when set, it must be behaviourally
+  /// identical to `fn` truncated to one result.
+  NativeFn1 fn1;
 };
 
 /// Table: Lua-style associative container. Keys are strings or numbers.
@@ -42,8 +60,22 @@ class Table {
   std::map<Key, Value>& entries() { return entries_; }
   [[nodiscard]] const std::map<Key, Value>& entries() const { return entries_; }
 
+  /// Pointer to the entry for `key`, or nullptr when absent. std::map nodes
+  /// are stable under insertion and in-place assignment, so the VM's field
+  /// inline caches may hold this pointer as long as version() is unchanged.
+  [[nodiscard]] const Value* find_slot(const Key& key) const;
+
+  /// Process-unique cache token: freshly drawn at construction and after
+  /// every erasure (assigning nil). Values never repeat across Table
+  /// instances, so (Table*, version) pairs cannot collide even when the
+  /// allocator reuses a freed table's address.
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+
  private:
+  static std::uint64_t next_version();
+
   std::map<Key, Value> entries_;
+  std::uint64_t version_ = next_version();
 };
 
 struct FunctionDecl;  // AST node
@@ -61,15 +93,27 @@ class UserData;
 /// Method on a userdata object.
 using Method = std::function<std::vector<Value>(Interpreter&, UserData&, std::vector<Value>&)>;
 
+/// Single-result method variant (see NativeFn1): first result or nil.
+/// A raw function pointer: registrations are capture-less lambdas, and the
+/// per-packet call sites shouldn't pay std::function indirection.
+/// Implementations must not mutate the argument vector — the VM passes a
+/// shared empty vector at zero-arg call sites.
+using Method1 = Value (*)(Interpreter&, UserData&, std::vector<Value>&);
+
 /// Behaviour table of a userdata type: named methods plus an optional
 /// field-access hook (`obj.field`), like a Lua metatable's __index.
 struct MethodTable {
   std::string type_name;
   std::map<std::string, Method> methods;
+  /// Single-result fast paths for hot methods; each entry must match the
+  /// same-named `methods` entry truncated to one result. The VM's method
+  /// inline caches prefer these at fixed-result-count call sites.
+  std::map<std::string, Method1> methods1;
   /// Field access hook: `obj.field` for fields that are not methods.
-  std::function<Value(Interpreter&, UserData&, const std::string&)> index;
+  /// Raw pointers (like Method1): these run per packet-field access.
+  Value (*index)(Interpreter&, UserData&, const std::string&) = nullptr;
   /// Numeric indexing hook: `obj[i]` (1-based) — also drives ipairs().
-  std::function<Value(Interpreter&, UserData&, double)> index_number;
+  Value (*index_number)(Interpreter&, UserData&, double) = nullptr;
 };
 
 /// Host object exposed to scripts. `handle` keeps the underlying object
@@ -81,6 +125,10 @@ class UserData {
 
   [[nodiscard]] const MethodTable* methods() const { return methods_; }
   [[nodiscard]] void* ptr() const { return ptr_; }
+  /// The owning handle. `ptr` may point INTO the held object (e.g. a cache
+  /// struct whose first concern is the exposed object), so bindings that
+  /// need the full holder use this instead of `as<T>()`.
+  [[nodiscard]] const std::shared_ptr<void>& handle() const { return handle_; }
   template <typename T>
   [[nodiscard]] T* as() const {
     return static_cast<T*>(ptr_);

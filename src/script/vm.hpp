@@ -1,0 +1,108 @@
+// Register VM executing the bytecode produced by compiler.hpp.
+//
+// This is the "compiled" scripting tier that closes (part of) the gap to
+// the paper's LuaJIT backend: no per-node dispatch, no per-scope
+// environment maps, no shared_ptr churn for locals. Closures produced by
+// the VM are ordinary NativeFunction values whose `compiled` member holds
+// the VmClosure, so they flow through bindings, tables and the
+// tree-walking interpreter unchanged — `type()`, `tostring()` and equality
+// behave exactly as for interpreter functions.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "script/compiler.hpp"
+#include "script/value.hpp"
+
+namespace moongen::script {
+
+class Interpreter;
+
+/// Heap box for a captured local ("upvalue" storage). A fresh Cell per
+/// declaration-execution reproduces the interpreter's fresh-environment-
+/// per-iteration closure semantics.
+struct Cell {
+  Value v;
+};
+
+/// A closure over compiled code: proto index plus the captured cells.
+/// Wrapped in a NativeFunction (never a distinct Value alternative).
+struct VmClosure {
+  std::shared_ptr<const Chunk> chunk;
+  std::uint32_t proto_index = 0;
+  std::vector<std::shared_ptr<Cell>> upvals;
+};
+
+/// One VM per interpreter. Holds the register stack and the inline caches;
+/// chunks themselves stay immutable and shareable across threads.
+class Vm {
+ public:
+  explicit Vm(Interpreter& host) : host_(host) {}
+
+  /// Runs a chunk's top-level function (the interpreter's run()).
+  void run_toplevel(const std::shared_ptr<const Chunk>& chunk);
+
+  /// Calls a compiled closure with interpreter calling convention: extra
+  /// arguments are ignored, missing ones are nil.
+  std::vector<Value> call_closure(const std::shared_ptr<VmClosure>& closure,
+                                  std::vector<Value>& args);
+
+ private:
+  /// Monomorphic inline cache. Global slots point into the interpreter's
+  /// global environment (std::map nodes: stable, never erased). Method
+  /// pointers point into static MethodTable singletons. Table field slots
+  /// are guarded by the table's version token: erasure draws a fresh
+  /// process-unique token, so a hit proves the slot pointer is still the
+  /// live map node (even if the table's address was reused).
+  struct ICEntry {
+    enum class FieldKind : std::uint8_t { kNone, kMethod, kHook };
+    Value* global_slot = nullptr;
+    const MethodTable* mt = nullptr;
+    const Method* method = nullptr;
+    const Method1* method1 = nullptr;
+    const Table* tbl = nullptr;
+    const Value* tslot = nullptr;
+    std::uint64_t tversion = 0;
+    FieldKind kind = FieldKind::kNone;
+  };
+
+  struct Frame {
+    std::shared_ptr<const Chunk> chunk;  // keeps protos alive for kClosure
+    const FunctionProto* proto = nullptr;
+    const std::vector<std::shared_ptr<Cell>>* upvals = nullptr;
+    std::vector<std::shared_ptr<Cell>> cells;
+    ICEntry* ics = nullptr;
+    std::size_t base = 0;
+  };
+
+  std::vector<Value> execute(Frame& frame);
+  std::vector<Value> do_call(const Value& callee, std::vector<Value>& args, int line);
+  ICEntry* ic_table(const Chunk* chunk);
+  void ensure_stack(std::size_t n);
+
+  /// Depth-indexed scratch vectors for call arguments: one live vector per
+  /// nesting level, recycled across calls so the hot path never mallocs an
+  /// argument list. RAII holder in vm.cpp releases on scope exit.
+  std::vector<Value>& acquire_scratch();
+  friend struct ArgScratch;
+
+  Interpreter& host_;
+  /// Shared register stack: frames are [base, base + num_regs) windows.
+  /// Always index via base — nested calls may reallocate the vector.
+  std::vector<Value> stack_;
+  std::size_t top_ = 0;
+  /// Per-chunk IC arrays (unordered_map nodes are pointer-stable).
+  std::unordered_map<const Chunk*, std::vector<ICEntry>> ics_;
+  /// deque: references stay valid while deeper levels are acquired.
+  std::deque<std::vector<Value>> scratch_;
+  std::size_t scratch_depth_ = 0;
+  /// Shared empty vector for zero-arg method1 call sites (that fast path
+  /// skips ArgScratch); method1 implementations must not mutate their args.
+  std::vector<Value> no_args_;
+};
+
+}  // namespace moongen::script

@@ -37,6 +37,10 @@ double Histogram::fraction_between(std::uint64_t lo, std::uint64_t hi) const {
   const std::size_t first = static_cast<std::size_t>(lo / bin_width_);
   const std::size_t last = static_cast<std::size_t>(hi / bin_width_);
   for (std::size_t i = first; i <= last && i < bins_.size(); ++i) count += bins_[i];
+  // The overflow bucket covers everything from the end of the last bin
+  // upwards (same convention as fraction_at), so a range reaching past the
+  // last bin includes it.
+  if (last >= bins_.size()) count += overflow_;
   return static_cast<double>(count) / static_cast<double>(total_);
 }
 

@@ -3,11 +3,14 @@
 // scripts).
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <sstream>
 #include <string>
 
 #include "core/device.hpp"
 #include "core/task.hpp"
 #include "script/bindings.hpp"
+#include "script/compiler.hpp"
 #include "script/interpreter.hpp"
 #include "script/lexer.hpp"
 #include "script/parser.hpp"
@@ -491,4 +494,318 @@ TEST(ScriptStdlib, TableAsQueueInScript) {
     end
     result = sum
   )"), 1 + 4 + 9 + 16 + 25);
+}
+
+// ---------------------------------------------------------------------------
+// Compiled VM vs. tree-walking interpreter (differential testing)
+// ---------------------------------------------------------------------------
+//
+// The bytecode VM is the default scripted path; the tree-walker is the
+// reference semantics. These tests run the same source through both engines
+// and require identical results, identical printed output and identical
+// error messages — the determinism contract of DESIGN.md section 11.
+
+namespace {
+
+struct EngineRun {
+  bool ok = true;
+  std::string error;
+  std::string output;
+  std::string result;
+};
+
+EngineRun run_engine(const std::string& source, bool tree_walk) {
+  EngineRun r;
+  testing::internal::CaptureStdout();
+  try {
+    sc::Interpreter interp(sc::parse(source));
+    interp.set_tree_walk(tree_walk);
+    interp.set_step_limit(200'000);
+    interp.run();
+    r.result = interp.get_global("result").to_display_string();
+  } catch (const std::exception& e) {
+    r.ok = false;
+    r.error = e.what();
+  }
+  r.output = testing::internal::GetCapturedStdout();
+  return r;
+}
+
+void expect_engines_agree(const std::string& source, const char* context) {
+  const EngineRun vm = run_engine(source, /*tree_walk=*/false);
+  const EngineRun tw = run_engine(source, /*tree_walk=*/true);
+  EXPECT_EQ(vm.ok, tw.ok) << context << "\n" << source;
+  EXPECT_EQ(vm.error, tw.error) << context << "\n" << source;
+  EXPECT_EQ(vm.output, tw.output) << context << "\n" << source;
+  EXPECT_EQ(vm.result, tw.result) << context << "\n" << source;
+}
+
+/// Tiny deterministic PRNG for the fuzzer (independent of libc rand).
+struct Xorshift {
+  std::uint64_t s;
+  std::uint64_t next() {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+  }
+  std::uint64_t pick(std::uint64_t n) { return next() % n; }
+};
+
+/// Generates a random well-formed program: declaration-before-use, bounded
+/// loops, numeric locals. About one in five programs ends in a statement
+/// that must fail identically in both engines.
+std::string gen_program(std::uint64_t seed) {
+  Xorshift rng{seed * 0x9e3779b97f4a7c15ull + 0x2545f4914f6cdd1dull};
+  std::ostringstream os;
+  os << "local n0, n1, n2, n3 = " << rng.pick(50) << ", " << rng.pick(50) << ", "
+     << (rng.pick(50) + 1) << ", " << (rng.pick(50) + 1) << "\n"
+     << "local s0, s1 = \"a" << rng.pick(10) << "\", \"b" << rng.pick(10) << "\"\n"
+     << "local t = {}\n"
+     << "local acc = 0\n"
+     << "function helper(x, y) return x + y * 2, x - y end\n";
+  const char* v[] = {"n0", "n1", "n2", "n3"};
+  const int nstmts = 12 + static_cast<int>(rng.pick(8));
+  for (int i = 0; i < nstmts; ++i) {
+    const char* a = v[rng.pick(4)];
+    const char* b = v[rng.pick(4)];
+    const char* c = v[rng.pick(4)];
+    switch (rng.pick(17)) {
+      case 0: os << a << " = " << b << " + " << c << "\n"; break;
+      case 1: os << a << " = " << b << " - " << rng.pick(20) << "\n"; break;
+      case 2: os << a << " = " << b << " * " << c << " + " << rng.pick(9) << "\n"; break;
+      case 3: os << a << " = (" << b << " % 97) + 1\n"; break;
+      case 4:
+        os << "if " << a << " < " << b << " then " << c << " = " << c << " + 1 else " << c
+           << " = " << c << " - 1 end\n";
+        break;
+      case 5:
+        os << "for i = 1, " << (1 + rng.pick(6)) << " do acc = acc + i * (" << a
+           << " % 13) end\n";
+        break;
+      case 6:
+        os << "while " << a << " > 3 and acc < 500 do " << a << " = " << a
+           << " - 2 acc = acc + 1 end\n";
+        break;
+      case 7: os << "repeat acc = acc + 1 until acc % " << (2 + rng.pick(5)) << " == 0\n"; break;
+      case 8: os << "t[" << rng.pick(8) << "] = " << a << "\n"; break;
+      case 9: os << a << " = t[" << rng.pick(8) << "] or " << b << "\n"; break;
+      case 10: os << "acc = acc + helper(" << a << ", " << b << ")\n"; break;
+      case 11:
+        os << a << ", " << b << " = helper(" << b << " % 100, " << a << " % 100)\n";
+        break;
+      case 12:
+        os << "do local up = " << a
+           << " % 10 local f = function(d) up = up + d return up end acc = acc + f(1) + f(2) "
+              "end\n";
+        break;
+      case 13: os << "s0 = s1 .. (" << a << " % 10) acc = acc + #s0\n"; break;
+      case 14: os << "print(" << a << " % 1000, s0, " << b << " < " << c << ")\n"; break;
+      case 15: os << "acc = acc + math.random(" << (1 + rng.pick(20)) << ")\n"; break;
+      case 16:
+        os << "for k, w in ipairs({" << rng.pick(9) << ", " << rng.pick(9)
+           << "}) do acc = acc + w * k end\n";
+        break;
+    }
+  }
+  if (rng.pick(5) == 0) {
+    switch (rng.pick(4)) {
+      case 0: os << "local z = nil\nz.x = 1\n"; break;
+      case 1: os << "missing_function()\n"; break;
+      case 2: os << "acc = acc + {}\n"; break;
+      default: os << "for i = 1, 3, 0 do end\n"; break;
+    }
+  }
+  os << "print(acc)\n"
+     << "result = n0 .. \"|\" .. n1 .. \"|\" .. n2 .. \"|\" .. n3 .. \"|\" .. acc\n";
+  return os.str();
+}
+
+}  // namespace
+
+TEST(ScriptDifferential, FuzzedProgramsMatchTreeWalker) {
+  for (std::uint64_t seed = 1; seed <= 150; ++seed) {
+    expect_engines_agree(gen_program(seed), ("seed " + std::to_string(seed)).c_str());
+    if (::testing::Test::HasFailure()) break;  // first divergence is enough to debug
+  }
+}
+
+TEST(ScriptDifferential, ClosureSemanticsMatch) {
+  // Fresh capture per loop iteration.
+  expect_engines_agree(R"(
+    local fns = {}
+    for i = 1, 3 do
+      local x = i * 10
+      fns[i] = function() x = x + 1 return x end
+    end
+    result = fns[1]() .. ":" .. fns[2]() .. ":" .. fns[3]() .. ":" .. fns[1]()
+  )", "per-iteration capture");
+  // Two closures sharing one upvalue.
+  expect_engines_agree(R"(
+    local function make()
+      local n = 0
+      local function inc() n = n + 1 return n end
+      local function get() return n end
+      return inc, get
+    end
+    local i, g = make()
+    i() i()
+    result = g()
+  )", "shared upvalue");
+  // Recursive local function through its own cell.
+  expect_engines_agree(R"(
+    local function fib(n)
+      if n < 2 then return n end
+      return fib(n - 1) + fib(n - 2)
+    end
+    result = fib(12)
+  )", "recursive local function");
+  // Same-scope redeclaration is visible through existing closures.
+  expect_engines_agree(R"(
+    local x = 1
+    local f = function() return x end
+    local x = 2
+    result = f()
+  )", "same-scope redeclaration");
+}
+
+TEST(ScriptDifferential, ControlFlowCornersMatch) {
+  // Mutating the loop variable must not steer the iteration.
+  expect_engines_agree(R"(
+    local count = 0
+    for i = 1, 5 do i = i + 100 count = count + 1 end
+    result = count
+  )", "loop var mutation");
+  // `until` sees the loop body's locals.
+  expect_engines_agree(R"(
+    local i = 0
+    repeat
+      local doubled = i * 2
+      i = i + 1
+    until doubled >= 6
+    result = i
+  )", "repeat-until scoping");
+  // break leaves only the innermost loop.
+  expect_engines_agree(R"(
+    local log = ""
+    for i = 1, 3 do
+      for j = 1, 3 do
+        if j == 2 then break end
+        log = log .. i .. j
+      end
+    end
+    result = log
+  )", "nested break");
+  // Value-preserving and/or plus mixed concat.
+  expect_engines_agree(R"(
+    result = (nil or "d") .. (false and "x" or "y") .. tostring(1 and 2) .. (1 .. 2)
+  )", "and-or values");
+}
+
+TEST(ScriptDifferential, MultipleValuesMatch) {
+  expect_engines_agree(R"(
+    local function two() return 1, 2 end
+    local a, b, c = two()
+    result = tostring(a) .. tostring(b) .. tostring(c)
+  )", "padding");
+  expect_engines_agree(R"(
+    local function two() return 1, 2 end
+    local a, b = 9, two()
+    result = a .. "," .. b
+  )", "expansion only in last position");
+  expect_engines_agree(R"(
+    local function two() return 1, 2 end
+    local function sum3(x, y, z) return x + y * 10 + z * 100 end
+    result = sum3(5, two())
+  )", "call argument expansion");
+  expect_engines_agree(R"(
+    local function none() end
+    local a = none()
+    print(a)
+    result = type(a)
+  )", "zero results pad nil");
+  expect_engines_agree(R"(
+    local function two() return 1, 2 end
+    local function pass() return 7, two() end
+    local a, b, c = pass()
+    result = a .. b .. c
+  )", "tail expansion through return");
+}
+
+TEST(ScriptDifferential, ErrorMessagesMatch) {
+  const char* failing[] = {
+      "local z = nil z.x = 1",
+      "local z = nil result = z.x",
+      "local z = nil z()",
+      "result = 1 + nil",
+      "result = 1 + {}",
+      "result = -\"oops\"",
+      "result = #5",
+      "result = {} .. \"x\"",
+      "for i = 1, 3, 0 do end",
+      "local n = 5 n:grow()",
+      "local t = {[nil] = 1}",
+      "local t = {} t[nil] = 1",
+      "result = nil < 1",
+      "while true do end",  // budget exhaustion at the same step count
+  };
+  for (const char* source : failing) expect_engines_agree(source, source);
+}
+
+TEST(ScriptDifferential, StdlibAndStateMatch) {
+  // Per-interpreter seeded RNG: identical call sequences give identical
+  // streams in both engines.
+  expect_engines_agree(R"(
+    local sum = 0
+    for i = 1, 20 do sum = sum + math.random(100) * i end
+    result = sum .. "," .. math.floor(math.random() * 1e6)
+  )", "seeded math.random");
+  expect_engines_agree(R"(
+    local t = {}
+    for i = 1, 8 do table.insert(t, string.format("%02d", i * 7 % 10)) end
+    table.insert(t, 3, "XX")
+    table.remove(t, 1)
+    result = table.concat(t, "-") .. "/" .. #t
+  )", "table stdlib");
+  expect_engines_agree(R"(
+    local keys = ""
+    for k, v in pairs({zebra = 1, apple = 2, [3] = "c"}) do
+      keys = keys .. tostring(k) .. "=" .. tostring(v) .. ";"
+    end
+    result = keys
+  )", "pairs iteration order");
+  expect_engines_agree(R"(
+    local grid = {}
+    function grid.cell(self, i, j) return (self[i] or {})[j] or 0 end
+    grid[2] = {[3] = 42}
+    result = grid:cell(2, 3) + grid:cell(9, 9)
+  )", "table method calls");
+  expect_engines_agree(R"(
+    ns = {math = {}}
+    function ns.math.add(a, b) return a + b end
+    result = ns.math.add(20, 22)
+  )", "function path declaration");
+}
+
+TEST(ScriptCompiler, DisassemblerShowsStructure) {
+  const auto chunk = sc::compile_program(*sc::parse(R"(
+    local function add(a, b) return a + b end
+    total = add(2, 3)
+  )"));
+  const std::string listing = sc::disassemble(*chunk);
+  EXPECT_NE(listing.find("proto 0"), std::string::npos);
+  EXPECT_NE(listing.find("ADD"), std::string::npos);
+  EXPECT_NE(listing.find("CALL"), std::string::npos);
+  EXPECT_NE(listing.find("RET"), std::string::npos);
+  EXPECT_GE(chunk->protos.size(), 2u);  // main + add
+}
+
+TEST(ScriptCompiler, ConstantFoldingPreservesValues) {
+  // Folded arithmetic must produce the very same results as evaluated
+  // arithmetic (the folder calls the runtime's apply_binary_op).
+  expect_engines_agree(R"(
+    result = (2 ^ 10 % 7) .. "," .. (1 / 3) .. "," .. tostring("a" < "b") .. "," ..
+             (10 .. 20) .. "," .. (-(3 * 7)) .. "," .. #"hello" .. "," ..
+             tostring(nil == false) .. "," .. tostring(false or 0)
+  )", "constant folding");
 }

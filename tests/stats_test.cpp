@@ -84,6 +84,19 @@ TEST(Histogram, FractionBetweenIsBinResolved) {
   EXPECT_DOUBLE_EQ(h.fraction_at(1024), 0.0);
 }
 
+TEST(Histogram, FractionBetweenIncludesOverflow) {
+  // Overflow counts live in the bucket past the last bin; a range whose
+  // upper end reaches past the last bin must cover them (regression: they
+  // were silently dropped, undercounting the fraction).
+  st::Histogram h(64, 1024);  // bins cover [0, 1088)
+  for (int i = 0; i < 25; ++i) h.add(100);
+  for (int i = 0; i < 75; ++i) h.add(5'000);  // overflow
+  EXPECT_DOUBLE_EQ(h.fraction_at(5'000), 0.75);  // the model behaviour
+  EXPECT_DOUBLE_EQ(h.fraction_between(0, 5'000), 1.0);
+  EXPECT_DOUBLE_EQ(h.fraction_between(2'000, 10'000), 0.75);  // fully in overflow
+  EXPECT_DOUBLE_EQ(h.fraction_between(0, 1'000), 0.25);  // overflow not covered
+}
+
 TEST(Histogram, MergeAccumulates) {
   st::Histogram a(10, 100);
   st::Histogram b(10, 100);
