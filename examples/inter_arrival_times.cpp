@@ -6,6 +6,10 @@
 // prints the inter-arrival histogram — the measurement behind Table 4 and
 // Figure 8.
 //
+// With `--json FILE` the final measurement (sample count, micro-burst
+// fraction, the within-window fractions) is exported as a one-snapshot
+// telemetry series; stdout is unchanged.
+//
 // Usage: inter_arrival_times [kpps] [mechanism: hw|crc|pktgen|zsend]
 #include <cstdio>
 #include <iostream>
@@ -16,6 +20,8 @@
 #include "cli.hpp"
 #include "core/rate_control.hpp"
 #include "nic/chip.hpp"
+#include "telemetry/exporters.hpp"
+#include "telemetry/registry.hpp"
 #include "testbed/scenario.hpp"
 #include "wire/recorder.hpp"
 
@@ -24,13 +30,15 @@ namespace mc = moongen::core;
 namespace me = moongen::examples;
 namespace mn = moongen::nic;
 namespace ms = moongen::sim;
+namespace mt = moongen::telemetry;
 namespace mtb = moongen::testbed;
 namespace mw = moongen::wire;
 
 namespace {
 
 constexpr const char* kUsage =
-    "usage: inter_arrival_times [kpps] [mechanism: hw|crc|pktgen|zsend] [--seed N]\n";
+    "usage: inter_arrival_times [kpps] [mechanism: hw|crc|pktgen|zsend]\n"
+    "                           [--json FILE] [--seed N]\n";
 
 }  // namespace
 
@@ -96,5 +104,21 @@ int main(int argc, char** argv) {
   }
   std::printf("\nhistogram (64 ns bins, >0.5%% only):\n");
   recorder.histogram().print(std::cout, 0.005);
+
+  if (cli->has_json()) {
+    mt::MetricRegistry registry;
+    registry.gauge("interarrival.target_gap_ps").set(static_cast<double>(target));
+    registry.gauge("interarrival.samples").set(static_cast<double>(recorder.samples() + 1));
+    registry.gauge("interarrival.micro_burst_fraction").set(recorder.micro_burst_fraction());
+    for (ms::SimTime w : {64'000u, 128'000u, 256'000u, 512'000u}) {
+      registry.gauge("interarrival.within_" + std::to_string(w / 1000) + "ns")
+          .set(recorder.fraction_within(target, w));
+    }
+    const std::vector<mt::Snapshot> series{registry.snapshot(ms::kPsPerSec / 1'000)};
+    if (mt::dump_json_series_to_file(cli->json_path, series))
+      std::fprintf(stderr, "telemetry written to %s\n", cli->json_path.c_str());
+    else
+      std::fprintf(stderr, "failed to write telemetry to %s\n", cli->json_path.c_str());
+  }
   return 0;
 }

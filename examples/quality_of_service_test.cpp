@@ -10,6 +10,9 @@
 //   master()       -> main(): device config, rates, task launch
 //   loadSlave()    -> load_slave(): pre-filled mempool, per-packet edit
 //   counterSlave() -> counter_slave(): per-port RX counters
+// With `--json FILE` the end-of-run totals (per-flow TX/RX packets and
+// the receiver's ring drops) are exported as a one-snapshot telemetry
+// series; stdout is unchanged.
 #include <cstdio>
 #include <iostream>
 #include <thread>
@@ -24,6 +27,8 @@
 #include "membuf/mempool.hpp"
 #include "proto/packet_view.hpp"
 #include "stats/counters.hpp"
+#include "telemetry/exporters.hpp"
+#include "telemetry/registry.hpp"
 #include "testbed/scenario.hpp"
 
 namespace mc = moongen::core;
@@ -31,14 +36,17 @@ namespace mb = moongen::membuf;
 namespace me = moongen::examples;
 namespace mp = moongen::proto;
 namespace st = moongen::stats;
+namespace mt = moongen::telemetry;
 namespace mtb = moongen::testbed;
 
 namespace {
 
 constexpr std::size_t kPktSize = 124;  // PKT_SIZE from Listing 2
 
-// Listing 2: the transmission slave task.
-void load_slave(mc::TxQueue* queue, std::uint16_t port, const mc::RunState* run) {
+// Listing 2: the transmission slave task. `sent_out` receives the final
+// packet total (written once, after the loop — read it after wait()).
+void load_slave(mc::TxQueue* queue, std::uint16_t port, const mc::RunState* run,
+                std::uint64_t* sent_out) {
   auto mem = std::make_unique<mb::Mempool>(2048, [port](mb::PktBuf& buf) {
     buf.set_length(kPktSize);
     mp::UdpPacketView pkt{buf.bytes()};
@@ -56,6 +64,7 @@ void load_slave(mc::TxQueue* queue, std::uint16_t port, const mc::RunState* run)
   const auto base_ip = mp::IPv4Address::parse("10.0.0.1").value();
   mb::BufArray bufs(*mem, 64);
   mc::Tausworthe rng(port);
+  std::uint64_t total = 0;
   while (run->running()) {
     bufs.alloc(kPktSize);
     for (auto* buf : bufs) {
@@ -64,13 +73,17 @@ void load_slave(mc::TxQueue* queue, std::uint16_t port, const mc::RunState* run)
     }
     bufs.offload_udp_checksums();  // line 22
     const auto sent = queue->send(bufs);
+    total += sent;
     tx_ctr.update_with_size(sent, kPktSize);
   }
   tx_ctr.finalize();
+  if (sent_out != nullptr) *sent_out = total;
 }
 
-// Listing 3: the packet counter slave task.
-void counter_slave(mc::RxQueue* queue, const mc::RunState* run) {
+// Listing 3: the packet counter slave task. `rx_out` receives the final
+// per-port packet totals (written once, after the loop).
+void counter_slave(mc::RxQueue* queue, const mc::RunState* run,
+                   std::map<std::uint16_t, std::uint64_t>* rx_out) {
   mb::BufArray bufs(128);
   std::map<std::uint16_t, std::unique_ptr<st::PktRxCounter>> counters;
   while (run->running()) {
@@ -89,7 +102,10 @@ void counter_slave(mc::RxQueue* queue, const mc::RunState* run) {
     }
     bufs.free_all();
   }
-  for (auto& [port, ctr] : counters) ctr->finalize();
+  for (auto& [port, ctr] : counters) {
+    ctr->finalize();
+    if (rx_out != nullptr) (*rx_out)[port] = ctr->total_packets();
+  }
 }
 
 }  // namespace
@@ -97,7 +113,7 @@ void counter_slave(mc::RxQueue* queue, const mc::RunState* run) {
 // Listing 1: the master function.
 int main(int argc, char** argv) {
   const auto cli = me::parse_cli(
-      argc, argv, "usage: quality_of_service_test [bg_mbit] [fg_mbit]\n");
+      argc, argv, "usage: quality_of_service_test [bg_mbit] [fg_mbit] [--json FILE]\n");
   if (!cli) return 2;
   const double bg_rate = cli->number(0, 800.0);  // Mbit/s
   const double fg_rate = cli->number(1, 100.0);
@@ -117,10 +133,15 @@ int main(int argc, char** argv) {
   t_dev.get_tx_queue(1).set_rate_mbit(fg_rate);  // line 6
 
   mc::RunState& run = tb->run_state();
+  std::uint64_t bg_sent = 0;
+  std::uint64_t fg_sent = 0;
+  std::map<std::uint16_t, std::uint64_t> rx_totals;
   mc::TaskSet mg;
-  mg.launch("loadSlave", load_slave, &t_dev.get_tx_queue(0), std::uint16_t{42}, &run);  // line 7
-  mg.launch("loadSlave", load_slave, &t_dev.get_tx_queue(1), std::uint16_t{43}, &run);  // line 8
-  mg.launch("counterSlave", counter_slave, &r_dev.get_rx_queue(0), &run);               // line 9
+  mg.launch("loadSlave", load_slave, &t_dev.get_tx_queue(0), std::uint16_t{42}, &run,
+            &bg_sent);  // line 7
+  mg.launch("loadSlave", load_slave, &t_dev.get_tx_queue(1), std::uint16_t{43}, &run,
+            &fg_sent);  // line 8
+  mg.launch("counterSlave", counter_slave, &r_dev.get_rx_queue(0), &run, &rx_totals);  // line 9
   run.stop_after(3.0);
   mg.wait();  // line 10
 
@@ -128,5 +149,22 @@ int main(int argc, char** argv) {
   // while the counter task is scheduled out; account for the difference.
   std::printf("[rx device] ring drops: %llu (receiver starved of CPU time)\n",
               static_cast<unsigned long long>(r_dev.get_rx_queue(0).ring_drops()));
+
+  if (cli->has_json()) {
+    mt::MetricRegistry registry;
+    registry.gauge("qos.bg.offered_mbit").set(bg_rate);
+    registry.gauge("qos.fg.offered_mbit").set(fg_rate);
+    registry.gauge("qos.tx.port42").set(static_cast<double>(bg_sent));
+    registry.gauge("qos.tx.port43").set(static_cast<double>(fg_sent));
+    for (const auto& [port, pkts] : rx_totals)
+      registry.gauge("qos.rx.port" + std::to_string(port)).set(static_cast<double>(pkts));
+    registry.gauge("qos.rx.ring_drops")
+        .set(static_cast<double>(r_dev.get_rx_queue(0).ring_drops()));
+    const std::vector<mt::Snapshot> series{registry.snapshot()};
+    if (mt::dump_json_series_to_file(cli->json_path, series))
+      std::fprintf(stderr, "telemetry written to %s\n", cli->json_path.c_str());
+    else
+      std::fprintf(stderr, "failed to write telemetry to %s\n", cli->json_path.c_str());
+  }
   return 0;
 }

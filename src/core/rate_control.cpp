@@ -103,7 +103,11 @@ nic::Frame SimLoadGen::next_frame() {
     // invalid frames that fill it.
     acc_ps_ += static_cast<double>(pattern_->next_gap_ps());
     const double bytes_f = acc_ps_ / static_cast<double>(byte_time_ps_);
-    auto gap_total = static_cast<std::size_t>(bytes_f);
+    // Nearest wire byte, not floor: the accumulator may briefly go half a
+    // byte-time negative, but departures stay centered on the schedule
+    // instead of trailing it by up to one byte-time.
+    const auto rounded = std::llround(bytes_f);
+    const auto gap_total = rounded > 0 ? static_cast<std::size_t>(rounded) : 0;
     acc_ps_ -= static_cast<double>(gap_total) * static_cast<double>(byte_time_ps_);
     const std::size_t valid_wire = out.wire_bytes();
     const std::size_t filler_bytes = gap_total > valid_wire ? gap_total - valid_wire : 0;

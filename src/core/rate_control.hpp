@@ -40,10 +40,14 @@ class CbrPattern : public DeparturePattern {
  public:
   explicit CbrPattern(double mpps) : gap_ps_(1e6 / mpps) {}
   sim::SimTime next_gap_ps() override {
+    // Round-with-carry, matching PoissonPattern's convention: truncation
+    // would bias every gap low by up to 1 ps and each departure would lag
+    // the ideal schedule by up to a picosecond; rounding centers the error
+    // while the accumulator keeps the long-run rate exact.
     acc_ += gap_ps_;
-    const auto gap = static_cast<sim::SimTime>(acc_);
+    const auto gap = std::llround(acc_);
     acc_ -= static_cast<double>(gap);
-    return gap;
+    return gap > 0 ? static_cast<sim::SimTime>(gap) : 0;
   }
 
  private:
@@ -77,7 +81,10 @@ class BurstPattern : public DeparturePattern {
         b2b_gap_ps_(frame_wire_bytes * sim::byte_time_ps(link_mbit)) {
     const double period_ps = 1e6 / avg_mpps * static_cast<double>(burst_size);
     const double used = static_cast<double>(b2b_gap_ps_) * static_cast<double>(burst_size - 1);
-    inter_burst_gap_ps_ = static_cast<sim::SimTime>(period_ps - used);
+    // Nearest picosecond (clamped at 0 for over-committed bursts); plain
+    // truncation would run every burst period slightly hot.
+    const auto rest = std::llround(period_ps - used);
+    inter_burst_gap_ps_ = rest > 0 ? static_cast<sim::SimTime>(rest) : 0;
   }
 
   sim::SimTime next_gap_ps() override {

@@ -47,6 +47,15 @@ class BoundedRing {
     ++head_;
   }
 
+  /// Eagerly allocates storage for at least `n` elements (capped at the
+  /// capacity bound). Components with an allocation-free steady-state
+  /// contract call this up front instead of relying on the lazy growth,
+  /// which would otherwise allocate on the first deep fill mid-run.
+  void reserve(std::size_t n) {
+    n = n < capacity_ ? n : capacity_;
+    while (slots_.size() < n) grow();
+  }
+
   [[nodiscard]] T& front() { return slots_[tail_ & mask_]; }
   [[nodiscard]] const T& front() const { return slots_[tail_ & mask_]; }
 

@@ -366,10 +366,15 @@ void Port::deliver_frame(const Frame& frame, sim::SimTime first_bit_ps) {
     }
     auto& q = *rx_queues_[static_cast<std::size_t>(queue_index)];
     // Injected overflow takes the same path as a genuinely full ring: only
-    // the drop counter moves, software sees a gap in the stream.
-    if (q.store_ &&
-        (q.ring_.size() >= q.ring_capacity_ ||
-         (fp_rx_overflow_.installed() && fp_rx_overflow_.fire(events_.now()) != nullptr))) {
+    // the drop counter moves, software sees a gap in the stream. A genuine
+    // overflow needs a stored ring, but the injected one models a MAC-FIFO
+    // drop and fires in callback-only (sink) mode too — real NICs lose
+    // frames under RX pressure whether or not software polls a ring. The
+    // full-ring check stays first so stored-mode probe sequences (and thus
+    // per-site RNG streams) are unchanged.
+    const bool ring_full = q.store_ && q.ring_.size() >= q.ring_capacity_;
+    if (ring_full ||
+        (fp_rx_overflow_.installed() && fp_rx_overflow_.fire(events_.now()) != nullptr)) {
       stats_.rx_ring_drops += 1;
       if (tm_.rx_ring_drops != nullptr) tm_.rx_ring_drops->add(1);
       return;

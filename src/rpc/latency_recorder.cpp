@@ -1,0 +1,22 @@
+#include "rpc/latency_recorder.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+
+namespace moongen::rpc {
+
+void LatencyRecorder::write_json(std::ostream& os, std::string_view label) const {
+  // Fixed-format printf keeps the output byte-identical run to run; ostream
+  // double formatting is locale- and precision-state dependent.
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "{\"label\": \"%.*s\", \"count\": %" PRIu64 ", \"min_ns\": %" PRIu64
+                ", \"mean_ns\": %.1f, \"stddev_ns\": %.1f, \"p50_ns\": %" PRIu64
+                ", \"p99_ns\": %" PRIu64 ", \"p999_ns\": %" PRIu64 ", \"max_ns\": %" PRIu64 "}",
+                static_cast<int>(label.size()), label.data(), count(), min_ns(), mean_ns(),
+                stddev_ns(), p50_ns(), p99_ns(), p999_ns(), max_ns());
+  os << buf;
+}
+
+}  // namespace moongen::rpc

@@ -1,0 +1,165 @@
+#include "rpc/server_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace moongen::rpc {
+
+namespace {
+/// Backoff before re-posting a response that hit a full TX ring.
+constexpr sim::SimTime kTxRetryGapPs = 5 * sim::kPsPerUs;
+
+nic::Frame response_template(const ServerConfig& cfg) {
+  RpcTemplateOptions opts;
+  opts.frame_size = cfg.response_frame_size;
+  opts.udp_src = cfg.udp_src;
+  opts.udp_dst = cfg.udp_dst;
+  opts.opcode = Op::kGetHit;
+  return make_rpc_frame(opts);
+}
+}  // namespace
+
+ServerModel::ServerModel(nic::Port& port, ServerConfig config)
+    : port_(port),
+      events_(port.events()),
+      cfg_(config),
+      pool_(response_template(config), config.pool_frames),
+      queue_(config.queue_capacity),
+      tx_retry_(config.pool_frames),
+      exp_service_(config.service_mean_ps, config.seed ^ 0x5e71ce5ull),
+      logn_service_(stats::LognormalSampler::from_mean(config.service_mean_ps,
+                                                       config.lognormal_sigma,
+                                                       config.seed ^ 0x10c0f3a1ull)) {
+  // Pre-size the ring storage: BoundedRing grows lazily, and a queue that
+  // deepens for the first time mid-measurement would allocate there.
+  queue_.reserve(config.queue_capacity);
+  tx_retry_.reserve(config.pool_frames);
+  auto& rx = port_.rx_queue(cfg_.rx_queue);
+  rx.set_store(false);
+  rx.set_callback([this](const nic::RxQueueModel::Entry& e) { on_rx(e); });
+}
+
+void ServerModel::install_faults(fault::FaultPlane& plane, const std::string& site) {
+  fp_stall_ = plane.point(fault::FaultKind::kStall, site);
+}
+
+void ServerModel::on_rx(const nic::RxQueueModel::Entry& entry) {
+  const auto& bytes = *entry.frame.data;
+  const auto decoded = decode({bytes.data(), bytes.size()});
+  if (!decoded.has_value() || is_response(decoded->op)) {
+    ++garbage_;
+    return;
+  }
+  ++received_;
+  if (queue_.full()) {
+    // Overload shedding: the request vanishes; the client sees a timeout.
+    ++queue_drops_;
+    return;
+  }
+  queue_.push_back(PendingRequest{decoded->op, decoded->seq, decoded->key, decoded->tx_time_ps});
+  if (queue_.size() > peak_queue_) peak_queue_ = queue_.size();
+  try_dispatch();
+}
+
+sim::SimTime ServerModel::sample_service_ps() {
+  double ps = cfg_.service_mean_ps;
+  switch (cfg_.service) {
+    case ServerConfig::Service::kFixed: break;
+    case ServerConfig::Service::kExponential: ps = exp_service_.next(); break;
+    case ServerConfig::Service::kLognormal: ps = logn_service_.next(); break;
+  }
+  const auto rounded = std::llround(ps);
+  return rounded > 0 ? static_cast<sim::SimTime>(rounded) : 1;
+}
+
+void ServerModel::try_dispatch() {
+  const sim::SimTime now = events_.now();
+  if (now < stall_until_ps_) return;  // frozen; the stall-end event resumes
+  while (busy_ < cfg_.workers && !queue_.empty()) {
+    if (fp_stall_.installed()) {
+      if (const auto* rule = fp_stall_.fire(now); rule != nullptr) {
+        ++stalls_;
+        const auto stall_ps = static_cast<sim::SimTime>(std::max(rule->param, 1.0));
+        stall_until_ps_ = now + stall_ps;
+        events_.schedule_in_inline(stall_ps, [this] { try_dispatch(); });
+        return;
+      }
+    }
+    const PendingRequest req = queue_.pop_front();
+    ++busy_;
+    events_.schedule_in_inline(sample_service_ps(), [this, req] { complete(req); });
+  }
+}
+
+void ServerModel::complete(const PendingRequest& req) {
+  --busy_;
+  ++completed_;
+  send_response(req);
+  try_dispatch();
+}
+
+void ServerModel::send_response(const PendingRequest& req) {
+  Op op = Op::kSetAck;
+  std::uint16_t value_len = 0;
+  if (req.op == Op::kGet) {
+    if (req.key < cfg_.cache_keys) {
+      op = Op::kGetHit;
+      value_len =
+          static_cast<std::uint16_t>(cfg_.response_frame_size - RpcPacketView::kHeaderStack);
+    } else {
+      op = Op::kGetMiss;
+      ++misses_;
+    }
+  }
+  auto [bytes, frame] = pool_.acquire();
+  write_rpc_fields(bytes, op, req.seq, req.key, req.tx_time_ps, value_len);
+  frame.seq = req.seq;
+  if (!port_.tx_queue(cfg_.tx_queue).post(std::move(frame))) {
+    // TX ring full: park the request and retry on a timer; re-encoding at
+    // retry time reuses a fresh pool buffer.
+    if (tx_retry_.full()) {
+      ++tx_drops_;
+      return;
+    }
+    ++tx_retries_;
+    tx_retry_.push_back(req);
+    if (!retry_timer_armed_) {
+      retry_timer_armed_ = true;
+      events_.schedule_in_inline(kTxRetryGapPs, [this] { drain_tx_retry(); });
+    }
+  }
+}
+
+void ServerModel::drain_tx_retry() {
+  retry_timer_armed_ = false;
+  while (!tx_retry_.empty()) {
+    if (port_.tx_queue(cfg_.tx_queue).ring_free() == 0) break;
+    const PendingRequest req = tx_retry_.pop_front();
+    send_response(req);
+  }
+  if (!tx_retry_.empty() && !retry_timer_armed_) {
+    retry_timer_armed_ = true;
+    events_.schedule_in_inline(kTxRetryGapPs, [this] { drain_tx_retry(); });
+  }
+}
+
+void ServerModel::bind_telemetry(telemetry::MetricRegistry& registry, const std::string& prefix) {
+  if (tm_.received != nullptr) return;
+  tm_.received = &registry.gauge(prefix + ".received");
+  tm_.completed = &registry.gauge(prefix + ".completed");
+  tm_.queue_depth = &registry.gauge(prefix + ".queue_depth");
+  tm_.queue_drops = &registry.gauge(prefix + ".queue_drops");
+  tm_.stalls = &registry.gauge(prefix + ".stalls");
+  publish_telemetry();
+}
+
+void ServerModel::publish_telemetry() {
+  if (tm_.received == nullptr) return;
+  tm_.received->set(static_cast<double>(received_));
+  tm_.completed->set(static_cast<double>(completed_));
+  tm_.queue_depth->set(static_cast<double>(queue_.size()));
+  tm_.queue_drops->set(static_cast<double>(queue_drops_));
+  tm_.stalls->set(static_cast<double>(stalls_));
+}
+
+}  // namespace moongen::rpc

@@ -22,6 +22,26 @@ class RunningStats {
     max_ = std::max(max_, x);
   }
 
+  /// Combines two independently accumulated streams (Chan et al. parallel
+  /// variance): the result is as if every sample of `other` had been
+  /// add()ed here. Either side may be empty. Used for per-shard roll-ups,
+  /// mirroring LogLinearHistogram::merge.
+  void merge(const RunningStats& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double delta = other.mean_ - mean_;
+    const std::uint64_t total = n_ + other.n_;
+    mean_ += delta * static_cast<double>(other.n_) / static_cast<double>(total);
+    m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                           static_cast<double>(other.n_) / static_cast<double>(total);
+    n_ = total;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
   [[nodiscard]] std::uint64_t count() const { return n_; }
   [[nodiscard]] double mean() const { return mean_; }
 

@@ -1,0 +1,67 @@
+#include "stats/samplers.hpp"
+
+#include <stdexcept>
+
+namespace moongen::stats {
+
+ZipfSampler::ZipfSampler(std::size_t n, double skew, std::uint64_t seed)
+    : skew_(skew), rng_(seed) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: empty support");
+  if (n > UINT32_MAX) throw std::invalid_argument("ZipfSampler: support too large");
+  if (skew < 0.0) throw std::invalid_argument("ZipfSampler: negative skew");
+
+  std::vector<double> pmf(n);
+  norm_ = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    pmf[i] = std::pow(static_cast<double>(i + 1), -skew);
+    norm_ += pmf[i];
+  }
+
+  // Vose's alias method: scale each probability by n, pair every
+  // under-full bucket with an over-full donor. After the build, bucket i
+  // returns i with probability accept_[i] and alias_[i] otherwise.
+  accept_.assign(n, 1.0);
+  alias_.assign(n, 0);
+  std::vector<std::uint32_t> small;
+  std::vector<std::uint32_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  const double scale = static_cast<double>(n) / norm_;
+  for (std::size_t i = 0; i < n; ++i) {
+    pmf[i] *= scale;
+    if (pmf[i] < 1.0)
+      small.push_back(static_cast<std::uint32_t>(i));
+    else
+      large.push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    const std::uint32_t l = large.back();
+    small.pop_back();
+    accept_[s] = pmf[s];
+    alias_[s] = l;
+    pmf[l] -= 1.0 - pmf[s];
+    if (pmf[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Leftovers on either list are exactly-full buckets up to rounding.
+  for (const std::uint32_t i : large) accept_[i] = 1.0;
+  for (const std::uint32_t i : small) accept_[i] = 1.0;
+}
+
+std::uint64_t ZipfSampler::next() {
+  // Two independent draws: reusing one word for bucket and coin would
+  // correlate them and bias the acceptance step measurably at large n.
+  const std::size_t bucket = static_cast<std::size_t>(rng_.next() % accept_.size());
+  const double coin = rng_.next_double();
+  return coin < accept_[bucket] ? bucket : alias_[bucket];
+}
+
+double ZipfSampler::probability(std::size_t rank) const {
+  if (rank >= accept_.size()) return 0.0;
+  return std::pow(static_cast<double>(rank + 1), -skew_) / norm_;
+}
+
+}  // namespace moongen::stats

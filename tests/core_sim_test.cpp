@@ -37,6 +37,37 @@ TEST(Patterns, CbrHandlesNonIntegerGaps) {
   EXPECT_NEAR(static_cast<double>(total), 3000.0 * 1e6 / 0.3, 2.0);
 }
 
+TEST(Patterns, CbrRoundingStaysCenteredOnTheSchedule) {
+  // Regression for the truncate-vs-round audit: with round-with-carry the
+  // cumulative departure time never strays more than half a picosecond
+  // from the ideal schedule. Plain truncation lags by up to a full ps.
+  const double ideal = 1e6 / 0.3;  // 3333333.33.. ps
+  mc::CbrPattern cbr(0.3);
+  double total = 0;
+  for (int i = 1; i <= 10'000; ++i) {
+    total += static_cast<double>(cbr.next_gap_ps());
+    ASSERT_NEAR(total, ideal * i, 0.5 + 1e-6) << "at departure " << i;
+  }
+}
+
+TEST(Patterns, CbrNeverReturnsNegativeOrOverflowedGaps) {
+  mc::CbrPattern cbr(14.88);  // 67204.3 ps: fractional every step
+  for (int i = 0; i < 10'000; ++i) {
+    const auto gap = cbr.next_gap_ps();
+    ASSERT_GE(gap, 67204u);
+    ASSERT_LE(gap, 67205u);
+  }
+}
+
+TEST(Patterns, BurstInterBurstGapIsRoundedNotTruncated) {
+  // avg 0.6 Mpps, bursts of 4, 84 wire bytes at 10 GbE: the inter-burst
+  // rest is 6465066.67 ps. Truncation would shorten every burst period.
+  mc::BurstPattern burst(0.6, 4, 84, 10'000);
+  std::uint64_t period = 0;
+  for (int i = 0; i < 4; ++i) period += burst.next_gap_ps();
+  EXPECT_EQ(period, 3u * 67'200u + 6'465'067u);
+}
+
 TEST(Patterns, PoissonMeanMatchesRate) {
   mc::PoissonPattern poisson(1.0, 99);  // mean 1 us
   double total = 0;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdint>
 #include <sstream>
+#include <vector>
 
 #include "stats/counters.hpp"
 #include "stats/histogram.hpp"
@@ -46,6 +47,68 @@ TEST(RunningStats, NumericallyStableForLargeOffsets) {
   for (int i = 0; i < 1000; ++i) s.add(1e12 + (i % 2 ? 1.0 : -1.0));
   EXPECT_NEAR(s.mean(), 1e12, 1.0);
   EXPECT_NEAR(s.stddev(), 1.0005, 0.01);
+}
+
+TEST(RunningStatsMerge, MatchesSequentialAccumulation) {
+  // Chan et al. parallel combine: merging per-shard accumulators must be
+  // indistinguishable from add()ing every sample into one.
+  st::RunningStats a;
+  st::RunningStats b;
+  st::RunningStats all;
+  for (int i = 0; i < 2000; ++i) {
+    const double x = std::sin(i * 0.1) * 100.0 + (i % 7);
+    (i < 800 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.stddev(), all.stddev(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsMerge, EitherSideMayBeEmpty) {
+  st::RunningStats filled;
+  filled.add(2.0);
+  filled.add(4.0);
+
+  st::RunningStats empty_dst;
+  empty_dst.merge(filled);
+  EXPECT_EQ(empty_dst.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty_dst.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(empty_dst.min(), 2.0);
+  EXPECT_DOUBLE_EQ(empty_dst.max(), 4.0);
+
+  st::RunningStats empty_src;
+  filled.merge(empty_src);
+  EXPECT_EQ(filled.count(), 2u);
+  EXPECT_DOUBLE_EQ(filled.mean(), 3.0);
+
+  st::RunningStats both_a;
+  st::RunningStats both_b;
+  both_a.merge(both_b);
+  EXPECT_EQ(both_a.count(), 0u);
+  EXPECT_DOUBLE_EQ(both_a.mean(), 0.0);
+}
+
+TEST(RunningStatsMerge, MergeOfManyShardsIsOrderInsensitive) {
+  std::vector<st::RunningStats> shards(4);
+  st::RunningStats all;
+  for (int i = 0; i < 4000; ++i) {
+    const double x = (i * 37 % 101) - 50.0;
+    shards[static_cast<std::size_t>(i % 4)].add(x);
+    all.add(x);
+  }
+  st::RunningStats fwd;
+  for (const auto& s : shards) fwd.merge(s);
+  st::RunningStats rev;
+  for (auto it = shards.rbegin(); it != shards.rend(); ++it) rev.merge(*it);
+  EXPECT_EQ(fwd.count(), all.count());
+  EXPECT_NEAR(fwd.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(fwd.stddev(), all.stddev(), 1e-9);
+  EXPECT_NEAR(rev.mean(), fwd.mean(), 1e-9);
+  EXPECT_NEAR(rev.stddev(), fwd.stddev(), 1e-9);
 }
 
 // ---------------------------------------------------------------------------
