@@ -107,6 +107,48 @@ class ModifierProgram {
     }
   }
 
+  /// Applies all actions using an externally supplied random source instead
+  /// of the built-in Tausworthe. `draw` is any callable returning an
+  /// unsigned integer; for kRandom actions with a modulus the reduction is
+  /// performed on the full draw (`value + draw() % range`), so a 64-bit
+  /// engine keeps its exact stream semantics. Used by the script trace
+  /// specializer, whose kernels must consume the interpreter's math.random
+  /// engine draw-for-draw.
+  template <typename DrawFn>
+  void apply_with_rng(std::uint8_t* data, DrawFn&& draw) {
+    for (std::size_t i = 0; i < actions_.size(); ++i) {
+      const FieldAction& a = actions_[i];
+      std::uint32_t v;
+      switch (a.kind) {
+        case FieldAction::Kind::kConstant:
+          v = a.value;
+          break;
+        case FieldAction::Kind::kCounter:
+          v = counters_[i]++;
+          if (a.range != 0 && counters_[i] >= a.value + a.range) counters_[i] = a.value;
+          break;
+        case FieldAction::Kind::kRandom:
+        default: {
+          const std::uint64_t r = static_cast<std::uint64_t>(draw());
+          v = a.range != 0 ? a.value + static_cast<std::uint32_t>(r % a.range)
+                           : static_cast<std::uint32_t>(r);
+          break;
+        }
+      }
+      write_field(data + a.field.offset, a.field.width, v);
+    }
+  }
+
+  /// Rewrites one action in place (keeping its slot in the program); used
+  /// by specializer kernels that re-bind entry-dependent constants.
+  void set_action(std::size_t i, std::uint32_t value, std::uint32_t range) {
+    actions_[i].value = value;
+    actions_[i].range = range;
+  }
+
+  /// Resets the wrapping counter backing action `i`.
+  void set_counter(std::size_t i, std::uint32_t v) { counters_[i] = v; }
+
   [[nodiscard]] std::size_t action_count() const { return actions_.size(); }
 
  private:

@@ -312,6 +312,9 @@ MethodTable& buf_array_methods() {
       if (slot.is_nil()) slot = wrap_packet(buf);
       return slot;
     };
+    // ipairs over this type yields per-packet views: the trace specializer
+    // may turn a hot loop over it into a field-modifier kernel.
+    t.packet_array = true;
     return t;
   }();
   return table;
@@ -338,6 +341,9 @@ MethodTable& buf_methods() {
       return std::vector<Value>{
           Value(static_cast<double>(self.as<PacketRef>()->buf->length()))};
     };
+    // Trace tags (specializer.hpp): getUdpPacket hands out a view over the
+    // same packet bytes.
+    t.trace_tags["getUdpPacket"] = TraceTag{TraceTag::Kind::kDeref, false, false, 0, 0};
     return t;
   }();
   return table;
@@ -378,6 +384,8 @@ MethodTable& addr_methods() {
       const auto addr = ref->dst ? view.ip().dst() : view.ip().src();
       return std::vector<Value>{Value(addr.to_string())};
     };
+    // set() writes the field the deref chain selected (.src or .dst).
+    t.trace_tags["set"] = TraceTag{TraceTag::Kind::kWrite, false, true, 0, 0};
     return t;
   }();
   return table;
@@ -408,6 +416,10 @@ MethodTable& ip_header_methods() {
       proto::UdpPacketView view{self.as<PacketRef>()->buf->bytes()};
       return std::vector<Value>{Value(static_cast<double>(view.ip().ttl))};
     };
+    // Byte offsets into the full frame: Ethernet 14 + IPv4 field offsets.
+    t.trace_tags["src"] = TraceTag{TraceTag::Kind::kDeref, true, false, 26, 4};
+    t.trace_tags["dst"] = TraceTag{TraceTag::Kind::kDeref, true, false, 30, 4};
+    t.trace_tags["setTTL"] = TraceTag{TraceTag::Kind::kWrite, false, false, 22, 1};
     return t;
   }();
   return table;
@@ -435,6 +447,9 @@ MethodTable& udp_header_methods() {
       view.udp().set_src_port(static_cast<std::uint16_t>(arg_number(args, 0, "setSrcPort")));
       return no_values();
     };
+    // Ethernet 14 + IPv4 20 = UDP header at 34.
+    t.trace_tags["setSrcPort"] = TraceTag{TraceTag::Kind::kWrite, false, false, 34, 2};
+    t.trace_tags["setDstPort"] = TraceTag{TraceTag::Kind::kWrite, false, false, 36, 2};
     return t;
   }();
   return table;
@@ -488,6 +503,9 @@ MethodTable& udp_packet_methods() {
       }
       return Value();
     };
+    // .ip and .udp are views over the same packet bytes.
+    t.trace_tags["ip"] = TraceTag{TraceTag::Kind::kDeref, false, false, 0, 0};
+    t.trace_tags["udp"] = TraceTag{TraceTag::Kind::kDeref, false, false, 0, 0};
     return t;
   }();
   return table;

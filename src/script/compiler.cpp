@@ -27,6 +27,19 @@ namespace {
 
 void collect_names(const Block& block, std::set<std::string>& out);
 
+// Names referenced inside a nested function body, minus the function's own
+// parameters: a parameter shadows its name for the entire body, so such a
+// reference can never reach an enclosing local. Local declarations are NOT
+// subtracted — a reference may textually precede the declaration and then
+// legally resolves to the outer scope, so dropping those would be unsound.
+void collect_nested_fn_names(const std::vector<std::string>& params, const Block& body,
+                             std::set<std::string>& out) {
+  std::set<std::string> inner;
+  collect_names(body, inner);
+  for (const auto& p : params) inner.erase(p);
+  out.insert(inner.begin(), inner.end());
+}
+
 void collect_names(const Expr& expr, std::set<std::string>& out) {
   switch (expr.kind) {
     case ExprKind::kName: out.insert(expr.name); break;
@@ -42,7 +55,9 @@ void collect_names(const Expr& expr, std::set<std::string>& out) {
       collect_names(*expr.object, out);
       for (const auto& a : expr.args) collect_names(*a, out);
       break;
-    case ExprKind::kFunction: collect_names(expr.function->body, out); break;
+    case ExprKind::kFunction:
+      collect_nested_fn_names(expr.function->params, expr.function->body, out);
+      break;
     case ExprKind::kBinary:
       collect_names(*expr.lhs, out);
       collect_names(*expr.rhs, out);
@@ -73,7 +88,7 @@ void collect_names(const Stmt& stmt, std::set<std::string>& out) {
   collect_names(stmt.else_body, out);
   collect_names(stmt.body, out);
   if (!stmt.func_path.empty()) out.insert(stmt.func_path.front());
-  if (stmt.function) collect_names(stmt.function->body, out);
+  if (stmt.function) collect_nested_fn_names(stmt.function->params, stmt.function->body, out);
 }
 
 void collect_names(const Block& block, std::set<std::string>& out) {
@@ -86,7 +101,9 @@ void collect_captured(const Block& block, std::set<std::string>& out);
 
 void collect_captured(const Expr& expr, std::set<std::string>& out) {
   switch (expr.kind) {
-    case ExprKind::kFunction: collect_names(expr.function->body, out); break;
+    case ExprKind::kFunction:
+      collect_nested_fn_names(expr.function->params, expr.function->body, out);
+      break;
     case ExprKind::kIndex:
       collect_captured(*expr.object, out);
       collect_captured(*expr.key, out);
@@ -128,7 +145,7 @@ void collect_captured(const Stmt& stmt, std::set<std::string>& out) {
   }
   collect_captured(stmt.else_body, out);
   collect_captured(stmt.body, out);
-  if (stmt.function) collect_names(stmt.function->body, out);
+  if (stmt.function) collect_nested_fn_names(stmt.function->params, stmt.function->body, out);
 }
 
 void collect_captured(const Block& block, std::set<std::string>& out) {
@@ -897,8 +914,10 @@ class Compiler {
       emit_load_const(fs, Value(1.0), base + 2, stmt.line);
     }
     emit(fs, Op::kForPrep, static_cast<std::int32_t>(base), 0, 0, 0, stmt.line);
+    // The test is a trace anchor: its IC slot holds the back-edge hotness
+    // counter and, once recorded, the installed loop specialization.
     const auto test = emit(fs, Op::kForTest, static_cast<std::int32_t>(base), 0, 0, 0,
-                           stmt.line);
+                           stmt.line, new_ic());
     emit(fs, Op::kCheckStep, 0, 0, 0, 0, stmt.line);
     fs.breaks.emplace_back();
     const auto scope = open_scope(fs);
@@ -929,9 +948,11 @@ class Compiler {
     // leaving f/s/ctrl in place, exit-if-nil (d: target, patched below) and
     // the ctrl update — the kCheckStep/kJumpIfNil/kMove sequence it
     // replaces, with identical observable order.
+    // Also a trace anchor (see kForTest): the IC slot carries the hotness
+    // counter and any installed field-kernel specialization.
     const auto forin_call =
         emit(fs, Op::kForInCall, static_cast<std::int32_t>(iter), static_cast<std::int32_t>(w),
-             nres, 0, stmt.line);
+             nres, 0, stmt.line, new_ic());
     fs.breaks.emplace_back();
     const auto scope = open_scope(fs);
     for (std::size_t i = 0; i < stmt.names.size(); ++i) {
@@ -1031,7 +1052,7 @@ std::shared_ptr<const Chunk> compile_program(const Program& program) {
   return chunk;
 }
 
-std::string disassemble(const Chunk& chunk) {
+const char* op_name(Op op) {
   static constexpr const char* kNames[] = {
       "LOADK",   "LOADNIL", "LOADBOOL", "MOVE",    "GETGLOBAL", "SETGLOBAL", "NEWCELL",
       "CELLGET", "CELLSET", "UPGET",    "UPSET",   "ADD",       "SUB",       "MUL",
@@ -1042,6 +1063,92 @@ std::string disassemble(const Chunk& chunk) {
       "ADJUST",   "CLOSURE",
       "TONUM",   "FORPREP", "FORTEST",  "FORNEXT", "PATHMID",   "PATHSET",   "CHECKSTEP",
   };
+  return kNames[static_cast<int>(op)];
+}
+
+namespace {
+
+// Constant operand rendering: strings quoted so `LOADK r1 <- "src"` and
+// `LOADK r1 <- 26` are distinguishable in listings.
+std::string const_repr(const FunctionProto& proto, std::int32_t index) {
+  if (index < 0 || static_cast<std::size_t>(index) >= proto.consts.size()) {
+    return "k?" + std::to_string(index);
+  }
+  const Value& v = proto.consts[static_cast<std::size_t>(index)];
+  if (v.is_string()) return "\"" + v.as_string() + "\"";
+  return v.to_display_string();
+}
+
+// nargs/nres operand encoding (kMultiValues protocol, see compiler.hpp).
+std::string count_repr(std::int32_t enc) {
+  if (enc >= 0) return std::to_string(enc);
+  return std::to_string(-enc - 1) + "+multi";
+}
+
+}  // namespace
+
+std::string disassemble_instr(const FunctionProto& proto, const Instr& ins) {
+  std::ostringstream os;
+  os << op_name(ins.op) << "\t";
+  switch (ins.op) {
+    case Op::kLoadConst:
+      os << "r" << ins.a << " <- " << const_repr(proto, ins.b);
+      break;
+    case Op::kGetGlobal:
+      os << "r" << ins.a << " <- " << const_repr(proto, ins.b) << " [ic " << ins.ic << "]";
+      break;
+    case Op::kSetGlobal:
+      os << const_repr(proto, ins.b) << " <- r" << ins.a << " [ic " << ins.ic << "]";
+      break;
+    case Op::kGetField:
+      os << "r" << ins.a << " <- r" << ins.b << "." << const_repr(proto, ins.c) << " [ic "
+         << ins.ic << "]";
+      break;
+    case Op::kCall:
+      os << "r" << ins.a << " nargs=" << count_repr(ins.b) << " nres=" << count_repr(ins.c);
+      break;
+    case Op::kMethodCall: {
+      // In-place receiver encoding: d >= 0 with a non-zero high half names
+      // the object's home register; otherwise the object sits in r[a].
+      const std::int32_t obj_hi = ins.d >= 0 ? (ins.d >> 16) : 0;
+      const std::int32_t nargs = obj_hi != 0 ? (ins.d & 0xffff) : ins.d;
+      const std::int32_t obj = obj_hi != 0 ? obj_hi - 1 : ins.a;
+      os << "r" << obj << ":" << const_repr(proto, ins.b) << " nargs=" << count_repr(nargs)
+         << " nres=" << ins.c << " -> r" << ins.a << " [ic " << ins.ic << "]";
+      break;
+    }
+    case Op::kCallGlobalField:
+      os << proto.consts[static_cast<std::size_t>(ins.b)].as_string() << "."
+         << proto.consts[static_cast<std::size_t>(ins.c)].as_string()
+         << " nargs=" << (ins.d & 0xffff) << " nres=" << (ins.d >> 16) << " -> r" << ins.a
+         << " [ic " << ins.ic << "]";
+      break;
+    case Op::kForInCall:
+      os << "iter=r" << ins.a << " vars=r" << ins.b << "..r" << (ins.b + ins.c - 1)
+         << " exit=" << ins.d << " [ic " << ins.ic << "]";
+      break;
+    case Op::kForTest:
+      os << "i=r" << ins.a << " exit=" << ins.b << " [ic " << ins.ic << "]";
+      break;
+    case Op::kForNext:
+      os << "i=r" << ins.a << " -> " << ins.b;
+      break;
+    case Op::kJump:
+      os << "-> " << ins.a;
+      break;
+    case Op::kJumpIfFalse:
+    case Op::kJumpIfTrue:
+    case Op::kJumpIfNil:
+      os << "r" << ins.a << " -> " << ins.b;
+      break;
+    default:
+      os << ins.a << " " << ins.b << " " << ins.c << " " << ins.d;
+      break;
+  }
+  return os.str();
+}
+
+std::string disassemble(const Chunk& chunk) {
   std::ostringstream os;
   for (std::size_t p = 0; p < chunk.protos.size(); ++p) {
     const auto& proto = chunk.protos[p];
@@ -1049,9 +1156,7 @@ std::string disassemble(const Chunk& chunk) {
        << " regs=" << proto.num_regs << " cells=" << proto.num_cells
        << " upvals=" << proto.upvals.size() << "\n";
     for (std::size_t i = 0; i < proto.code.size(); ++i) {
-      const auto& ins = proto.code[i];
-      os << "  " << i << "\t" << kNames[static_cast<int>(ins.op)] << "\t" << ins.a << " "
-         << ins.b << " " << ins.c << " " << ins.d << "\n";
+      os << "  " << i << "\t" << disassemble_instr(proto, proto.code[i]) << "\n";
     }
   }
   return os.str();

@@ -84,13 +84,16 @@ enum class Op : std::uint8_t {
                 // call r[b..b+c) = r[a](r[a+1], r[a+2]) without consuming the
                 // persistent f/s/ctrl registers (kCall would: its results
                 // overwrite its callee window), then pc = d when r[b] is nil,
-                // else ctrl r[a+2] = r[b]
+                // else ctrl r[a+2] = r[b]. (ic: trace anchor — hotness
+                // counter + installed field-kernel specialization)
   kReturn,      // return r[a..]; b: count enc
   kAdjust,      // r[a..a+b) = pending results, padded with nil
   kClosure,     // r[a] = closure of protos[b]
   kToNum,       // r[a] = number(r[a]) — numeric-for bound conversion
   kForPrep,     // validate step r[a+2] != 0
   kForTest,     // if loop (i=r[a], stop=r[a+1], step=r[a+2]) done: pc = b
+                // (ic: trace anchor — hotness counter + installed
+                // numeric-loop specialization)
   kForNext,     // r[a] += r[a+2]; pc = b
   kPathMid,     // r[a] = checked-table r[b][consts[c]] (function a.b.c decl)
   kPathSet,     // checked-table r[a][consts[b]] = r[c]
@@ -142,7 +145,18 @@ struct Chunk {
 /// enough (microseconds) that every interpreter compiles its own copy.
 std::shared_ptr<const Chunk> compile_program(const Program& program);
 
-/// Human-readable disassembly (tests / debugging).
+/// Mnemonic for an opcode ("ADD", "GFCALL", ...). Shared by the chunk
+/// disassembler and the recorded-trace listings in trace.cpp.
+const char* op_name(Op op);
+
+/// Renders one instruction the way disassemble() does (decoded operands,
+/// no pc prefix). `proto` supplies the constant pool for name operands.
+std::string disassemble_instr(const FunctionProto& proto, const Instr& ins);
+
+/// Human-readable disassembly (tests / debugging). Fused call sites
+/// (GFCALL/MCALL/FORINCALL) and constant/global operands are decoded to
+/// names and register ranges instead of raw indices; instructions with an
+/// inline-cache slot show it as a trailing [ic N].
 std::string disassemble(const Chunk& chunk);
 
 }  // namespace moongen::script

@@ -91,6 +91,11 @@ bool Interpreter::default_tree_walk() {
   return env != nullptr && env[0] != '\0' && env[0] != '0';
 }
 
+bool Interpreter::default_trace() {
+  const char* env = std::getenv("MOONGEN_SCRIPT_NOTRACE");
+  return !(env != nullptr && env[0] != '\0' && env[0] != '0');
+}
+
 void Interpreter::ensure_compiled() {
   if (!chunk_) chunk_ = compile_program(*program_);
 }
@@ -655,6 +660,12 @@ void Interpreter::install_base_library() {
         return std::vector<Value>{random1(interp, args)};
       });
   (*random_fn.native())->fn1 = random1;
+  // Identity + engine exposed for the trace specializer: kernels that fold
+  // math.random(m) draws must pull from this exact engine and verify the
+  // call site still resolves to this exact native.
+  (*random_fn.native())->builtin = NativeFunction::Builtin::kMathRandom;
+  math_rng_ = rng;
+  math_random_ = *random_fn.native();
   math->set(Table::Key{"random"}, std::move(random_fn));
   math->set(Table::Key{"randomseed"},
             make_native("math.randomseed", [rng](Interpreter&, std::vector<Value>& args) {

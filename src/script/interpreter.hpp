@@ -2,6 +2,7 @@
 #pragma once
 
 #include <memory>
+#include <random>
 #include <string>
 #include <vector>
 
@@ -63,6 +64,38 @@ class Interpreter {
   /// is the default fast path (see DESIGN.md section 11).
   void set_tree_walk(bool tree_walk) { tree_walk_ = tree_walk; }
   [[nodiscard]] bool tree_walk() const { return tree_walk_; }
+
+  /// Trace specialization: the VM's hot-loop tier (DESIGN.md section 13).
+  /// On by default; MOONGEN_SCRIPT_NOTRACE=1 (or set_trace(false)) keeps
+  /// the generic bytecode VM only. Irrelevant when tree-walking.
+  void set_trace(bool on) { trace_ = on; }
+  [[nodiscard]] bool trace_enabled() const { return trace_; }
+  /// Back edges a loop anchor must see before recording starts. The
+  /// default amortizes recording cost; tests lower it to force the trace
+  /// tier onto short loops.
+  void set_trace_threshold(std::uint32_t n) { trace_threshold_ = n; }
+  [[nodiscard]] std::uint32_t trace_threshold() const { return trace_threshold_; }
+
+  /// --- Trace-specializer support (specializer.cpp) -----------------------
+  /// The engine behind math.random/math.randomseed. Specialized kernels
+  /// draw from it directly so the random stream stays byte-identical with
+  /// the generic engines.
+  [[nodiscard]] std::mt19937_64* math_rng() const { return math_rng_.get(); }
+  /// Identity of the installed math.random native: kernels folding random
+  /// draws must verify the call site still resolves to exactly this
+  /// function (table version checks miss in-place reassignment).
+  [[nodiscard]] const NativeFunction* math_random_native() const { return math_random_.get(); }
+  /// Statement-budget accounting for bulk specialized iterations: kernels
+  /// bound their iteration count by the remaining budget, tick it in one
+  /// add, and leave the exhaustion throw to the generic loop code.
+  [[nodiscard]] std::uint64_t step_limit() const { return step_limit_; }
+  [[nodiscard]] std::uint64_t steps_taken() const { return steps_; }
+  void add_steps(std::uint64_t n) { steps_ += n; }
+  /// Global environment slot for `name`, or nullptr when absent (stable
+  /// std::map node, same contract as the VM's global ICs).
+  Value* global_slot_if_exists(const std::string& name) { return globals_->find_local(name); }
+  /// The VM, if one has been created (introspection: installed traces).
+  [[nodiscard]] Vm* vm_if_created() const { return vm_.get(); }
 
   /// Invokes a compiled closure (used by VM closure wrappers, so compiled
   /// functions stay callable from natives and from the tree-walker).
@@ -137,10 +170,16 @@ class Interpreter {
   std::uint64_t step_limit_ = 0;
   std::uint64_t steps_ = 0;
   bool tree_walk_ = default_tree_walk();
+  bool trace_ = default_trace();
+  std::uint32_t trace_threshold_ = 56;
   std::shared_ptr<const Chunk> chunk_;
   std::unique_ptr<Vm> vm_;
+  /// Installed by install_base_library (see math_rng/math_random_native).
+  std::shared_ptr<std::mt19937_64> math_rng_;
+  std::shared_ptr<NativeFunction> math_random_;
 
   static bool default_tree_walk();
+  static bool default_trace();
 };
 
 /// Convenience: number/string/table argument extraction with diagnostics.

@@ -1,0 +1,52 @@
+#include "script/trace.hpp"
+
+#include <sstream>
+
+namespace moongen::script {
+
+namespace {
+
+void append_observations(std::ostringstream& os, const RecordedInstr& ri) {
+  if (ri.numeric) os << "  [num]";
+  if (ri.mt != nullptr) {
+    os << "  [" << ri.mt->type_name;
+    switch (ri.tag.kind) {
+      case TraceTag::Kind::kDeref:
+        os << " deref";
+        if (ri.tag.carries_field) {
+          os << " @" << ri.tag.offset << "/" << static_cast<int>(ri.tag.width);
+        }
+        break;
+      case TraceTag::Kind::kWrite:
+        os << " write ";
+        if (ri.tag.relative) {
+          os << "@carried";
+        } else {
+          os << "@" << ri.tag.offset << "/" << static_cast<int>(ri.tag.width);
+        }
+        break;
+      case TraceTag::Kind::kNone:
+        os << " opaque";
+        break;
+    }
+    os << "]";
+  }
+  if (ri.callee != nullptr) os << "  [native " << ri.callee->name << "]";
+}
+
+}  // namespace
+
+std::string disassemble_trace(const RecordedTrace& trace) {
+  std::ostringstream os;
+  if (trace.proto == nullptr) return "trace <empty>\n";
+  os << "trace <" << trace.proto->name << "> anchor=" << trace.anchor_pc << " "
+     << disassemble_instr(*trace.proto, trace.anchor) << "\n";
+  for (const RecordedInstr& ri : trace.body) {
+    os << "  " << ri.pc << "\t" << disassemble_instr(*trace.proto, ri.ins);
+    append_observations(os, ri);
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace moongen::script

@@ -34,8 +34,10 @@ using NativeFn1 = std::function<Value(Interpreter&, std::vector<Value>&)>;
 struct NativeFunction {
   /// Well-known natives the VM is allowed to open-code at call sites
   /// ("direct-call sites for known bindings"). The open-coded path must be
-  /// behaviourally identical to `fn`.
-  enum class Builtin : std::uint8_t { kNone, kIpairsIter };
+  /// behaviourally identical to `fn`. kMathRandom additionally lets the
+  /// trace specializer fold `math.random(m)` draws into field-modifier
+  /// kernels that pull from the interpreter's own engine (same stream).
+  enum class Builtin : std::uint8_t { kNone, kIpairsIter, kMathRandom };
 
   std::string name;
   NativeFn fn;
@@ -100,6 +102,31 @@ using Method = std::function<std::vector<Value>(Interpreter&, UserData&, std::ve
 /// shared empty vector at zero-arg call sites.
 using Method1 = Value (*)(Interpreter&, UserData&, std::vector<Value>&);
 
+/// Static effect summary of a userdata method or field, declared by the
+/// binding that installs the method table. The trace specializer uses these
+/// to prove that a recorded loop body is a straight-line sequence of packet
+/// field writes: kDeref names accessors that return a view over the same
+/// packet bytes (optionally narrowing to a field), kWrite names methods
+/// that store their single numeric argument into a header field. A method
+/// without a tag is opaque and blocks specialization of traces that call it.
+struct TraceTag {
+  enum class Kind : std::uint8_t {
+    kNone,   ///< opaque (default)
+    kDeref,  ///< returns a view/ref into the receiver's packet bytes
+    kWrite,  ///< writes its numeric argument to a packet field
+  };
+
+  Kind kind = Kind::kNone;
+  /// kDeref: the result carries this field as its write target (e.g.
+  /// ip.src yields an address ref whose set() writes offset 26 width 4).
+  bool carries_field = false;
+  /// kWrite: offset is relative to the field carried by the receiver view
+  /// (true for addr:set) rather than an absolute packet offset.
+  bool relative = false;
+  std::uint16_t offset = 0;  ///< byte offset into the packet (or carried base)
+  std::uint8_t width = 0;    ///< field width in bytes (1, 2 or 4)
+};
+
 /// Behaviour table of a userdata type: named methods plus an optional
 /// field-access hook (`obj.field`), like a Lua metatable's __index.
 struct MethodTable {
@@ -114,6 +141,13 @@ struct MethodTable {
   Value (*index)(Interpreter&, UserData&, const std::string&) = nullptr;
   /// Numeric indexing hook: `obj[i]` (1-based) — also drives ipairs().
   Value (*index_number)(Interpreter&, UserData&, double) = nullptr;
+  /// True for array-of-packets types (BufArray): ipairs over such an object
+  /// yields packet wrappers whose tagged methods write into the element's
+  /// buffer, so a recorded trace generalizes from one element to all.
+  bool packet_array = false;
+  /// Effect summaries for methods/index fields, keyed by name. Absent names
+  /// are opaque.
+  std::map<std::string, TraceTag> trace_tags;
 };
 
 /// Host object exposed to scripts. `handle` keeps the underlying object

@@ -5,6 +5,7 @@
 
 #include "script/interpreter.hpp"
 #include "script/lexer.hpp"
+#include "script/specializer.hpp"
 
 namespace moongen::script {
 
@@ -52,7 +53,7 @@ struct ArgScratch {
   std::vector<Value>& args;
 };
 
-Vm::ICEntry* Vm::ic_table(const Chunk* chunk) {
+ICEntry* Vm::ic_table(const Chunk* chunk) {
   auto& vec = ics_[chunk];
   if (vec.size() < chunk->num_ics) vec.resize(chunk->num_ics);
   return vec.data();
@@ -87,6 +88,9 @@ std::vector<Value> Vm::call_closure(const std::shared_ptr<VmClosure>& closure,
     std::size_t base;
     std::uint32_t nregs;
     ~StackGuard() {
+      // The recording frame exiting (return, break-to-return, or an error
+      // unwinding) ends its loop mid-trace: soft abort, retry later.
+      if (vm.recording_ && vm.recorder_.frame_base() == base) vm.abort_recording(false);
       for (std::uint32_t i = 0; i < nregs; ++i) vm.stack_[base + i] = Value();
       vm.top_ = base;
     }
@@ -152,7 +156,9 @@ std::vector<Value> Vm::execute(Frame& frame) {
   };
 
   for (;;) {
+    const auto ins_pc = static_cast<std::uint32_t>(pc);
     const Instr& ins = code[pc++];
+    if (recording_) record_step(frame, ins_pc, ins);
     switch (ins.op) {
       case Op::kLoadConst: reg(ins.a) = consts[ins.b]; break;
       case Op::kLoadNil: reg(ins.a) = Value(); break;
@@ -574,6 +580,21 @@ std::vector<Value> Vm::execute(Frame& frame) {
         // r[b..b+c) = r[a](r[a+1], r[a+2]) leaving the persistent f/s/ctrl
         // registers in place, exit to pc=d when the first result is nil,
         // else ctrl = first result. Order matches the unfused sequence.
+        {
+          ICEntry& ic = frame.ics[ins.ic];
+          if (ic.spec != nullptr) {
+            // Prefix accelerator: bulk-processes the elements its guards
+            // and the step budget allow, then falls through — this generic
+            // header performs the next iteration (or the exhaust exit).
+            if (host_.trace_enabled()) {
+              run_field_kernel(*ic.spec, ins, &stack_[frame.base], frame.ics,
+                               *frame.upvals, host_);
+            }
+          } else if (host_.trace_enabled() && !recording_ && !ic.spec_failed &&
+                     ++ic.hot >= host_.trace_threshold()) {
+            arm_recording(frame, ins_pc, ins, static_cast<std::uint32_t>(ins.d), ic);
+          }
+        }
         host_.count_step(ins.line);
         const Value& f = reg(ins.a);
         if (const auto* nf = f.native();
@@ -661,6 +682,20 @@ std::vector<Value> Vm::execute(Frame& frame) {
           throw ScriptError("for step must not be zero", ins.line);
         break;
       case Op::kForTest: {
+        {
+          ICEntry& ic = frame.ics[ins.ic];
+          if (ic.spec != nullptr) {
+            // Prefix accelerator: runs the iterations its guards and the
+            // step budget allow over unboxed slots, writes registers back,
+            // and falls through to this generic test.
+            if (host_.trace_enabled()) {
+              run_num_loop(*ic.spec, ins, &stack_[frame.base], host_);
+            }
+          } else if (host_.trace_enabled() && !recording_ && !ic.spec_failed &&
+                     ++ic.hot >= host_.trace_threshold()) {
+            arm_recording(frame, ins_pc, ins, static_cast<std::uint32_t>(ins.b), ic);
+          }
+        }
         const double i = reg(ins.a).as_number();
         const double stop = reg(ins.a + 1).as_number();
         const double step = reg(ins.a + 2).as_number();
@@ -690,6 +725,118 @@ std::vector<Value> Vm::execute(Frame& frame) {
       case Op::kCheckStep: host_.count_step(ins.line); break;
     }
   }
+}
+
+void Vm::arm_recording(Frame& frame, std::uint32_t anchor_pc, const Instr& anchor,
+                       std::uint32_t exit_pc, ICEntry& entry) {
+  entry.hot = 0;  // reset so an abort re-warms from cold
+  recorder_.arm(frame.chunk, frame.proto, frame.base, anchor_pc, anchor, exit_pc, &entry);
+  recording_ = true;
+}
+
+// Runs on every fetched instruction while recording, BEFORE the
+// instruction executes — operand observations are pre-state, which is what
+// the specializer's replay needs (e.g. kMethodCall moves its receiver out
+// of the register during execution).
+void Vm::record_step(Frame& frame, std::uint32_t pc, const Instr& ins) {
+  if (frame.base != recorder_.frame_base()) return;  // nested call's code
+  if (pc == recorder_.anchor_pc()) {
+    finish_recording();
+    return;
+  }
+  if (pc == recorder_.exit_pc()) {
+    // The loop ended before completing one iteration (empty array, early
+    // last element): retryable, not a property of the code.
+    abort_recording(false);
+    return;
+  }
+  if (recorder_.size() >= TraceRecorder::kMaxTraceLength) {
+    abort_recording(true);
+    return;
+  }
+
+  const auto reg = [&](std::int32_t i) -> const Value& {
+    return stack_[frame.base + static_cast<std::size_t>(i)];
+  };
+  RecordedInstr ri;
+  ri.ins = ins;
+  ri.pc = pc;
+  switch (ins.op) {
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kDiv:
+    case Op::kMod:
+    case Op::kPow:
+      ri.numeric = reg(ins.b).is_number() && reg(ins.c).is_number();
+      break;
+    case Op::kNeg:
+    case Op::kMove:
+      ri.numeric = reg(ins.b).is_number();
+      break;
+    case Op::kGetField: {
+      const Value& obj = reg(ins.b);
+      if (obj.is_userdata()) {
+        ri.mt = obj.as_userdata()->methods();
+        const auto& name = frame.proto->consts[ins.c].as_string();
+        const auto it = ri.mt->trace_tags.find(name);
+        if (it != ri.mt->trace_tags.end()) ri.tag = it->second;
+      }
+      break;
+    }
+    case Op::kMethodCall: {
+      const std::int32_t obj_hi = ins.d >= 0 ? (ins.d >> 16) : 0;
+      const Value& object = obj_hi != 0 ? reg(obj_hi - 1) : reg(ins.a);
+      if (object.is_userdata()) {
+        ri.mt = object.as_userdata()->methods();
+        const auto& name = frame.proto->consts[ins.b].as_string();
+        const auto it = ri.mt->trace_tags.find(name);
+        if (it != ri.mt->trace_tags.end()) ri.tag = it->second;
+      }
+      break;
+    }
+    case Op::kCallGlobalField: {
+      // Resolve the callee the way the IC-hit path would; a cold site
+      // (possible only if this is its first execution) records no callee
+      // and the builder rejects the trace.
+      const ICEntry& ic = frame.ics[ins.ic];
+      if (ic.tbl != nullptr && ic.global_slot != nullptr && ic.global_slot->is_table() &&
+          ic.global_slot->as_table().get() == ic.tbl && ic.tversion == ic.tbl->version()) {
+        if (const auto* nf = ic.tslot->native()) ri.callee = nf->get();
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  recorder_.append(std::move(ri));
+}
+
+void Vm::finish_recording() {
+  ICEntry* entry = recorder_.entry();
+  const std::size_t base = recorder_.frame_base();
+  RecordedTrace trace = recorder_.take();
+  recording_ = false;
+  // Observe the iterated container now (same loop instance: f/s/ctrl
+  // persist across iterations, and we are back at the anchor).
+  if (trace.anchor.op == Op::kForInCall) {
+    const Value& container = stack_[base + static_cast<std::size_t>(trace.anchor.a) + 1];
+    if (container.is_userdata()) trace.anchor_mt = container.as_userdata()->methods();
+  }
+  auto spec = build_specialization(std::move(trace), host_);
+  if (spec != nullptr) {
+    entry->spec = spec;
+    specializations_.push_back(std::move(spec));
+  } else {
+    entry->spec_failed = true;  // recorded but unspecializable: never retry
+  }
+  recorder_.reset();
+}
+
+void Vm::abort_recording(bool hard) {
+  if (ICEntry* entry = recorder_.entry(); entry != nullptr && hard) entry->spec_failed = true;
+  recording_ = false;
+  recorder_.reset();
 }
 
 }  // namespace moongen::script

@@ -7,6 +7,17 @@
 // the VmClosure, so they flow through bindings, tables and the
 // tree-walking interpreter unchanged — `type()`, `tostring()` and equality
 // behave exactly as for interpreter functions.
+//
+// On top of the generic dispatch loop sits the trace-specialization tier
+// (trace.hpp / specializer.hpp): loop anchors count back edges in their IC
+// slots, hot loops are recorded for one iteration, and the recorded trace
+// is compiled into either a numeric superinstruction loop or a
+// field-modifier kernel. Specialized code runs as a *prefix accelerator*:
+// it processes as many iterations as its entry guards and the statement
+// budget allow, then always falls through to the generic anchor code,
+// which remains the single place that handles loop exit, result binding
+// and budget exhaustion. Guard misses simply skip the accelerator, so
+// semantics stay byte-identical to the generic VM (and the tree-walker).
 #pragma once
 
 #include <cstdint>
@@ -16,11 +27,13 @@
 #include <vector>
 
 #include "script/compiler.hpp"
+#include "script/trace.hpp"
 #include "script/value.hpp"
 
 namespace moongen::script {
 
 class Interpreter;
+struct Specialization;
 
 /// Heap box for a captured local ("upvalue" storage). A fresh Cell per
 /// declaration-execution reproduces the interpreter's fresh-environment-
@@ -37,6 +50,35 @@ struct VmClosure {
   std::vector<std::shared_ptr<Cell>> upvals;
 };
 
+/// Monomorphic inline cache. Global slots point into the interpreter's
+/// global environment (std::map nodes: stable, never erased). Method
+/// pointers point into static MethodTable singletons. Table field slots
+/// are guarded by the table's version token: erasure draws a fresh
+/// process-unique token, so a hit proves the slot pointer is still the
+/// live map node (even if the table's address was reused).
+///
+/// Loop-anchor instructions (kForTest / kForInCall) reuse their IC slot
+/// for trace-specialization state: the back-edge hotness counter and the
+/// installed Specialization (or the permanent-failure flag when a recorded
+/// trace proved unspecializable).
+struct ICEntry {
+  enum class FieldKind : std::uint8_t { kNone, kMethod, kHook };
+  Value* global_slot = nullptr;
+  const MethodTable* mt = nullptr;
+  const Method* method = nullptr;
+  const Method1* method1 = nullptr;
+  const Table* tbl = nullptr;
+  const Value* tslot = nullptr;
+  std::uint64_t tversion = 0;
+  FieldKind kind = FieldKind::kNone;
+  /// Anchor-only: back edges observed while cold.
+  std::uint32_t hot = 0;
+  /// Anchor-only: a recorded trace failed to specialize; never retry.
+  bool spec_failed = false;
+  /// Anchor-only: the installed specialized handler (null while cold).
+  std::shared_ptr<const Specialization> spec;
+};
+
 /// One VM per interpreter. Holds the register stack and the inline caches;
 /// chunks themselves stay immutable and shareable across threads.
 class Vm {
@@ -51,25 +93,14 @@ class Vm {
   std::vector<Value> call_closure(const std::shared_ptr<VmClosure>& closure,
                                   std::vector<Value>& args);
 
- private:
-  /// Monomorphic inline cache. Global slots point into the interpreter's
-  /// global environment (std::map nodes: stable, never erased). Method
-  /// pointers point into static MethodTable singletons. Table field slots
-  /// are guarded by the table's version token: erasure draws a fresh
-  /// process-unique token, so a hit proves the slot pointer is still the
-  /// live map node (even if the table's address was reused).
-  struct ICEntry {
-    enum class FieldKind : std::uint8_t { kNone, kMethod, kHook };
-    Value* global_slot = nullptr;
-    const MethodTable* mt = nullptr;
-    const Method* method = nullptr;
-    const Method1* method1 = nullptr;
-    const Table* tbl = nullptr;
-    const Value* tslot = nullptr;
-    std::uint64_t tversion = 0;
-    FieldKind kind = FieldKind::kNone;
-  };
+  /// Specializations installed by this VM, in installation order
+  /// (introspection: trace listings, tests).
+  [[nodiscard]] const std::vector<std::shared_ptr<const Specialization>>& specializations()
+      const {
+    return specializations_;
+  }
 
+ private:
   struct Frame {
     std::shared_ptr<const Chunk> chunk;  // keeps protos alive for kClosure
     const FunctionProto* proto = nullptr;
@@ -83,6 +114,17 @@ class Vm {
   std::vector<Value> do_call(const Value& callee, std::vector<Value>& args, int line);
   ICEntry* ic_table(const Chunk* chunk);
   void ensure_stack(std::size_t n);
+
+  /// Trace machinery (definitions in vm.cpp). record_step runs on every
+  /// fetched instruction while recording; the anchor helpers arm the
+  /// recorder and install the built specialization.
+  void arm_recording(Frame& frame, std::uint32_t anchor_pc, const Instr& anchor,
+                     std::uint32_t exit_pc, ICEntry& entry);
+  void record_step(Frame& frame, std::uint32_t pc, const Instr& ins);
+  void finish_recording();
+  /// Soft aborts reset the anchor to cold (retryable: the loop exited
+  /// mid-recording, e.g. an empty array). Hard aborts mark it failed.
+  void abort_recording(bool hard);
 
   /// Depth-indexed scratch vectors for call arguments: one live vector per
   /// nesting level, recycled across calls so the hot path never mallocs an
@@ -103,6 +145,10 @@ class Vm {
   /// Shared empty vector for zero-arg method1 call sites (that fast path
   /// skips ArgScratch); method1 implementations must not mutate their args.
   std::vector<Value> no_args_;
+  /// Hot-loop trace recording (active for at most one loop at a time).
+  TraceRecorder recorder_;
+  bool recording_ = false;
+  std::vector<std::shared_ptr<const Specialization>> specializations_;
 };
 
 }  // namespace moongen::script

@@ -6,17 +6,25 @@
 #include <cstdint>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/device.hpp"
 #include "core/task.hpp"
+#include "fault/fault.hpp"
+#include "membuf/mempool.hpp"
 #include "script/bindings.hpp"
 #include "script/compiler.hpp"
 #include "script/interpreter.hpp"
 #include "script/lexer.hpp"
 #include "script/parser.hpp"
+#include "script/specializer.hpp"
+#include "script/trace.hpp"
+#include "script/vm.hpp"
 
 namespace sc = moongen::script;
 namespace mc = moongen::core;
+namespace mb = moongen::membuf;
+namespace mflt = moongen::fault;
 
 namespace {
 
@@ -497,15 +505,36 @@ TEST(ScriptStdlib, TableAsQueueInScript) {
 }
 
 // ---------------------------------------------------------------------------
-// Compiled VM vs. tree-walking interpreter (differential testing)
+// Three-engine differential testing: tree-walker vs. generic bytecode VM
+// vs. trace-specialized VM
 // ---------------------------------------------------------------------------
 //
-// The bytecode VM is the default scripted path; the tree-walker is the
-// reference semantics. These tests run the same source through both engines
-// and require identical results, identical printed output and identical
-// error messages — the determinism contract of DESIGN.md section 11.
+// The tree-walker is the reference semantics; the bytecode VM is the
+// default scripted path, and the trace tier records hot loops and runs
+// them through specialized kernels (DESIGN.md sections 11 and 13). These
+// tests run the same source through all three engines and require
+// identical results, identical printed output and identical error
+// messages. The trace engine uses threshold 2 so even short test loops
+// get recorded, specialized, and — when a guard fails — deoptimized.
 
 namespace {
+
+enum class Engine { kTreeWalk, kVmGeneric, kVmTrace };
+
+const char* engine_name(Engine e) {
+  switch (e) {
+    case Engine::kTreeWalk: return "tree-walker";
+    case Engine::kVmGeneric: return "generic VM";
+    case Engine::kVmTrace: return "trace VM";
+  }
+  return "?";
+}
+
+void configure_engine(sc::Interpreter& interp, Engine engine) {
+  interp.set_tree_walk(engine == Engine::kTreeWalk);
+  interp.set_trace(engine == Engine::kVmTrace);
+  interp.set_trace_threshold(2);
+}
 
 struct EngineRun {
   bool ok = true;
@@ -514,12 +543,12 @@ struct EngineRun {
   std::string result;
 };
 
-EngineRun run_engine(const std::string& source, bool tree_walk) {
+EngineRun run_engine(const std::string& source, Engine engine) {
   EngineRun r;
   testing::internal::CaptureStdout();
   try {
     sc::Interpreter interp(sc::parse(source));
-    interp.set_tree_walk(tree_walk);
+    configure_engine(interp, engine);
     interp.set_step_limit(200'000);
     interp.run();
     r.result = interp.get_global("result").to_display_string();
@@ -532,12 +561,14 @@ EngineRun run_engine(const std::string& source, bool tree_walk) {
 }
 
 void expect_engines_agree(const std::string& source, const char* context) {
-  const EngineRun vm = run_engine(source, /*tree_walk=*/false);
-  const EngineRun tw = run_engine(source, /*tree_walk=*/true);
-  EXPECT_EQ(vm.ok, tw.ok) << context << "\n" << source;
-  EXPECT_EQ(vm.error, tw.error) << context << "\n" << source;
-  EXPECT_EQ(vm.output, tw.output) << context << "\n" << source;
-  EXPECT_EQ(vm.result, tw.result) << context << "\n" << source;
+  const EngineRun tw = run_engine(source, Engine::kTreeWalk);
+  for (const Engine engine : {Engine::kVmGeneric, Engine::kVmTrace}) {
+    const EngineRun run = run_engine(source, engine);
+    EXPECT_EQ(run.ok, tw.ok) << engine_name(engine) << ": " << context << "\n" << source;
+    EXPECT_EQ(run.error, tw.error) << engine_name(engine) << ": " << context << "\n" << source;
+    EXPECT_EQ(run.output, tw.output) << engine_name(engine) << ": " << context << "\n" << source;
+    EXPECT_EQ(run.result, tw.result) << engine_name(engine) << ": " << context << "\n" << source;
+  }
 }
 
 /// Tiny deterministic PRNG for the fuzzer (independent of libc rand).
@@ -808,4 +839,384 @@ TEST(ScriptCompiler, ConstantFoldingPreservesValues) {
              (10 .. 20) .. "," .. (-(3 * 7)) .. "," .. #"hello" .. "," ..
              tostring(nil == false) .. "," .. tostring(false or 0)
   )", "constant folding");
+}
+
+TEST(ScriptCompiler, ParameterShadowingDoesNotBoxOuterLocals) {
+  // A closure parameter shadows its name for the closure's whole body, so
+  // a sibling local of the same name is not captured and must stay in a
+  // register (boxing it would also block trace specialization of loops
+  // that use it — the mempool-init-closure pattern of paper Listing 2).
+  const auto chunk = sc::compile_program(*sc::parse(R"(
+    local f = function(v) return v end
+    for i = 1, 3 do
+      local v = i
+      x = v
+    end
+  )"));
+  EXPECT_EQ(sc::disassemble(*chunk).find("NEWCELL"), std::string::npos);
+}
+
+TEST(ScriptDifferential, ParameterShadowingSemanticsMatch) {
+  // Parameter shadowing vs. a true capture of the same name.
+  expect_engines_agree(R"(
+    local x = 1
+    local f = function(x) return x * 10 end
+    local g = function() return x end
+    x = 2
+    result = f(7) .. ":" .. g()
+  )", "param shadowing vs true capture");
+  // A free reference before an inner local declaration of the same name
+  // resolves to the outer scope — the outer local must still be boxed.
+  expect_engines_agree(R"(
+    local x = 5
+    local f = function() local y = x local x = 9 return y .. ":" .. x end
+    result = f()
+  )", "free reference before inner declaration");
+  // Deeper nesting: the middle function's parameter shadows only within
+  // itself; the outer local is still captured by the innermost reference.
+  expect_engines_agree(R"(
+    local buf = "outer"
+    local mk = function(buf) return function() return buf end end
+    local direct = function() return buf end
+    result = mk("inner")() .. ":" .. direct()
+  )", "nested parameter shadowing");
+}
+
+TEST(ScriptCompiler, DisassemblerGoldenDecodedOps) {
+  // Golden listing for the decoded operand formats: the for-in anchor
+  // (iterator/vars/exit/ic), in-place method calls, fused global-field
+  // calls and the numeric-for triple. Pinned byte for byte so operand
+  // encoding changes cannot silently garble listings.
+  const auto chunk = sc::compile_program(*sc::parse(
+      "for i = 1, 3 do x = i end\n"
+      "for _, b in ipairs(t) do b:set(26, math.random(10)) end\n"));
+  const std::string expected =
+      "proto 0 <main> params=0 regs=11 cells=0 upvals=0\n"
+      "  0\tCHECKSTEP\t0 0 0 0\n"
+      "  1\tLOADK\tr0 <- 1\n"
+      "  2\tTONUM\t0 0 0 0\n"
+      "  3\tLOADK\tr1 <- 3\n"
+      "  4\tTONUM\t1 0 0 0\n"
+      "  5\tLOADK\tr2 <- 1\n"
+      "  6\tFORPREP\t0 0 0 0\n"
+      "  7\tFORTEST\ti=r0 exit=14 [ic 0]\n"
+      "  8\tCHECKSTEP\t0 0 0 0\n"
+      "  9\tMOVE\t3 0 0 0\n"
+      "  10\tCHECKSTEP\t0 0 0 0\n"
+      "  11\tMOVE\t4 3 0 0\n"
+      "  12\tSETGLOBAL\t\"x\" <- r4 [ic 1]\n"
+      "  13\tFORNEXT\ti=r0 -> 7\n"
+      "  14\tCHECKSTEP\t0 0 0 0\n"
+      "  15\tGETGLOBAL\tr3 <- \"ipairs\" [ic 2]\n"
+      "  16\tGETGLOBAL\tr4 <- \"t\" [ic 3]\n"
+      "  17\tCALL\tr3 nargs=1 nres=0+multi\n"
+      "  18\tADJUST\t0 3 0 0\n"
+      "  19\tFORINCALL\titer=r0 vars=r3..r4 exit=29 [ic 4]\n"
+      "  20\tCHECKSTEP\t0 0 0 0\n"
+      "  21\tLOADK\tr8 <- 26\n"
+      "  22\tGETGLOBAL\tr10 <- \"math\" [ic 5]\n"
+      "  23\tGETFIELD\tr9 <- r10.\"random\" [ic 6]\n"
+      "  24\tLOADK\tr10 <- 10\n"
+      "  25\tCALL\tr9 nargs=1 nres=0+multi\n"
+      "  26\tMOVE\t7 4 0 0\n"
+      "  27\tMCALL\tr7:\"set\" nargs=1+multi nres=0 -> r7 [ic 7]\n"
+      "  28\tJMP\t-> 19\n"
+      "  29\tRET\t0 0 0 0\n";
+  EXPECT_EQ(sc::disassemble(*chunk), expected);
+}
+
+TEST(ScriptTrace, TraceListingGolden) {
+  // Golden listing for a recorded numeric-loop trace: pc-prefixed body
+  // instructions with their recorded type observations.
+  sc::Interpreter interp(sc::parse("acc = 0\nfor i = 1, 50 do acc = acc + i end"));
+  interp.set_trace(true);
+  interp.set_trace_threshold(2);
+  interp.set_step_limit(1'000'000);
+  interp.run();
+  auto* vm = interp.vm_if_created();
+  ASSERT_NE(vm, nullptr);
+  ASSERT_FALSE(vm->specializations().empty());
+  const std::string expected =
+      "trace <main> anchor=10 FORTEST\ti=r0 exit=18 [ic 1]\n"
+      "  11\tCHECKSTEP\t0 0 0 0\n"
+      "  12\tMOVE\t3 0 0 0  [num]\n"
+      "  13\tCHECKSTEP\t0 0 0 0\n"
+      "  14\tGETGLOBAL\tr5 <- \"acc\" [ic 2]\n"
+      "  15\tADD\t4 5 3 0  [num]\n"
+      "  16\tSETGLOBAL\t\"acc\" <- r4 [ic 3]\n"
+      "  17\tFORNEXT\ti=r0 -> 10\n";
+  EXPECT_EQ(sc::disassemble_trace(vm->specializations().front()->trace), expected);
+}
+
+// ---------------------------------------------------------------------------
+// Trace specialization: forced deopts, introspection, escape-hatch kernels
+// (DESIGN.md section 13)
+// ---------------------------------------------------------------------------
+
+TEST(ScriptDifferential, TraceDeoptsOnTypeFlipMidRun) {
+  // The loop goes hot with `inc` numeric, so the trace engine installs a
+  // NumLoop superinstruction; flipping `inc` to a string must fail the
+  // entry guard and fall back to the generic path, which throws the same
+  // arithmetic error as the tree-walker.
+  expect_engines_agree(R"(
+    inc = 1
+    acc = 0
+    function spin(n) for i = 1, n do acc = acc + inc end end
+    spin(40)
+    inc = "x"
+    spin(3)
+    result = acc
+  )", "global flips number -> string after specialization");
+  // A benign value change (still numeric) must keep the specialized loop
+  // correct: live-in globals are re-read at every kernel entry.
+  expect_engines_agree(R"(
+    inc = 1
+    acc = 0
+    function spin(n) for i = 1, n do acc = acc + inc end end
+    spin(40)
+    inc = 3
+    spin(40)
+    result = acc
+  )", "global value change after specialization");
+  // NaN bounds after specialization: zero iterations in every engine.
+  expect_engines_agree(R"(
+    acc = 0
+    function spin(n) for i = 1, n do acc = acc + 1 end end
+    spin(40)
+    spin(0 / 0)
+    result = acc
+  )", "NaN loop bound after specialization");
+}
+
+TEST(ScriptDifferential, TraceBudgetExhaustionMatches) {
+  // The specialized loop bulk-charges the statement budget; the
+  // exhaustion error must fire at exactly the same step count — and thus
+  // with exactly the same message — as in both generic engines.
+  expect_engines_agree(R"(
+    acc = 0
+    for i = 1, 100000000 do acc = acc + 1 end
+    result = acc
+  )", "budget exhaustion through the specialized loop");
+}
+
+TEST(ScriptDifferential, TraceNestedAndTypeChangingLoopsMatch) {
+  // Inner loop specializes with the outer induction variable live-in.
+  expect_engines_agree(R"(
+    acc = 0
+    for i = 1, 30 do
+      for j = 1, 20 do acc = acc + j * i end
+    end
+    result = acc
+  )", "nested numeric loops");
+  // A loop whose body leaves the numeric domain mid-recording can never
+  // specialize; it must still agree everywhere.
+  expect_engines_agree(R"(
+    s = ""
+    for i = 1, 20 do s = s .. i end
+    result = s
+  )", "string-accumulating loop stays generic");
+}
+
+TEST(ScriptTrace, NumericLoopSpecializesAndTraceIsListable) {
+  sc::Interpreter interp(sc::parse(R"(
+    acc = 0
+    for i = 1, 500 do acc = acc + i end
+    result = acc
+  )"));
+  interp.set_trace(true);
+  interp.set_trace_threshold(2);
+  interp.set_step_limit(1'000'000);
+  interp.run();
+  EXPECT_EQ(interp.get_global("result").as_number(), 125250.0);
+  auto* vm = interp.vm_if_created();
+  ASSERT_NE(vm, nullptr);
+  ASSERT_EQ(vm->specializations().size(), 1u);
+  const auto& spec = *vm->specializations().front();
+  EXPECT_EQ(spec.kind, sc::Specialization::Kind::kNumLoop);
+  // The recorded trace must disassemble with per-instruction type
+  // observations (the [num] annotations that justified the NumLoop).
+  const std::string listing = sc::disassemble_trace(spec.trace);
+  EXPECT_NE(listing.find("trace <"), std::string::npos) << listing;
+  EXPECT_NE(listing.find("[num]"), std::string::npos) << listing;
+  EXPECT_NE(listing.find("FORNEXT"), std::string::npos) << listing;
+}
+
+TEST(ScriptTrace, NoTraceWhenDisabled) {
+  sc::Interpreter interp(sc::parse("acc = 0 for i = 1, 500 do acc = acc + i end"));
+  interp.set_trace(false);
+  interp.set_trace_threshold(2);
+  interp.set_step_limit(1'000'000);
+  interp.run();
+  auto* vm = interp.vm_if_created();
+  ASSERT_NE(vm, nullptr);
+  EXPECT_TRUE(vm->specializations().empty());
+}
+
+namespace {
+
+/// Runs a bindings-level script (a `master()` body) under one engine and
+/// reports the global `result` plus the specializations the VM installed.
+struct MasterRun {
+  std::string result;
+  std::size_t field_kernels = 0;
+  std::size_t num_loops = 0;
+};
+
+MasterRun run_master_engine(const char* script, Engine engine) {
+  mc::reset_run_state();
+  sc::ScriptRuntime runtime(script);
+  configure_engine(runtime.master(), engine);
+  runtime.run_master();
+  MasterRun out;
+  out.result = runtime.master().get_global("result").to_display_string();
+  if (auto* vm = runtime.master().vm_if_created()) {
+    for (const auto& spec : vm->specializations()) {
+      if (spec->kind == sc::Specialization::Kind::kFieldKernel) {
+        ++out.field_kernels;
+      } else {
+        ++out.num_loops;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(ScriptTraceBindings, FieldKernelMatchesGenericEnginesByteForByte) {
+  // Constant, counter and random recipes in one per-packet loop: the trace
+  // engine compiles this body onto the field-modifier engine, and the
+  // packet bytes read back must match the generic engines exactly —
+  // including the math.random stream, which the kernel draws from the
+  // interpreter's own RNG.
+  const char* script = R"(
+    function master()
+      local mem = memory.createMemPool(function(buf)
+        buf:getUdpPacket():fill({pktLength = 60})
+      end)
+      local bufs = mem:bufArray(16)
+      local baseIP = parseIPAddress("10.0.0.1")
+      local sig = 0
+      for round = 1, 10 do
+        bufs:alloc(60)
+        local ttl = 30 + round
+        for i, buf in ipairs(bufs) do
+          local pkt = buf:getUdpPacket()
+          pkt.ip.src:set(baseIP + i - 1)
+          pkt.ip:setTTL(ttl)
+          pkt.udp:setSrcPort(1000 + math.random(200) - 1)
+        end
+        for _, buf in ipairs(bufs) do
+          local pkt = buf:getUdpPacket()
+          sig = sig + pkt.ip.src:get() % 100003
+          sig = sig + pkt.ip:getTTL() * 7
+          sig = sig + pkt.udp:getSrcPort() * 13
+        end
+        bufs:freeAll()
+      end
+      result = sig .. ":" .. math.random(100000)
+    end
+  )";
+  const MasterRun tw = run_master_engine(script, Engine::kTreeWalk);
+  const MasterRun vm = run_master_engine(script, Engine::kVmGeneric);
+  const MasterRun tr = run_master_engine(script, Engine::kVmTrace);
+  EXPECT_EQ(vm.result, tw.result);
+  EXPECT_EQ(tr.result, tw.result);
+  // The writing loop must actually have taken the escape hatch.
+  EXPECT_GE(tr.field_kernels, 1u);
+  EXPECT_EQ(vm.field_kernels, 0u);
+}
+
+TEST(ScriptTraceBindings, MathRandomReplacementAndTableBumpsDeopt) {
+  // Mid-run the script replaces math.random in place (the inline cache
+  // still hits, so only the kernel's native-identity guard can catch it)
+  // and churns another math key (version bumps invalidate the call-site
+  // cache). Both must deopt the kernel, never desynchronize the stream.
+  const char* script = R"(
+    function master()
+      local mem = memory.createMemPool()
+      local bufs = mem:bufArray(8)
+      local baseIP = parseIPAddress("192.168.1.1")
+      local sig = ""
+      for round = 1, 12 do
+        if round == 7 then
+          math.random = function(m) return (m >= 7 and 7) or 1 end
+        end
+        if round == 4 or round == 9 then math.jitter = round else math.jitter = nil end
+        bufs:alloc(60)
+        for _, buf in ipairs(bufs) do
+          buf:getUdpPacket().ip.src:set(baseIP + math.random(250) - 1)
+        end
+        for _, buf in ipairs(bufs) do
+          sig = sig .. buf:getUdpPacket().ip.src:get() .. ";"
+        end
+        bufs:freeAll()
+      end
+      result = sig
+    end
+  )";
+  const MasterRun tw = run_master_engine(script, Engine::kTreeWalk);
+  const MasterRun vm = run_master_engine(script, Engine::kVmGeneric);
+  const MasterRun tr = run_master_engine(script, Engine::kVmTrace);
+  EXPECT_EQ(vm.result, tw.result);
+  EXPECT_EQ(tr.result, tw.result);
+  EXPECT_GE(tr.field_kernels, 1u);
+}
+
+TEST(ScriptTraceBindings, AllocFailDuringRecordingSoftAborts) {
+  // A fault plane makes the pool's alloc fail ~60% of the time, so the
+  // per-packet loop keeps running over empty batches — including while a
+  // trace is being recorded, where hitting the loop exit soft-aborts the
+  // recording. Soft aborts must be retryable (a kernel still installs
+  // eventually) and the faulty run must stay byte-identical across all
+  // three engines (the fault RNG stream is engine-independent).
+  const char* script = R"(
+    function run(mem)
+      local bufs = mem:bufArray(4)
+      local baseIP = parseIPAddress("10.1.0.1")
+      local total = 0
+      for round = 1, 40 do
+        bufs:alloc(60)
+        for _, buf in ipairs(bufs) do
+          buf:getUdpPacket().ip.src:set(baseIP + math.random(200) - 1)
+        end
+        local got = 0
+        for _, b in ipairs(bufs) do got = got + 1 end
+        total = total + got
+        bufs:freeAll()
+      end
+      return total .. ":" .. math.random(100000)
+    end
+    function master() end
+  )";
+  const auto run_with_faults = [&](Engine engine) {
+    mc::reset_run_state();
+    sc::ScriptRuntime runtime(script);
+    auto& interp = runtime.master();
+    configure_engine(interp, engine);
+    interp.run();
+    auto mem_fn = interp.get_global("memory").as_table()->get(sc::Table::Key{"createMemPool"});
+    std::vector<sc::Value> no_args;
+    const auto mem_val = interp.call(mem_fn, no_args)[0];
+    mflt::FaultPlane plane(mflt::FaultSpec::parse("seed=11;alloc_fail@pool.script:p=0.6"));
+    mem_val.as_userdata()->as<mb::Mempool>()->install_faults(plane, "pool.script");
+    std::vector<sc::Value> args{mem_val};
+    const auto r = interp.call(interp.get_global("run"), args);
+    MasterRun out;
+    out.result = r.empty() ? "" : r[0].to_display_string();
+    if (auto* vm = interp.vm_if_created()) {
+      for (const auto& spec : vm->specializations()) {
+        if (spec->kind == sc::Specialization::Kind::kFieldKernel) ++out.field_kernels;
+      }
+    }
+    return out;
+  };
+  const MasterRun tw = run_with_faults(Engine::kTreeWalk);
+  const MasterRun vm = run_with_faults(Engine::kVmGeneric);
+  const MasterRun tr = run_with_faults(Engine::kVmTrace);
+  EXPECT_EQ(vm.result, tw.result);
+  EXPECT_EQ(tr.result, tw.result);
+  // 40 rounds at p=0.6 leave plenty of successful batches: the soft
+  // aborts must not have latched the anchor into spec_failed.
+  EXPECT_GE(tr.field_kernels, 1u);
 }
