@@ -147,6 +147,7 @@ void FaultSite::record_fire() {
   ++fires;
   if (tm_fires != nullptr) tm_fires->add(1);
   if (plane != nullptr && plane->tm_total_ != nullptr) plane->tm_total_->add(1);
+  if (plane != nullptr && plane->fire_hook_) plane->fire_hook_(name, kind, plane->now_ps());
 }
 
 const FaultRule* FaultSite::probe(sim::SimTime now_ps) {
@@ -200,6 +201,7 @@ detail::FaultSite* FaultPlane::make_site(FaultKind kind, const std::string& site
 }
 
 FaultPoint FaultPlane::point(FaultKind kind, const std::string& site) {
+  requested_.push_back(RequestedSite{kind, site});
   std::vector<detail::FaultSite::ArmedRule> armed;
   for (const auto& rule : spec_.rules) {
     if (rule.matches(kind, site)) armed.push_back({rule, 0});
@@ -213,6 +215,8 @@ FaultPoint FaultPlane::point(FaultKind kind, const std::string& site) {
 void FaultPlane::arm_clock_faults(sim::PtpClock& clock, const std::string& site) {
   if (events_ == nullptr)
     throw std::logic_error("FaultPlane::arm_clock_faults needs an event queue");
+  requested_.push_back(RequestedSite{FaultKind::kClockStep, site});
+  requested_.push_back(RequestedSite{FaultKind::kClockDrift, site});
   for (const auto& rule : spec_.rules) {
     if (rule.kind != FaultKind::kClockStep && rule.kind != FaultKind::kClockDrift) continue;
     if (!rule.matches(rule.kind, site)) continue;
@@ -258,6 +262,21 @@ std::uint64_t FaultPlane::total_fires() const {
   std::uint64_t n = 0;
   for (const auto& s : sites_) n += s.fires;
   return n;
+}
+
+std::vector<const FaultRule*> FaultPlane::unmatched_rules() const {
+  std::vector<const FaultRule*> unmatched;
+  for (const auto& rule : spec_.rules) {
+    bool hit = false;
+    for (const auto& req : requested_) {
+      if (rule.matches(req.kind, req.name)) {
+        hit = true;
+        break;
+      }
+    }
+    if (!hit) unmatched.push_back(&rule);
+  }
+  return unmatched;
 }
 
 std::uint64_t FaultPlane::fires_at(std::string_view site) const {

@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <optional>
 #include <random>
 #include <string>
@@ -193,6 +194,33 @@ class FaultPlane {
   /// Fires of the one site named exactly `site` (0 if absent).
   [[nodiscard]] std::uint64_t fires_at(std::string_view site) const;
 
+  // --- probe-site registry & validation -------------------------------------
+
+  /// One (kind, site) pair a component requested via point() /
+  /// arm_clock_faults() — recorded even when no rule matched and the
+  /// returned point is disabled. This is what spec validation checks rule
+  /// site names against: the registry of probes that *could* fire.
+  struct RequestedSite {
+    FaultKind kind = FaultKind::kFrameLoss;
+    std::string name;
+  };
+  [[nodiscard]] const std::vector<RequestedSite>& requested_sites() const { return requested_; }
+
+  /// Rules of the spec that match no requested probe site. A typo'd site
+  /// ("loss@wire.l9" on a two-link testbed) lands here: the rule can never
+  /// fire, silently. Call after every component has installed its points;
+  /// testbed::Testbed does this on its first run_until.
+  [[nodiscard]] std::vector<const FaultRule*> unmatched_rules() const;
+
+  // --- fire observation (flight recorder) -----------------------------------
+
+  /// Invoked on every fire with (site name, kind, virtual time). Observation
+  /// only — the hook must not probe fault points or mutate the plane. One
+  /// null check per fire when unset.
+  using FireHook = std::function<void(const std::string& site, FaultKind kind,
+                                      sim::SimTime now_ps)>;
+  void set_fire_hook(FireHook hook) { fire_hook_ = std::move(hook); }
+
  private:
   friend struct detail::FaultSite;
 
@@ -202,6 +230,8 @@ class FaultPlane {
   FaultSpec spec_;
   sim::EventQueue* events_;
   std::deque<detail::FaultSite> sites_;  // deque: stable addresses for points
+  std::vector<RequestedSite> requested_;
+  FireHook fire_hook_;
   telemetry::MetricRegistry* registry_ = nullptr;
   std::string prefix_;
   telemetry::ShardedCounter* tm_total_ = nullptr;

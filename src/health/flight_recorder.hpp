@@ -1,0 +1,124 @@
+// Flight recorder: the last N scheduled events and fault fires per shard,
+// in lock-free rings, dumped as JSON when something goes wrong.
+//
+// When a watchdog trips or an invariant checker fails mid-soak, the
+// question is always "what was the simulation *doing*?" — and by then the
+// interesting events are gone. The recorder keeps a bounded tail of
+// (time, seq) pairs per shard, fed by the EventQueue's trace sink, plus
+// every fault-plane fire with its site name, fed by the plane's fire hook.
+// Both feeds are observation-only: recording changes no simulated outcome.
+//
+// Concurrency contract: each shard's ring has exactly one writer (that
+// shard's worker thread). Entry fields and the head index are individual
+// relaxed atomics with a release store on the head, so the watchdog's
+// monitor thread can snapshot a *prefix-consistent* view without locks or
+// data races. A snapshot taken while shards are running is best-effort
+// (an entry may be from the ring's previous lap); one taken at a quiesced
+// instant (global event, after run_until) is exact. Site names are
+// interned before the run starts — the fire path does one map lookup, and
+// the dump path reads an immutable table.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "sim/event_queue.hpp"
+
+namespace moongen::telemetry {
+struct Snapshot;
+}
+
+namespace moongen::health {
+
+struct Violation;
+
+class FlightRecorder {
+ public:
+  /// What one ring entry was: a scheduled event executing, or a fault fire.
+  enum class EntryKind : std::uint8_t { kEvent = 0, kFaultFire = 1 };
+
+  struct Entry {
+    sim::SimTime time_ps = 0;
+    std::uint64_t seq = 0;      // event seq; fault kind for fires
+    EntryKind kind = EntryKind::kEvent;
+    std::uint32_t site_id = 0;  // interned site name for fires; 0 = none
+  };
+
+  /// `capacity` entries retained per shard (rounded up to a power of two).
+  explicit FlightRecorder(std::size_t shards, std::size_t capacity = 256);
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+
+  /// The EventQueue trace sink for `shard`; attach with set_trace_sink().
+  /// Owned by the recorder; valid for its lifetime.
+  [[nodiscard]] sim::EventTraceSink* sink(std::size_t shard);
+
+  /// Pre-registers a fault site name so fires can record a compact id.
+  /// Must be called before the run starts (the table is read without
+  /// synchronization afterwards). Unknown sites record id 0 ("?").
+  void intern_site(const std::string& site);
+
+  /// Records a fault fire on `shard`'s ring. Called from the fault plane's
+  /// fire hook on that shard's thread.
+  void record_fault(std::size_t shard, const std::string& site, fault::FaultKind kind,
+                    sim::SimTime now_ps);
+
+  /// Snapshot of `shard`'s retained tail, oldest first. Best-effort while
+  /// the shard is running; exact when quiesced (see header comment).
+  [[nodiscard]] std::vector<Entry> snapshot(std::size_t shard) const;
+
+  /// Total entries ever recorded on `shard` (monotonic, may exceed capacity).
+  [[nodiscard]] std::uint64_t recorded(std::size_t shard) const;
+
+  [[nodiscard]] const std::string& site_name(std::uint32_t id) const;
+
+  /// Writes the full dump as JSON (schema "moongen-flight-recorder-v1"):
+  /// the trip/violation reason, every accumulated checker violation, each
+  /// shard's heartbeat + event tail, and optionally a full telemetry
+  /// snapshot. This is the artifact CI uploads when a soak run fails.
+  void dump_json(std::ostream& os, const std::string& reason,
+                 const std::vector<Violation>& violations,
+                 const std::vector<std::uint64_t>& heartbeats,
+                 const telemetry::Snapshot* snapshot = nullptr) const;
+
+ private:
+  // One ring slot: per-field relaxed atomics so the single writer never
+  // locks and a concurrent reader never races (values may tear *between*
+  // fields only for in-flight slots of a live snapshot — documented).
+  struct Slot {
+    std::atomic<std::uint64_t> time_ps{0};
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::uint32_t> meta{0};  // kind << 24 | site_id
+  };
+  struct alignas(64) Ring {
+    std::unique_ptr<Slot[]> slots;
+    std::size_t mask = 0;
+    std::atomic<std::uint64_t> head{0};  // total pushed; slot = head & mask
+
+    void push(sim::SimTime t, std::uint64_t seq, std::uint32_t meta);
+  };
+
+  class ShardSink : public sim::EventTraceSink {
+   public:
+    explicit ShardSink(Ring& ring) : ring_(ring) {}
+    void on_event(sim::SimTime time_ps, std::uint64_t seq) override {
+      ring_.push(time_ps, seq, 0);  // meta 0: kEvent, no site
+    }
+
+   private:
+    Ring& ring_;
+  };
+
+  std::vector<Ring> shards_;
+  std::vector<std::unique_ptr<ShardSink>> sinks_;
+  std::vector<std::string> site_names_;  // id -> name; [0] == "?"
+  std::unordered_map<std::string, std::uint32_t> site_ids_;
+};
+
+}  // namespace moongen::health

@@ -1,0 +1,165 @@
+#include "health/health.hpp"
+
+#include <sstream>
+
+#include "membuf/mempool.hpp"
+#include "rpc/open_loop.hpp"
+#include "sim/event_queue.hpp"
+#include "telemetry/registry.hpp"
+#include "testbed/testbed.hpp"
+#include "wire/link.hpp"
+
+namespace moongen::health {
+
+void CheckerRegistry::add(std::string name, CheckFn fn) {
+  names_.push_back(std::move(name));
+  checkers_.push_back(std::move(fn));
+}
+
+std::vector<Violation> CheckerRegistry::run_all(sim::SimTime now_ps) {
+  std::vector<Violation> fresh;
+  for (std::size_t i = 0; i < checkers_.size(); ++i) {
+    ++checks_run_;
+    CheckResult r = checkers_[i](now_ps);
+    if (r.ok) continue;
+    fresh.push_back(Violation{names_[i], std::move(r.detail), now_ps});
+  }
+  for (const auto& v : fresh) violations_.push_back(v);
+  if (tm_checks_ != nullptr) {
+    tm_checks_->add(checks_run_ - tm_checks_published_);
+    tm_checks_published_ = checks_run_;
+    tm_violations_->add(violations_.size() - tm_violations_published_);
+    tm_violations_published_ = violations_.size();
+  }
+  return fresh;
+}
+
+void CheckerRegistry::bind_telemetry(telemetry::MetricRegistry& registry,
+                                     const std::string& prefix) {
+  tm_checks_ = &registry.counter(prefix + ".checks_run");
+  tm_violations_ = &registry.counter(prefix + ".violations");
+  registry.gauge(prefix + ".checkers").set(static_cast<double>(checkers_.size()));
+}
+
+// --- factories --------------------------------------------------------------
+
+CheckFn make_engine_checker(sim::EventQueue& engine, std::string label) {
+  // last_now lives in the closure: monotonicity is checked between
+  // successive evaluations, not against an absolute epoch.
+  return [&engine, label = std::move(label),
+          last_now = sim::SimTime{0}](sim::SimTime) mutable -> CheckResult {
+    const sim::SimTime now = engine.now();
+    if (now < last_now) {
+      std::ostringstream os;
+      os << "engine " << label << ": virtual time moved backwards (" << last_now << " -> "
+         << now << " ps)";
+      return CheckResult::fail(os.str());
+    }
+    last_now = now;
+    if (std::string msg = engine.audit(); !msg.empty())
+      return CheckResult::fail("engine " + label + ": " + msg);
+    return CheckResult::pass();
+  };
+}
+
+CheckFn make_link_checker(testbed::Testbed& tb) {
+  return [&tb](sim::SimTime) -> CheckResult {
+    for (std::size_t i = 0; i < tb.link_count(); ++i) {
+      const wire::Link& l = tb.link_at(i);
+      const auto [from, to] = tb.link_ends(i);
+      const std::uint64_t in = l.frames_carried() + l.duplicated();
+      const std::uint64_t out = l.flap_drops() + l.fault_drops() + l.delivered();
+      std::ostringstream os;
+      if (in != out) {
+        os << "link " << from << "->" << to << ": frame conservation broken: carried "
+           << l.frames_carried() << " + dup " << l.duplicated() << " != flap_drops "
+           << l.flap_drops() << " + fault_drops " << l.fault_drops() << " + delivered "
+           << l.delivered();
+        return CheckResult::fail(os.str());
+      }
+      // Effect counters vs the fault plane's own fire books — exact equality.
+      struct Pair {
+        const char* what;
+        std::uint64_t effect;
+        std::uint64_t fires;
+      };
+      const Pair pairs[] = {
+          {"loss", l.fault_drops(), l.loss_fault_fires()},
+          {"corrupt", l.corrupted(), l.corrupt_fault_fires()},
+          {"reorder", l.reordered(), l.reorder_fault_fires()},
+          {"dup", l.duplicated(), l.dup_fault_fires()},
+          {"flap", l.flaps(), l.flap_fault_fires()},
+      };
+      for (const auto& p : pairs) {
+        if (p.effect == p.fires) continue;
+        os << "link " << from << "->" << to << ": " << p.what << " effect count " << p.effect
+           << " disagrees with fault-plane fires " << p.fires;
+        return CheckResult::fail(os.str());
+      }
+    }
+    return CheckResult::pass();
+  };
+}
+
+CheckFn make_port_checker(testbed::Testbed& tb) {
+  return [&tb](sim::SimTime) -> CheckResult {
+    for (const int id : tb.device_ids()) {
+      std::uint64_t delivered_in = 0;
+      bool has_inbound = false;
+      for (std::size_t i = 0; i < tb.link_count(); ++i) {
+        if (tb.link_ends(i).second != id) continue;
+        has_inbound = true;
+        delivered_in += tb.link_at(i).delivered();
+      }
+      if (!has_inbound) continue;
+      const auto& st = tb.port(id).stats();
+      const std::uint64_t accounted = st.crc_errors + st.rx_packets;
+      std::ostringstream os;
+      if (accounted > delivered_in) {
+        os << "port " << id << ": accounted " << accounted << " frames (crc " << st.crc_errors
+           << " + rx " << st.rx_packets << ") exceeds " << delivered_in
+           << " delivered by inbound links (double count)";
+        return CheckResult::fail(os.str());
+      }
+      if (st.rx_ring_drops > st.rx_packets) {
+        os << "port " << id << ": rx_ring_drops " << st.rx_ring_drops << " exceeds rx_packets "
+           << st.rx_packets;
+        return CheckResult::fail(os.str());
+      }
+    }
+    return CheckResult::pass();
+  };
+}
+
+CheckFn make_rpc_checker(const rpc::detail::ClientBase& client) {
+  return [&client](sim::SimTime) -> CheckResult {
+    const std::uint64_t settled = client.matched() + client.timed_out() + client.send_drops();
+    const std::uint64_t accounted = settled + client.inflight();
+    if (accounted == client.issued()) return CheckResult::pass();
+    std::ostringstream os;
+    os << "rpc client: issued " << client.issued() << " != matched " << client.matched()
+       << " + timed_out " << client.timed_out() << " + send_drops " << client.send_drops()
+       << " + inflight " << client.inflight();
+    return CheckResult::fail(os.str());
+  };
+}
+
+CheckFn make_mempool_checker(const membuf::Mempool& pool, std::function<std::size_t()> held_fn) {
+  return [&pool, held_fn = std::move(held_fn)](sim::SimTime) -> CheckResult {
+    if (std::string msg = pool.audit(); !msg.empty())
+      return CheckResult::fail("mempool: " + msg);
+    if (held_fn) {
+      const std::size_t held = held_fn();
+      if (pool.available() + held != pool.capacity()) {
+        std::ostringstream os;
+        os << "mempool: conservation broken: available " << pool.available() << " + held "
+           << held << " != capacity " << pool.capacity()
+           << (pool.available() + held < pool.capacity() ? " (leak)" : " (double free)");
+        return CheckResult::fail(os.str());
+      }
+    }
+    return CheckResult::pass();
+  };
+}
+
+}  // namespace moongen::health

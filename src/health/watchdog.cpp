@@ -1,0 +1,69 @@
+#include "health/watchdog.hpp"
+
+#include <chrono>
+
+#include "sim/parallel.hpp"
+
+namespace moongen::health {
+
+Watchdog::Watchdog(sim::ParallelRuntime& runtime, WatchdogConfig cfg)
+    : runtime_(runtime), cfg_(cfg) {}
+
+Watchdog::~Watchdog() { stop(); }
+
+void Watchdog::start() {
+  if (thread_.joinable()) return;
+  quit_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { monitor_loop(); });
+}
+
+void Watchdog::stop() {
+  if (!thread_.joinable()) return;
+  quit_.store(true, std::memory_order_release);
+  thread_.join();
+}
+
+bool Watchdog::progressed(std::vector<std::uint64_t>& seen) const {
+  bool moved = false;
+  for (std::size_t s = 0; s < runtime_.shard_count(); ++s) {
+    const std::uint64_t hb = runtime_.heartbeat(s);
+    if (hb != seen[s]) {
+      seen[s] = hb;
+      moved = true;
+    }
+  }
+  return moved;
+}
+
+void Watchdog::monitor_loop() {
+  std::vector<std::uint64_t> seen(runtime_.shard_count(), 0);
+  std::uint64_t stalled_ms = 0;
+  bool tripped_this_episode = false;
+  while (!quit_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(cfg_.poll_ms));
+    if (!runtime_.running()) {
+      // Between run_until calls: nothing is supposed to progress.
+      stalled_ms = 0;
+      tripped_this_episode = false;
+      progressed(seen);  // refresh the baseline
+      continue;
+    }
+    if (progressed(seen)) {
+      stalled_ms = 0;
+      tripped_this_episode = false;
+      continue;
+    }
+    stalled_ms += cfg_.poll_ms;
+    if (stalled_ms < cfg_.budget_ms || tripped_this_episode) continue;
+    tripped_this_episode = true;
+    trips_.fetch_add(1, std::memory_order_relaxed);
+    if (on_trip_) {
+      StallReport report;
+      report.stalled_ms = stalled_ms;
+      report.heartbeats = seen;
+      on_trip_(report);
+    }
+  }
+}
+
+}  // namespace moongen::health

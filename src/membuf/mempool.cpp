@@ -26,7 +26,7 @@ void Mempool::note_exhausted() {
 
 std::size_t Mempool::alloc_batch(std::span<PktBuf*> out, std::size_t frame_length) {
   lock();
-  if (fp_alloc_fail_.installed() && fp_alloc_fail_.fire() != nullptr) {
+  if (fp_alloc_fail_.installed() && fp_alloc_fail_.fire(fault_plane_->now_ps()) != nullptr) {
     // Injected transient exhaustion: the whole request fails, exactly as if
     // another queue had momentarily drained the pool.
     note_exhausted();
@@ -60,6 +60,9 @@ void Mempool::install_faults(fault::FaultPlane& plane, const std::string& site) 
   auto point = plane.point(fault::FaultKind::kAllocFail, site);
   lock();
   fp_alloc_fail_ = point;
+  // Probes pass the plane's virtual clock so time-windowed alloc_fail
+  // rules gate correctly (a clock-less plane reports 0, as before).
+  fault_plane_ = &plane;
   unlock();
 }
 
@@ -89,6 +92,38 @@ std::size_t Mempool::available() const {
   const std::size_t n = free_list_.size();
   unlock();
   return n;
+}
+
+std::string Mempool::audit() const {
+  lock();
+  std::string err;
+  if (free_list_.size() > storage_.size()) {
+    err = "free list holds " + std::to_string(free_list_.size()) +
+          " buffers but the pool owns only " + std::to_string(storage_.size());
+  } else {
+    // Membership + duplicate detection: binary-search each free-list entry
+    // against a sorted index of the owned buffers (O(n log n) per audit).
+    std::vector<const PktBuf*> owned;
+    owned.reserve(storage_.size());
+    for (const auto& buf : storage_) owned.push_back(buf.get());
+    std::sort(owned.begin(), owned.end());
+    std::vector<char> seen(owned.size(), 0);
+    for (const PktBuf* buf : free_list_) {
+      const auto it = std::lower_bound(owned.begin(), owned.end(), buf);
+      if (buf == nullptr || it == owned.end() || *it != buf || buf->pool_ != this) {
+        err = "free list contains a buffer not owned by this pool";
+        break;
+      }
+      const auto idx = static_cast<std::size_t>(it - owned.begin());
+      if (seen[idx] != 0) {
+        err = "a buffer appears twice on the free list (double free)";
+        break;
+      }
+      seen[idx] = 1;
+    }
+  }
+  unlock();
+  return err;
 }
 
 }  // namespace moongen::membuf

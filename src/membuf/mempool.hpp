@@ -52,8 +52,19 @@ class Mempool {
 
   [[nodiscard]] std::size_t capacity() const { return storage_.size(); }
   [[nodiscard]] std::size_t available() const;
+  /// Buffers currently held by callers (capacity - available): the "in use"
+  /// side of the conservation identity the health plane checks against the
+  /// holders' own accounting.
+  [[nodiscard]] std::size_t in_use() const { return capacity() - available(); }
   /// Smallest number of free buffers ever observed (diagnostic watermark).
   [[nodiscard]] std::size_t low_watermark() const { return low_watermark_; }
+
+  /// Structural invariant audit (health plane): the free list must hold only
+  /// distinct buffers owned by this pool, and no more than capacity. A
+  /// double free or a foreign pointer corrupts this. Returns an empty
+  /// string when consistent, else a description of the first violation.
+  /// O(capacity) — call at window boundaries, not per allocation.
+  [[nodiscard]] std::string audit() const;
 
   /// Times an allocation came back short (pool genuinely empty or an
   /// injected transient failure) — the signal the TX path's retry logic and
@@ -98,6 +109,7 @@ class Mempool {
   std::uint64_t exhausted_events_ = 0;  // guarded by lock_
   telemetry::ShardedCounter* tm_exhausted_ = nullptr;
   fault::FaultPoint fp_alloc_fail_;
+  fault::FaultPlane* fault_plane_ = nullptr;  // set with fp_alloc_fail_
 };
 
 }  // namespace moongen::membuf

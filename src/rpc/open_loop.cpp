@@ -188,8 +188,21 @@ void OpenLoopGenerator::start(sim::SimTime start_ps, sim::SimTime stop_ps) {
   events_.schedule_at_inline(start_ps, [this] { depart(); });
 }
 
+void OpenLoopGenerator::set_keep_fraction(double fraction) {
+  keep_fraction_ = fraction < 0.0 ? 0.0 : (fraction > 1.0 ? 1.0 : fraction);
+}
+
 void OpenLoopGenerator::depart() {
-  issue(/*aux=*/0);
+  // Accumulator thinning: at keep 1.0 the accumulator hits exactly 1.0 each
+  // departure (no drift — 1.0 sums exactly), so the undegraded path issues
+  // every time, bit-for-bit as before the lever existed.
+  keep_acc_ += keep_fraction_;
+  if (keep_acc_ >= 1.0) {
+    keep_acc_ -= 1.0;
+    issue(/*aux=*/0);
+  } else {
+    ++shed_;
+  }
   const sim::SimTime next = events_.now() + next_gap_ps();
   if (next < stop_ps_) events_.schedule_at_inline(next, [this] { depart(); });
 }

@@ -174,6 +174,18 @@ class OpenLoopGenerator : public detail::ClientBase {
   /// engine running past stop_ps to drain responses in flight.
   void start(sim::SimTime start_ps, sim::SimTime stop_ps);
 
+  /// Graceful-degradation lever (health plane): keep only `fraction` of the
+  /// scheduled departures, shedding the rest deterministically via an
+  /// accumulator (every 1/fraction-th departure issues — no RNG, so a run
+  /// that never degrades is byte-identical to one without the lever). The
+  /// arrival process itself is untouched: shedding thins issues, it does
+  /// not slow the clock, preserving the open-loop property. Clamped to
+  /// [0, 1]; 1.0 (the default) issues every departure.
+  void set_keep_fraction(double fraction);
+  [[nodiscard]] double keep_fraction() const { return keep_fraction_; }
+  /// Departures suppressed by shedding so far.
+  [[nodiscard]] std::uint64_t shed_departures() const { return shed_; }
+
  private:
   void depart();
   [[nodiscard]] sim::SimTime next_gap_ps();
@@ -181,6 +193,9 @@ class OpenLoopGenerator : public detail::ClientBase {
   stats::ExponentialSampler arrival_;
   double cbr_gap_ps_ = 0.0;
   double cbr_acc_ps_ = 0.0;
+  double keep_fraction_ = 1.0;
+  double keep_acc_ = 0.0;
+  std::uint64_t shed_ = 0;
 };
 
 struct ClosedLoopConfig {

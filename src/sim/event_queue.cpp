@@ -172,9 +172,11 @@ void EventQueue::execute(bool from_heap) {
     now_ = k.time;
   }
   Action act(std::move(pool_[node].ev.action));
+  const std::uint64_t seq = pool_[node].ev.seq;
   release_node(node);
   sync_cursor();
   ++executed_;
+  if (trace_sink_ != nullptr) trace_sink_->on_event(now_, seq);
   act();
 }
 
@@ -205,6 +207,83 @@ void EventQueue::run() {
   while (!stopped_ && step()) {
   }
   run_wall_ns_ += wall_ns() - t0;
+}
+
+std::string EventQueue::audit() const {
+  std::vector<char> seen(pool_.size(), 0);
+  const auto touch = [&](std::uint32_t node, const char* where) -> std::string {
+    if (node >= pool_.size())
+      return std::string(where) + ": node index " + std::to_string(node) +
+             " outside pool of " + std::to_string(pool_.size());
+    if (seen[node] != 0)
+      return std::string(where) + ": node " + std::to_string(node) +
+             " reachable twice (cycle or double release)";
+    seen[node] = 1;
+    return {};
+  };
+
+  // Freelist: bounded walk (a cycle would otherwise loop forever).
+  std::size_t free_count = 0;
+  for (std::uint32_t n = free_head_; n != kNil; n = pool_[n].next) {
+    if (auto err = touch(n, "freelist"); !err.empty()) return err;
+    if (++free_count > pool_.size()) return "freelist: longer than the pool (cycle)";
+  }
+
+  // Wheel slots: chain lengths vs. bucket_count_, occupancy bits, event
+  // times within the horizon and not in the past.
+  std::size_t wheel_count = 0;
+  for (std::size_t idx = 0; idx < kNumSlots; ++idx) {
+    const bool bit = ((occupied_[idx >> 6] >> (idx & 63)) & 1u) != 0;
+    const bool has_chain = slot_head_[idx] != kNil;
+    if (bit != has_chain)
+      return "wheel slot " + std::to_string(idx) + ": occupancy bit " +
+             (bit ? "set" : "clear") + " but chain " + (has_chain ? "non-empty" : "empty");
+    for (std::uint32_t n = slot_head_[idx]; n != kNil; n = pool_[n].next) {
+      if (auto err = touch(n, "wheel chain"); !err.empty()) return err;
+      ++wheel_count;
+      const Event& e = pool_[n].ev;
+      if (e.time < now_)
+        return "wheel event at t=" + std::to_string(e.time) + " ps is before now=" +
+               std::to_string(now_) + " ps (monotonicity)";
+      const std::uint64_t abs_slot = e.time >> kSlotShift;
+      if ((abs_slot & (kNumSlots - 1)) != idx)
+        return "wheel event at t=" + std::to_string(e.time) + " ps hashed to slot " +
+               std::to_string(abs_slot & (kNumSlots - 1)) + " but found in slot " +
+               std::to_string(idx);
+      if (abs_slot <= cursor_ || abs_slot - cursor_ >= kNumSlots)
+        return "wheel event at t=" + std::to_string(e.time) +
+               " ps outside the horizon of cursor slot " + std::to_string(cursor_);
+    }
+  }
+  if (wheel_count != bucket_count_)
+    return "wheel holds " + std::to_string(wheel_count) + " events but bucket_count_ says " +
+           std::to_string(bucket_count_);
+
+  // Ready buffer tail (drained cursor slot, not yet executed).
+  for (std::size_t i = ready_pos_; i < ready_.size(); ++i) {
+    if (auto err = touch(ready_[i].node, "ready buffer"); !err.empty()) return err;
+    const Event& e = pool_[ready_[i].node].ev;
+    if (e.time < now_)
+      return "ready event at t=" + std::to_string(e.time) + " ps is before now=" +
+             std::to_string(now_) + " ps (monotonicity)";
+  }
+
+  // Overflow heap.
+  for (const EventKey& k : heap_) {
+    if (auto err = touch(k.node, "overflow heap"); !err.empty()) return err;
+    if (pool_[k.node].ev.time < now_)
+      return "heap event at t=" + std::to_string(pool_[k.node].ev.time) +
+             " ps is before now=" + std::to_string(now_) + " ps (monotonicity)";
+  }
+
+  const std::size_t reachable =
+      free_count + wheel_count + (ready_.size() - ready_pos_) + heap_.size();
+  if (reachable != pool_.size())
+    return "node conservation: freelist " + std::to_string(free_count) + " + wheel " +
+           std::to_string(wheel_count) + " + ready " +
+           std::to_string(ready_.size() - ready_pos_) + " + heap " +
+           std::to_string(heap_.size()) + " != pool " + std::to_string(pool_.size());
+  return {};
 }
 
 void EventQueue::bind_telemetry(telemetry::MetricRegistry& registry, const std::string& prefix) {

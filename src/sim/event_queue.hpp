@@ -35,6 +35,16 @@ class Gauge;
 
 namespace moongen::sim {
 
+/// Observer of executed events (the health plane's flight recorder). The
+/// sink sees (time, seq) immediately before each action runs; it must not
+/// schedule or mutate the queue. Null by default — one pointer check per
+/// event when unset.
+class EventTraceSink {
+ public:
+  virtual ~EventTraceSink() = default;
+  virtual void on_event(SimTime time_ps, std::uint64_t seq) = 0;
+};
+
 class EventQueue {
  public:
   using Action = InlineFunction;
@@ -107,6 +117,27 @@ class EventQueue {
   [[nodiscard]] std::uint64_t heap_scheduled() const { return heap_scheduled_; }
   /// Wall-clock nanoseconds spent inside run()/run_until().
   [[nodiscard]] std::uint64_t run_wall_ns() const { return run_wall_ns_; }
+
+  /// Attaches (or detaches, with nullptr) an executed-event observer.
+  /// Observation only: the sink never alters scheduling order or timing, so
+  /// traced runs stay byte-identical to untraced ones.
+  void set_trace_sink(EventTraceSink* sink) { trace_sink_ = sink; }
+  [[nodiscard]] EventTraceSink* trace_sink() const { return trace_sink_; }
+
+  /// Structural invariant audit (the health plane's engine checker). Walks
+  /// the node pool, freelist, wheel slots, occupancy bitmap, ready buffer
+  /// and overflow heap and cross-checks their accounting:
+  ///   * freelist + wheel chains + ready tail + heap == pool size, with no
+  ///     node reachable twice (a cycle or double-release corrupts this);
+  ///   * bucket_count_ equals the summed wheel chain lengths and the
+  ///     occupancy bitmap marks exactly the non-empty slots;
+  ///   * no pending event is scheduled before now() (time monotonicity) and
+  ///     every wheel-resident event lies within the wheel horizon of the
+  ///     cursor slot.
+  /// Returns an empty string when consistent, else a description of the
+  /// first violated invariant. O(pool size) — call at window boundaries,
+  /// not per event.
+  [[nodiscard]] std::string audit() const;
 
   /// Registers `<prefix>.events_executed`, `<prefix>.wheel_scheduled`,
   /// `<prefix>.heap_scheduled` (counters) and
@@ -208,6 +239,8 @@ class EventQueue {
   std::uint64_t wheel_scheduled_ = 0;
   std::uint64_t heap_scheduled_ = 0;
   std::uint64_t run_wall_ns_ = 0;
+
+  EventTraceSink* trace_sink_ = nullptr;
 
   // Telemetry bindings (null until bind_telemetry).
   telemetry::ShardedCounter* tm_executed_ = nullptr;

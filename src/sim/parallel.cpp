@@ -14,6 +14,7 @@ ParallelRuntime::ParallelRuntime(std::size_t shards)
   if (shards == 0) shards = 1;
   shards_.reserve(shards);
   for (std::size_t i = 0; i < shards; ++i) shards_.push_back(std::make_unique<EventQueue>());
+  heartbeats_ = std::make_unique<Heartbeat[]>(shards);
   executor_ = &ParallelRuntime::default_executor;
 }
 
@@ -66,6 +67,7 @@ void ParallelRuntime::run_sequential(SimTime t) {
     const SimTime target = next_target(now_, t);
     shards_[0]->run_until(target);
     now_ = target;
+    heartbeats_[0].count.fetch_add(1, std::memory_order_relaxed);
     run_globals();
     if (now_ >= t) return;
   }
@@ -123,6 +125,7 @@ void ParallelRuntime::run_parallel(SimTime t) {
             ch->flush();
             ch->epochs_flushed.fetch_add(1, std::memory_order_release);
           }
+          heartbeats_[s].count.fetch_add(1, std::memory_order_relaxed);
           sync.arrive_and_wait();
           if (done) return;
         }
@@ -148,6 +151,13 @@ void ParallelRuntime::run_until(SimTime t) {
     run_globals();
     return;
   }
+  // Flag the run for watchdog monitors; cleared even on exception so a
+  // failed run is never mistaken for a stall.
+  struct RunningGuard {
+    std::atomic<bool>& flag;
+    explicit RunningGuard(std::atomic<bool>& f) : flag(f) { flag.store(true, std::memory_order_release); }
+    ~RunningGuard() { flag.store(false, std::memory_order_release); }
+  } guard(running_);
   if (shards_.size() == 1) {
     run_sequential(t);
   } else {

@@ -90,6 +90,21 @@ class ParallelRuntime {
   /// Barrier windows completed over the runtime's lifetime.
   [[nodiscard]] std::uint64_t windows_run() const { return windows_; }
 
+  // --- health-plane observability (watchdog support) ------------------------
+  /// Monotonic per-shard progress counter: bumped once per window iteration
+  /// of the shard's worker loop (sequential runs bump shard 0 once per
+  /// window/global boundary). Relaxed atomic — safe to sample from a
+  /// wall-clock monitor thread without perturbing the run.
+  [[nodiscard]] std::uint64_t heartbeat(std::size_t shard) const {
+    return heartbeats_[shard].count.load(std::memory_order_relaxed);
+  }
+  /// True while run_until is advancing shards. A watchdog accumulates stall
+  /// time only while this is set: a paused experiment is not a deadlock.
+  /// Note that a one-shard run with no global events heartbeats only at
+  /// run_until boundaries — schedule a periodic global (the health plane's
+  /// checker tick does this) to give the watchdog a pulse.
+  [[nodiscard]] bool running() const { return running_.load(std::memory_order_acquire); }
+
  private:
   struct Channel {
     std::size_t from = 0;
@@ -114,7 +129,14 @@ class ParallelRuntime {
   [[nodiscard]] SimTime next_target(SimTime cur, SimTime end) const;
   static void default_executor(std::vector<Work>& work);
 
+  /// Cache-line-isolated so shard heartbeat stores never false-share.
+  struct alignas(64) Heartbeat {
+    std::atomic<std::uint64_t> count{0};
+  };
+
   std::vector<std::unique_ptr<EventQueue>> shards_;
+  std::unique_ptr<Heartbeat[]> heartbeats_;
+  std::atomic<bool> running_{false};
   std::vector<std::unique_ptr<Channel>> channels_;
   std::vector<std::vector<Channel*>> incoming_;  // per destination shard
   std::vector<std::vector<Channel*>> outgoing_;  // per source shard

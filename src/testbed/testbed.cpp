@@ -27,6 +27,25 @@ wire::Link& Testbed::link(int from, int to) {
                           std::to_string(to));
 }
 
+wire::Link& Testbed::link_at(std::size_t index) {
+  if (index >= links_.size())
+    throw std::out_of_range("Testbed::link_at: index out of range");
+  return *links_[index].link;
+}
+
+std::pair<int, int> Testbed::link_ends(std::size_t index) const {
+  if (index >= links_.size())
+    throw std::out_of_range("Testbed::link_ends: index out of range");
+  return {links_[index].from, links_[index].to};
+}
+
+std::vector<int> Testbed::device_ids() const {
+  std::vector<int> ids;
+  ids.reserve(devices_.size());
+  for (const auto& [id, entry] : devices_) ids.push_back(id);
+  return ids;
+}
+
 dut::Forwarder& Testbed::forwarder(std::size_t index) {
   if (index >= forwarders_.size())
     throw std::out_of_range("Testbed::forwarder: index out of range");
@@ -81,6 +100,44 @@ std::uint64_t Testbed::fault_fires_at(std::string_view site) const {
   std::uint64_t total = 0;
   for (const auto& plane : planes_) total += plane->fires_at(site);
   return total;
+}
+
+void Testbed::validate_fault_rules() {
+  fault_rules_validated_ = true;
+  if (planes_.empty()) return;
+  // Every plane was built from the same spec copy, so rules come from
+  // planes_[0]; probe sites are unioned across all shards' planes.
+  for (const auto& rule : planes_[0]->spec().rules) {
+    bool matched = false;
+    for (const auto& plane : planes_) {
+      for (const auto& req : plane->requested_sites()) {
+        if (rule.matches(req.kind, req.name)) {
+          matched = true;
+          break;
+        }
+      }
+      if (matched) break;
+    }
+    if (matched) continue;
+    std::string msg = "Testbed::validate_fault_rules: rule '";
+    msg += fault::to_string(rule.kind);
+    msg += '@';
+    msg += rule.site;
+    msg += "' matches no probe site and can never fire. Sites probing ";
+    msg += fault::to_string(rule.kind);
+    msg += ':';
+    bool any = false;
+    for (const auto& plane : planes_) {
+      for (const auto& req : plane->requested_sites()) {
+        if (req.kind != rule.kind) continue;
+        msg += any ? ", " : " ";
+        msg += req.name;
+        any = true;
+      }
+    }
+    if (!any) msg += " (none)";
+    throw std::invalid_argument(msg);
+  }
 }
 
 core::Device& Testbed::fast_device(int id) {

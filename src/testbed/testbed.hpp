@@ -22,6 +22,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "core/device.hpp"
@@ -56,6 +57,17 @@ class Testbed {
   [[nodiscard]] dut::Forwarder& forwarder(std::size_t index = 0);
   [[nodiscard]] std::size_t forwarder_count() const { return forwarders_.size(); }
 
+  // --- topology enumeration (health checkers walk every link/port) ---------
+
+  /// Number of unidirectional links (a duplex declaration counts as two).
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+  /// The i-th link in expanded declaration order.
+  [[nodiscard]] wire::Link& link_at(std::size_t index);
+  /// Device ids {from, to} of the i-th link.
+  [[nodiscard]] std::pair<int, int> link_ends(std::size_t index) const;
+  /// All declared device ids, ascending.
+  [[nodiscard]] std::vector<int> device_ids() const;
+
   // --- runtime -------------------------------------------------------------
 
   /// The event engine of the shard that owns `device_id`. Components that
@@ -70,8 +82,12 @@ class Testbed {
   [[nodiscard]] std::size_t shard_of(int device_id) const;
 
   /// Runs every shard up to absolute virtual time `t` (see
-  /// sim::ParallelRuntime::run_until).
-  void run_until(sim::SimTime t) { runtime_->run_until(t); }
+  /// sim::ParallelRuntime::run_until). The first call validates the fault
+  /// spec's site names (see validate_fault_rules).
+  void run_until(sim::SimTime t) {
+    if (!fault_rules_validated_) validate_fault_rules();
+    runtime_->run_until(t);
+  }
   /// Runs for `seconds` of virtual time from now.
   void run_for(double seconds);
   [[nodiscard]] sim::SimTime now() const { return runtime_->now(); }
@@ -104,6 +120,15 @@ class Testbed {
   [[nodiscard]] std::uint64_t fault_fires() const;
   /// Fault fires at one site (sites are unique to one shard's plane).
   [[nodiscard]] std::uint64_t fault_fires_at(std::string_view site) const;
+  /// Checks every fault rule against the union of probe sites requested by
+  /// this testbed's components (links, ports, clocks, forwarders, plus
+  /// anything installed after build() — RPC server stalls, mempools).
+  /// Throws std::invalid_argument naming the first rule whose site matches
+  /// no probe, with the registered sites for its kind — a typo'd site would
+  /// otherwise never fire, silently. Runs automatically on the first
+  /// run_until; call earlier to fail fast, or after late installs to
+  /// re-check.
+  void validate_fault_rules();
 
   // --- run state & fast path ----------------------------------------------
 
@@ -143,6 +168,7 @@ class Testbed {
   std::vector<LinkEntry> links_;
   std::vector<std::unique_ptr<dut::Forwarder>> forwarders_;
   core::DeviceTable fast_devices_;
+  bool fault_rules_validated_ = false;
 };
 
 }  // namespace moongen::testbed

@@ -83,6 +83,7 @@ void Link::begin_flap(sim::SimTime now_ps, double down_ps_param) {
 }
 
 void Link::deliver(const nic::Frame& frame, sim::SimTime arrival_ps) {
+  ++delivered_;
   if (remote_ != nullptr) {
     remote_->push(RemoteHop{frame, arrival_ps});
     ++remote_frames_;

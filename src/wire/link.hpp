@@ -89,6 +89,20 @@ class Link : public nic::FrameSink {
   [[nodiscard]] std::uint64_t duplicated() const { return duplicated_; }
   [[nodiscard]] std::uint64_t flaps() const { return flaps_; }
 
+  // --- conservation accounting (health plane) -------------------------------
+  /// Frames handed to the destination (or its cross-shard channel),
+  /// duplicates included. The per-link conservation law the health checker
+  /// verifies: frames_carried + duplicated == flap_drops + fault_drops +
+  /// delivered — every frame entering the wire is accounted exactly once.
+  [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
+  /// FaultPoint fire counts, for reconciling the drop/corrupt counters
+  /// above against the fault plane's own books (they must agree exactly).
+  [[nodiscard]] std::uint64_t loss_fault_fires() const { return fp_loss_.fires(); }
+  [[nodiscard]] std::uint64_t corrupt_fault_fires() const { return fp_corrupt_.fires(); }
+  [[nodiscard]] std::uint64_t reorder_fault_fires() const { return fp_reorder_.fires(); }
+  [[nodiscard]] std::uint64_t dup_fault_fires() const { return fp_dup_.fires(); }
+  [[nodiscard]] std::uint64_t flap_fault_fires() const { return fp_flap_.fires(); }
+
  private:
   [[nodiscard]] std::int64_t phy_jitter_ps();
   void begin_flap(sim::SimTime now_ps, double down_ps_param);
@@ -101,6 +115,7 @@ class Link : public nic::FrameSink {
   CableSpec cable_;
   std::mt19937_64 rng_;
   std::uint64_t frames_ = 0;
+  std::uint64_t delivered_ = 0;
   FrameChannel* remote_ = nullptr;
   std::uint64_t remote_frames_ = 0;
 

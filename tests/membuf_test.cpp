@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <deque>
 #include <set>
 #include <vector>
 
@@ -224,6 +226,101 @@ TEST(BoundedRing, ShrinkAfterWrapDropsNewest) {
   ring.set_capacity(3);
   ASSERT_EQ(ring.size(), 3u);
   for (int i = 100; i < 103; ++i) EXPECT_EQ(ring.pop_front(), i);
+}
+
+TEST(BoundedRing, ShrinkWhileExactlyFullKeepsOldestAndStaysUsable) {
+  // The edge between the shrink paths: size() == old capacity == fill.
+  mb::BoundedRing<int> ring(8);
+  for (int i = 0; i < 8; ++i) ring.push_back(i);
+  ASSERT_TRUE(ring.full());
+  ring.set_capacity(5);
+  EXPECT_TRUE(ring.full());
+  ASSERT_EQ(ring.size(), 5u);
+  EXPECT_EQ(ring.front(), 0);
+  // The ring must keep working after the truncation: drain two, refill two,
+  // and FIFO order holds across the seam.
+  EXPECT_EQ(ring.pop_front(), 0);
+  EXPECT_EQ(ring.pop_front(), 1);
+  ring.push_back(50);
+  ring.push_back(51);
+  EXPECT_TRUE(ring.full());
+  const int expect[] = {2, 3, 4, 50, 51};
+  for (int v : expect) EXPECT_EQ(ring.pop_front(), v);
+  EXPECT_TRUE(ring.empty());
+
+  // Degenerate shrink: capacity 0 empties the ring; growing revives it.
+  ring.push_back(7);
+  ring.set_capacity(0);
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_TRUE(ring.full());  // 0 >= 0: a zero-capacity ring is always full
+  ring.set_capacity(2);
+  ring.push_back(9);
+  EXPECT_EQ(ring.pop_front(), 9);
+}
+
+TEST(BoundedRing, PropertyRandomizedGrowShrinkMatchesDequeModel) {
+  // Property test: under a random interleaving of push/pop/clear/reserve
+  // and capacity cycling, the ring agrees with a std::deque model where
+  // set_capacity(c) truncates to the first min(size, c) elements (oldest
+  // kept, newest dropped). Runs long enough for head_/tail_ to wrap the
+  // backing store many times at several different slot counts.
+  mb::BoundedRing<unsigned> ring(1);
+  std::deque<unsigned> model;
+  std::size_t cap = 1;
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  const auto rnd = [&state] {
+    // splitmix64: deterministic, no <random> heft.
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  };
+  unsigned next_value = 0;
+  for (int op = 0; op < 30'000; ++op) {
+    switch (rnd() % 10) {
+      case 0: {  // cycle the capacity through [1, 24]
+        cap = 1 + rnd() % 24;
+        ring.set_capacity(cap);
+        if (model.size() > cap) model.resize(cap);  // drop newest
+        break;
+      }
+      case 1:
+        ring.clear();
+        model.clear();
+        break;
+      case 2:
+        ring.reserve(rnd() % 32);  // storage hint only: no visible effect
+        break;
+      case 3:
+      case 4:
+        if (!model.empty()) {
+          ASSERT_EQ(ring.front(), model.front());
+          ASSERT_EQ(ring.pop_front(), model.front());
+          model.pop_front();
+        }
+        break;
+      default:  // bias toward pushes so the ring regularly rides full
+        if (!ring.full()) {
+          ring.push_back(next_value);
+          model.push_back(next_value);
+          ++next_value;
+        } else if (!model.empty()) {
+          ASSERT_EQ(ring.pop_front(), model.front());
+          model.pop_front();
+        }
+        break;
+    }
+    ASSERT_EQ(ring.size(), model.size());
+    ASSERT_EQ(ring.empty(), model.empty());
+    ASSERT_EQ(ring.full(), model.size() >= cap);
+    if (!model.empty()) ASSERT_EQ(ring.front(), model.front());
+  }
+  // Final drain: full remaining contents agree element-for-element.
+  while (!model.empty()) {
+    ASSERT_EQ(ring.pop_front(), model.front());
+    model.pop_front();
+  }
+  EXPECT_TRUE(ring.empty());
 }
 
 // ---------------------------------------------------------------------------

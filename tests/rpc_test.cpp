@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <iterator>
 #include <memory>
 #include <sstream>
 #include <stdexcept>
@@ -188,6 +189,62 @@ TEST(InFlightTable, EvictOlderThanReclaimsExactlyTheExpired) {
   for (std::uint64_t s = 101; s <= 200; ++s) EXPECT_TRUE(t.contains(s));
 }
 
+TEST(InFlightTable, EvictFuzzHonorsTheTwoSweepContract) {
+  // Randomized regression for the two-sweep contract: under arbitrary
+  // interleavings of inserts, takes and evictions on a crowded table
+  // (backward-shift deletion constantly moving records across the scan
+  // position), a double sweep must reclaim *exactly* the expired records —
+  // each exactly once, with none skipped and no survivor younger than the
+  // deadline left behind.
+  mr::InFlightTable t(512);  // 1024 slots; population pushed near capacity
+  std::unordered_map<std::uint64_t, std::uint64_t> ref;  // seq -> tx_time
+  moongen::stats::SplitMix64 rng(77);
+  std::uint64_t next_seq = 1;
+  std::uint64_t clock = 0;
+  for (int round = 0; round < 400; ++round) {
+    // Churn phase: mostly inserts (fresh, monotonically later tx times)
+    // with takes mixed in so slots vacate and refill mid-stream.
+    for (int op = 0; op < 120; ++op) {
+      ++clock;
+      if (rng.next() % 4 != 0) {
+        if (ref.size() >= 800) continue;  // stay under the ceiling
+        const std::uint64_t seq = next_seq++;
+        ASSERT_TRUE(t.insert(seq, seq, clock));
+        ref.emplace(seq, clock);
+      } else if (!ref.empty()) {
+        // Take a pseudo-random live entry.
+        auto it = ref.begin();
+        std::advance(it, static_cast<long>(rng.next() % ref.size()));
+        const auto rec = t.take(it->first);
+        ASSERT_TRUE(rec.has_value());
+        EXPECT_EQ(rec->tx_time_ps, it->second);
+        ref.erase(it);
+      }
+    }
+    // Eviction phase: a deadline somewhere inside the live time range.
+    const std::uint64_t deadline = clock > 60 ? clock - rng.next() % 60 : clock;
+    std::unordered_map<std::uint64_t, int> evicted;  // seq -> times seen
+    auto on_evict = [&](const mr::InFlightTable::Record& r) {
+      EXPECT_LT(r.tx_time_ps, deadline);
+      ++evicted[r.seq];
+    };
+    t.evict_older_than(deadline, on_evict);
+    t.evict_older_than(deadline, on_evict);
+    for (auto it = ref.begin(); it != ref.end();) {
+      if (it->second < deadline) {
+        EXPECT_EQ(evicted[it->first], 1) << "seq " << it->first;  // exactly once
+        evicted.erase(it->first);
+        it = ref.erase(it);
+      } else {
+        EXPECT_TRUE(t.contains(it->first)) << "seq " << it->first;
+        ++it;
+      }
+    }
+    EXPECT_TRUE(evicted.empty()) << "evicted a record the model never expired";
+    ASSERT_EQ(t.size(), ref.size());
+  }
+}
+
 // ---------------------------------------------------------------------------
 // LatencyRecorder
 // ---------------------------------------------------------------------------
@@ -261,6 +318,9 @@ E2eResult run_open(int shards, const mf::FaultSpec& spec, double offered_rps,
   sc.service_mean_ps = service_us * static_cast<double>(ms::kPsPerUs);
   sc.seed = 7;
   mr::ServerModel server(tb->port("server"), sc);
+  // Arm the server's stall site so `stall@rpc` rules are live probes —
+  // the testbed's fault-rule validation rejects rules with no probe site.
+  if (tb->has_faults()) server.install_faults(*tb->fault_plane(tb->shard_of(1)), "rpc.s0");
 
   mr::LatencyRecorder recorder;
   mr::WorkloadConfig wc;
