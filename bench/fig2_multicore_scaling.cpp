@@ -44,7 +44,7 @@ constexpr std::size_t kPktSize = 60;
 /// The Section 5.3 loop body: 8 random 4-byte fields (addresses, ports,
 /// payload) + IP checksum offload + send on two queues alternately.
 std::uint64_t heavy_loop(int dev_a, int dev_b, std::uint64_t packets,
-                         mt::ShardedCounter* tx_packets = nullptr) {
+                         mt::CounterHandle tx_packets = {}) {
   auto& da = mc::Device::config(dev_a, 1, 1);
   auto& db = mc::Device::config(dev_b, 1, 1);
   da.disconnect();
@@ -74,7 +74,7 @@ std::uint64_t heavy_loop(int dev_a, int dev_b, std::uint64_t packets,
     flip = !flip;
     const std::uint64_t n = q.send(bufs);
     sent += n;
-    if (tx_packets != nullptr) tx_packets->add(n);
+    tx_packets.add(n);
   }
   return sent;
 }
@@ -88,7 +88,7 @@ int main(int argc, char** argv) {
   }
 
   mt::MetricRegistry registry;
-  auto& tx_packets = registry.counter("fig2.tx_packets");
+  auto tx_packets = registry.shard(0).counter("fig2.tx_packets");
 
   std::printf("Figure 2: Multi-core scaling under high load\n");
   std::printf("(min-size packets, 8 random fields/pkt, 2 x 10 GbE, 1.2 GHz cores)\n\n");
@@ -99,7 +99,7 @@ int main(int argc, char** argv) {
   std::printf("measured cost of the Section 5.3 script: %.1f +- %.1f cycles/pkt\n",
               single.mean(), single.stddev());
   std::printf("(paper predicts 229.2 +- 3.9 for its script; 10.3 Mpps at 2.4 GHz -> 233 cyc)\n\n");
-  registry.gauge("fig2.cycles_per_packet").set(single.mean());
+  registry.shard(0).gauge("fig2.cycles_per_packet").set(single.mean());
 
   // (1) Real silicon scaling: k pinned tasks, each its own devices and pool.
   const unsigned hw_threads = std::thread::hardware_concurrency();
@@ -112,8 +112,8 @@ int main(int argc, char** argv) {
     tasks.bind_telemetry(registry, "fig2");
     const auto t0 = std::chrono::steady_clock::now();
     for (int i = 0; i < k; ++i) {
-      tasks.launch("fig2-core", [i, &tx_packets] {
-        heavy_loop(2 + 2 * i, 3 + 2 * i, kPerThread, &tx_packets);
+      tasks.launch("fig2-core", [i, tx_packets] {
+        heavy_loop(2 + 2 * i, 3 + 2 * i, kPerThread, tx_packets);
       });
     }
     tasks.wait();
@@ -121,7 +121,7 @@ int main(int argc, char** argv) {
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
     const double mpps = static_cast<double>(kPerThread) * k / secs / 1e6;
     std::printf("  %-7d %12.2f %14.2f\n", k, mpps, mpps / k);
-    registry.gauge("fig2.silicon.cores_" + std::to_string(k) + ".mpps").set(mpps);
+    registry.shard(0).gauge("fig2.silicon.cores_" + std::to_string(k) + ".mpps").set(mpps);
   }
 
   // (2) The Figure 2 series: 1.2 GHz cores against 2 x 10 GbE line rate.
@@ -138,7 +138,7 @@ int main(int argc, char** argv) {
     const auto r = mn::predict_throughput(q);
     std::printf("  %-7d %12.2f %14.2f %12s\n", k, r.total_pps / 1e6, r.total_wire_mbit / 1e3,
                 r.bottleneck == mn::Bottleneck::kCpu ? "CPU" : "line rate");
-    registry.gauge("fig2.model_1p2ghz.cores_" + std::to_string(k) + ".mpps")
+    registry.shard(0).gauge("fig2.model_1p2ghz.cores_" + std::to_string(k) + ".mpps")
         .set(r.total_pps / 1e6);
   }
   // Same series with the cost calibrated to the paper's LuaJIT script
@@ -157,7 +157,7 @@ int main(int argc, char** argv) {
     const auto r = mn::predict_throughput(q);
     std::printf("  %-7d %12.2f %14.2f %12s\n", k, r.total_pps / 1e6, r.total_wire_mbit / 1e3,
                 r.bottleneck == mn::Bottleneck::kCpu ? "CPU" : "line rate");
-    registry.gauge("fig2.papercal.cores_" + std::to_string(k) + ".mpps")
+    registry.shard(0).gauge("fig2.papercal.cores_" + std::to_string(k) + ".mpps")
         .set(r.total_pps / 1e6);
   }
   std::printf("\n(paper: linear to the 29.76 Mpps line-rate limit, ~5 Mpps/core at 1.2 GHz)\n");

@@ -111,8 +111,8 @@ void run_chip(const char* name, const char* key, const mn::ChipSpec& chip,
     std::snprintf(prefix, sizeof(prefix), "table3.%s.cable_%gm", key, cable.length_m);
     auto r = measure_cable(chip, cable, samples, registry, prefix);
     rows.push_back(r);
-    registry.gauge(std::string(prefix) + ".mean_ns").set(r.mean_ns);
-    registry.gauge(std::string(prefix) + ".median_ns").set(r.median_ns);
+    registry.shard(0).gauge(std::string(prefix) + ".mean_ns").set(r.mean_ns);
+    registry.shard(0).gauge(std::string(prefix) + ".median_ns").set(r.median_ns);
     std::printf("  %5.1f m: mean %7.1f ns, median %7.1f ns", r.length_m, r.mean_ns,
                 r.median_ns);
     if (r.value_fractions.size() > 1 && chip.ptp_increment_ps > 6'400) {
@@ -130,8 +130,8 @@ void run_chip(const char* name, const char* key, const mn::ChipSpec& chip,
   double k_ns = 0, vp_c = 0;
   fit_k_vp(rows, &k_ns, &vp_c);
   std::printf("  fit t = k + l/vp:  k = %.1f ns, vp = %.2f c\n", k_ns, vp_c);
-  registry.gauge(std::string("table3.") + key + ".fit.k_ns").set(k_ns);
-  registry.gauge(std::string("table3.") + key + ".fit.vp_c").set(vp_c);
+  registry.shard(0).gauge(std::string("table3.") + key + ".fit.k_ns").set(k_ns);
+  registry.shard(0).gauge(std::string("table3.") + key + ".fit.vp_c").set(vp_c);
 }
 
 }  // namespace

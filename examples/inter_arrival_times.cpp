@@ -107,11 +107,11 @@ int main(int argc, char** argv) {
 
   if (cli->has_json()) {
     mt::MetricRegistry registry;
-    registry.gauge("interarrival.target_gap_ps").set(static_cast<double>(target));
-    registry.gauge("interarrival.samples").set(static_cast<double>(recorder.samples() + 1));
-    registry.gauge("interarrival.micro_burst_fraction").set(recorder.micro_burst_fraction());
+    registry.shard(0).gauge("interarrival.target_gap_ps").set(static_cast<double>(target));
+    registry.shard(0).gauge("interarrival.samples").set(static_cast<double>(recorder.samples() + 1));
+    registry.shard(0).gauge("interarrival.micro_burst_fraction").set(recorder.micro_burst_fraction());
     for (ms::SimTime w : {64'000u, 128'000u, 256'000u, 512'000u}) {
-      registry.gauge("interarrival.within_" + std::to_string(w / 1000) + "ns")
+      registry.shard(0).gauge("interarrival.within_" + std::to_string(w / 1000) + "ns")
           .set(recorder.fraction_within(target, w));
     }
     const std::vector<mt::Snapshot> series{registry.snapshot(ms::kPsPerSec / 1'000)};

@@ -49,7 +49,8 @@ namespace {
 
 constexpr const char* kUsage =
     "usage: l2_load_latency [rate_mpps] [seconds] [cbr|poisson]\n"
-    "                       [--json FILE] [--faults SPEC] [--seed N] [--shards N]\n";
+    "                       [--json FILE] [--faults SPEC] [--seed N] [--shards N]\n"
+    "                       [--stream FILE]\n";
 
 }  // namespace
 
@@ -66,21 +67,25 @@ int main(int argc, char** argv) {
   // spans gen_tx and sink, so those two share a shard (couple); the
   // forwarder couples the DuT pair. With --shards 2 each pair gets its own
   // engine, bridged at the cables.
-  auto tb = mtb::Scenario()
-                .seed(cli->seed)
-                .shards(cli->shards)
-                .faults(cli->faults)
-                .device(0, mn::intel_x540()).name("gen_tx").with_seed(1)
-                .device(1, mn::intel_x540()).name("dut_in").with_seed(2)
-                .device(2, mn::intel_x540()).name("dut_out").with_seed(3)
-                .device(3, mn::intel_x540()).name("sink").with_seed(4).rx_store(false)
-                .link(0, 1).with_seed(5)
-                .link(2, 3).with_seed(6)
-                .forwarder(1, 2)
-                .couple(0, 3)
-                .build();
+  // The DuT ports see frames mid-journey, so they count stamp conservation
+  // but do not fold into the end-to-end RTT histograms (rtt_record(false));
+  // only the sink's RX is an end-to-end measurement point.
+  auto scenario = mtb::Scenario()
+                      .seed(cli->seed)
+                      .shards(cli->shards)
+                      .faults(cli->faults)
+                      .device(0, mn::intel_x540()).name("gen_tx").with_seed(1)
+                      .device(1, mn::intel_x540()).name("dut_in").with_seed(2).rtt_record(false)
+                      .device(2, mn::intel_x540()).name("dut_out").with_seed(3).rtt_record(false)
+                      .device(3, mn::intel_x540()).name("sink").with_seed(4).rx_store(false)
+                      .link(0, 1).with_seed(5)
+                      .link(2, 3).with_seed(6)
+                      .forwarder(1, 2)
+                      .couple(0, 3);
+  if (cli->has_stream()) scenario.stream_telemetry(cli->stream_path, 100'000'000);
+  auto tb = scenario.build();
   mt::MetricRegistry& registry = tb->registry();
-  registry.gauge("load.offered_mpps").set(rate_mpps);
+  registry.shard(0).gauge("load.offered_mpps").set(rate_mpps);
 
   // Background load: UDP packets carrying a PTP payload with a type the
   // timestamp units ignore.
@@ -144,6 +149,21 @@ int main(int argc, char** argv) {
               static_cast<double>(h.percentile(50)) / 1e6,
               static_cast<double>(h.percentile(75)) / 1e6,
               static_cast<double>(h.percentile(99)) / 1e6, ts.latency_ns().max() / 1e3);
+  // Always-on in-path RTT plane: every frame's end-to-end latency, not just
+  // the timestamper's samples. Deterministic across shard counts and
+  // unchanged by --stream (virtual-time values, commutative merges).
+  {
+    auto& plane = tb->rtt_plane();
+    const auto cum = plane.cumulative();
+    std::printf("rtt:      %llu frames in-path, p50 %.2f us / p99 %.2f / p99.9 %.2f "
+                "(%llu windows, %llu dropped)\n",
+                static_cast<unsigned long long>(plane.recorded()),
+                static_cast<double>(cum.percentile(50.0)) / 1e3,
+                static_cast<double>(cum.percentile(99.0)) / 1e3,
+                static_cast<double>(cum.percentile(99.9)) / 1e3,
+                static_cast<unsigned long long>(plane.windows_closed()),
+                static_cast<unsigned long long>(plane.dropped()));
+  }
   std::printf("DuT:      %llu interrupts, %llu polls, RX drops %llu\n",
               static_cast<unsigned long long>(forwarder.interrupts()),
               static_cast<unsigned long long>(forwarder.polls()),
@@ -170,15 +190,21 @@ int main(int argc, char** argv) {
 
   if (cli->has_json()) {
     tb->publish_engine_telemetry();  // engine.events_executed / wheel / heap / rate
-    registry.gauge("load.forwarded_mpps")
+    registry.shard(0).gauge("load.forwarded_mpps")
         .set(static_cast<double>(forwarder.forwarded()) / seconds / 1e6);
-    registry.gauge("dut.interrupts").set(static_cast<double>(forwarder.interrupts()));
-    registry.gauge("dut.polls").set(static_cast<double>(forwarder.polls()));
+    registry.shard(0).gauge("dut.interrupts").set(static_cast<double>(forwarder.interrupts()));
+    registry.shard(0).gauge("dut.polls").set(static_cast<double>(forwarder.polls()));
     sampler.sample_now();  // final snapshot incl. the end-of-run gauges
     if (mt::dump_json_series_to_file(cli->json_path, sampler.series()))
       std::fprintf(stderr, "telemetry series written to %s\n", cli->json_path.c_str());
     else
       std::fprintf(stderr, "failed to write telemetry series to %s\n", cli->json_path.c_str());
+  }
+  if (cli->has_stream() && tb->stream() != nullptr) {
+    std::fprintf(stderr, "telemetry streamed to %s (%llu ticks, %llu rtt windows)\n",
+                 cli->stream_path.c_str(),
+                 static_cast<unsigned long long>(tb->stream()->ticks()),
+                 static_cast<unsigned long long>(tb->stream()->windows_streamed()));
   }
   return 0;
 }

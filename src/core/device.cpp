@@ -133,20 +133,24 @@ void TxQueue::drop_batch(membuf::BufArray& bufs) {
     start = end;
   }
   dropped_ += packets.size();
-  if (tm_dropped_ != nullptr) tm_dropped_->add(packets.size());
+  tm_dropped_.add(packets.size());
   bufs.set_size(0);
 }
 
+void TxQueue::bind_telemetry(telemetry::MetricTree& tree, const std::string& prefix) {
+  if (tm_sent_.valid()) return;  // already bound
+  tm_sent_ = tree.counter(prefix + ".sent_packets");
+  tm_dropped_ = tree.counter(prefix + ".dropped");
+  tm_short_ = tree.counter(prefix + ".short_batches");
+  tm_link_wait_ = tree.counter("recover." + prefix + ".link_wait");
+  tm_sent_.add(sent_packets_);
+  tm_dropped_.add(dropped_);
+  tm_short_.add(short_batches_);
+  tm_link_wait_.add(link_waits_);
+}
+
 void TxQueue::bind_telemetry(telemetry::MetricRegistry& registry, const std::string& prefix) {
-  if (tm_sent_ != nullptr) return;  // already bound
-  tm_sent_ = &registry.counter(prefix + ".sent_packets");
-  tm_dropped_ = &registry.counter(prefix + ".dropped");
-  tm_short_ = &registry.counter(prefix + ".short_batches");
-  tm_link_wait_ = &registry.counter("recover." + prefix + ".link_wait");
-  tm_sent_->add(sent_packets_);
-  tm_dropped_->add(dropped_);
-  tm_short_->add(short_batches_);
-  tm_link_wait_->add(link_waits_);
+  bind_telemetry(registry.shard(0), prefix);
 }
 
 std::uint16_t TxQueue::send(membuf::BufArray& bufs) {
@@ -158,13 +162,13 @@ std::uint16_t TxQueue::send(membuf::BufArray& bufs) {
       return 0;
     }
     ++link_waits_;  // survived the outage — a recovery, not a drop
-    if (tm_link_wait_ != nullptr) tm_link_wait_->add(1);
+    tm_link_wait_.add(1);
   }
   if (bufs.last_shortfall() > 0) {
     // The mempool came back short: the burst on the wire is smaller than
     // the script asked for. Surface it — silent shrinkage skews CBR spacing.
     ++short_batches_;
-    if (tm_short_ != nullptr) tm_short_->add(1);
+    tm_short_.add(1);
   }
   const auto packets = bufs.packets();
   if (rate_mbit_ > 0.0) {
@@ -230,7 +234,7 @@ std::uint16_t TxQueue::send(membuf::BufArray& bufs) {
   const auto n = static_cast<std::uint16_t>(packets.size());
   sent_packets_ += n;
   sent_bytes_ += batch_bytes;
-  if (tm_sent_ != nullptr) tm_sent_->add(n);
+  tm_sent_.add(n);
   bufs.set_size(0);  // buffers now belong to the queue until recycled
   return n;
 }

@@ -24,10 +24,10 @@
 #include "membuf/mempool.hpp"
 #include "membuf/ring.hpp"
 #include "proto/mac_address.hpp"
+#include "telemetry/handles.hpp"
 
 namespace moongen::telemetry {
 class MetricRegistry;
-class ShardedCounter;
 }  // namespace moongen::telemetry
 
 namespace moongen::core {
@@ -72,6 +72,8 @@ class TxQueue {
 
   /// Mirrors `<prefix>.sent_packets/.dropped/.short_batches` plus
   /// `recover.<prefix>.link_wait` into `registry`.
+  void bind_telemetry(telemetry::MetricTree& tree, const std::string& prefix);
+  /// Convenience overload: binds into the registry's default tree (shard 0).
   void bind_telemetry(telemetry::MetricRegistry& registry, const std::string& prefix);
 
   ~TxQueue();
@@ -126,10 +128,10 @@ class TxQueue {
   std::uint64_t link_waits_ = 0;
   unsigned link_retry_limit_ = 10;  // ~1 us * 2^10 ≈ 1 ms total wait
 
-  telemetry::ShardedCounter* tm_sent_ = nullptr;
-  telemetry::ShardedCounter* tm_dropped_ = nullptr;
-  telemetry::ShardedCounter* tm_short_ = nullptr;
-  telemetry::ShardedCounter* tm_link_wait_ = nullptr;
+  telemetry::CounterHandle tm_sent_;
+  telemetry::CounterHandle tm_dropped_;
+  telemetry::CounterHandle tm_short_;
+  telemetry::CounterHandle tm_link_wait_;
 };
 
 /// Fast-path receive queue fed by a loopback wire from a peer device.

@@ -72,20 +72,24 @@ void SimLoadGen::mark_next_valid(nic::Frame stamped, int n) {
   marked_remaining_ = n;
 }
 
+void SimLoadGen::bind_telemetry(telemetry::MetricTree& tree, const std::string& prefix) {
+  if (tm_valid_.valid()) return;  // already bound; re-seeding would double-count
+  tm_valid_ = tree.counter(prefix + ".valid_frames");
+  tm_gap_ = tree.counter(prefix + ".gap_frames");
+  tm_carry_ = tree.gauge(prefix + ".carry_bytes");
+  tm_valid_.add(valid_frames_);
+  tm_gap_.add(gap_frames_);
+}
+
 void SimLoadGen::bind_telemetry(telemetry::MetricRegistry& registry, const std::string& prefix) {
-  if (tm_valid_ != nullptr) return;  // already bound; re-seeding would double-count
-  tm_valid_ = &registry.counter(prefix + ".valid_frames");
-  tm_gap_ = &registry.counter(prefix + ".gap_frames");
-  tm_carry_ = &registry.gauge(prefix + ".carry_bytes");
-  tm_valid_->add(valid_frames_);
-  tm_gap_->add(gap_frames_);
+  bind_telemetry(registry.shard(0), prefix);
 }
 
 nic::Frame SimLoadGen::next_frame() {
   // CRC mode: emit pending gap frames between valid packets.
   if (filler_ && pending_index_ < pending_gaps_.size()) {
     ++gap_frames_;
-    if (tm_gap_ != nullptr) tm_gap_->add(1);
+    tm_gap_.add(1);
     return nic::make_gap_frame(pending_gaps_[pending_index_++], ++frame_seq_);
   }
 
@@ -96,7 +100,7 @@ nic::Frame SimLoadGen::next_frame() {
   }
   out.seq = ++frame_seq_;
   ++valid_frames_;
-  if (tm_valid_ != nullptr) tm_valid_->add(1);
+  tm_valid_.add(1);
 
   if (filler_) {
     // Compute the wire gap until the next valid packet and pre-plan the
@@ -113,7 +117,7 @@ nic::Frame SimLoadGen::next_frame() {
     const std::size_t filler_bytes = gap_total > valid_wire ? gap_total - valid_wire : 0;
     pending_gaps_ = filler_->fill(filler_bytes);
     pending_index_ = 0;
-    if (tm_carry_ != nullptr) tm_carry_->set(static_cast<double>(filler_->carry_bytes()));
+    tm_carry_.set(static_cast<double>(filler_->carry_bytes()));
   }
   return out;
 }

@@ -168,6 +168,8 @@ class SimLoadGen {
 
   /// Mirrors the real-packet vs. filler-packet split (Section 8.1) into
   /// `<prefix>.valid_frames` / `<prefix>.gap_frames` / `<prefix>.carry_bytes`.
+  void bind_telemetry(telemetry::MetricTree& tree, const std::string& prefix);
+  /// Convenience overload: binds into the registry's default tree (shard 0).
   void bind_telemetry(telemetry::MetricRegistry& registry, const std::string& prefix);
 
   ~SimLoadGen() = default;
@@ -188,9 +190,9 @@ class SimLoadGen {
   std::uint64_t valid_frames_ = 0;
   std::uint64_t gap_frames_ = 0;
   std::uint64_t frame_seq_ = 0;
-  telemetry::ShardedCounter* tm_valid_ = nullptr;
-  telemetry::ShardedCounter* tm_gap_ = nullptr;
-  telemetry::Gauge* tm_carry_ = nullptr;
+  telemetry::CounterHandle tm_valid_;
+  telemetry::CounterHandle tm_gap_;
+  telemetry::GaugeHandle tm_carry_;
 };
 
 // ---------------------------------------------------------------------------

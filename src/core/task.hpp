@@ -115,6 +115,8 @@ class TaskSet {
   /// Counts task lifecycle events in `registry`: `<prefix>.tasks_launched`
   /// and `<prefix>.tasks_finished` plus a `<prefix>.tasks_active` gauge.
   /// Bind before launching; the registry must outlive the task set.
+  void bind_telemetry(telemetry::MetricTree& tree, const std::string& prefix);
+  /// Convenience overload: binds into the registry's default tree (shard 0).
   void bind_telemetry(telemetry::MetricRegistry& registry, const std::string& prefix);
 
  private:
@@ -122,9 +124,12 @@ class TaskSet {
 
   std::vector<std::thread> threads_;
   int next_core_ = 0;
-  telemetry::ShardedCounter* tm_launched_ = nullptr;
-  telemetry::ShardedCounter* tm_finished_ = nullptr;
-  telemetry::Gauge* tm_active_ = nullptr;
+  // Handles are bumped from both the launching thread and the worker
+  // threads' epilogues; the counter slots are relaxed atomics, so the sums
+  // are exact once wait() has joined everyone.
+  telemetry::CounterHandle tm_launched_;
+  telemetry::CounterHandle tm_finished_;
+  telemetry::GaugeHandle tm_active_;
 };
 
 /// Bounded MPMC pipe for inter-task communication (MoonGen's `pipe`).

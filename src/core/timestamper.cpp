@@ -34,16 +34,23 @@ void Timestamper::init(nic::Port& rx_port) {
 
 void Timestamper::bind_telemetry(telemetry::MetricRegistry& registry,
                                  const std::string& prefix) {
-  if (tm_latency_ns_ != nullptr) return;  // already bound; re-seeding would double-count
+  bind_telemetry(registry.shard(0), prefix);
+}
+
+void Timestamper::bind_telemetry(telemetry::MetricTree& tree,
+                                 const std::string& prefix) {
+  if (tm_latency_ns_.valid()) return;  // already bound; re-seeding would double-count
   telemetry::HistogramConfig hist_cfg;
   hist_cfg.max_value = 100'000'000;  // 100 ms in ns: covers buffer-bloated DuTs
-  tm_latency_ns_ = &registry.histogram(prefix + ".latency_ns", hist_cfg);
-  tm_samples_ = &registry.counter(prefix + ".samples");
-  tm_lost_ = &registry.counter(prefix + ".lost");
-  tm_resync_ = &registry.counter("recover." + prefix + ".resync");
-  tm_samples_->add(samples_);
-  tm_lost_->add(lost_);
-  tm_resync_->add(resyncs_);
+  tm_latency_ns_ = tree.histogram(prefix + ".latency_ns", hist_cfg);
+  tm_samples_ = tree.counter(prefix + ".samples");
+  tm_lost_ = tree.counter(prefix + ".lost");
+  tm_discarded_ = tree.counter(prefix + ".discarded");
+  tm_resync_ = tree.counter("recover." + prefix + ".resync");
+  tm_samples_.add(samples_);
+  tm_lost_.add(lost_);
+  tm_discarded_.add(discarded_);
+  tm_resync_.add(resyncs_);
 }
 
 void Timestamper::start() {
@@ -69,11 +76,12 @@ void Timestamper::take_sample() {
                             cfg_.sync);
     if (forced && !cfg_.sync_clocks_each_sample) {
       ++resyncs_;
-      if (tm_resync_ != nullptr) tm_resync_->add(1);
+      tm_resync_.add(1);
     }
   }
 
   armed_ = true;
+  ++attempts_;
   const std::uint64_t token = ++arm_token_;
 
   if (stream_gen_ != nullptr) {
@@ -83,11 +91,7 @@ void Timestamper::take_sample() {
   }
 
   events_.schedule_in(cfg_.timeout_ps, [this, token] {
-    if (armed_ && token == arm_token_) {
-      ++lost_;
-      if (tm_lost_ != nullptr) tm_lost_->add(1);
-      finish_sample(false);
-    }
+    if (armed_ && token == arm_token_) finish_sample(Outcome::kLost);
   });
 }
 
@@ -100,8 +104,8 @@ void Timestamper::on_rx_stamp() {
   const auto tx = tx_port_.read_tx_timestamp();
   if (!rx.has_value() || !tx.has_value()) {
     // TX stamp missing (register was occupied when our packet left) —
-    // abandon this sample.
-    finish_sample(false);
+    // the probe arrived but the measurement is unusable.
+    finish_sample(Outcome::kDiscarded);
     return;
   }
   const auto delta = static_cast<std::int64_t>(*rx) - static_cast<std::int64_t>(*tx);
@@ -109,19 +113,39 @@ void Timestamper::on_rx_stamp() {
     hist_.add(static_cast<std::uint64_t>(delta));
     latency_ns_.add(static_cast<double>(delta) / 1e3);
     ++samples_;
-    if (tm_latency_ns_ != nullptr) {
-      tm_latency_ns_->record(static_cast<std::uint64_t>(delta) / 1'000);  // ps -> ns
-      tm_samples_->add(1);
+    if (tm_latency_ns_.valid()) {
+      tm_latency_ns_.record(static_cast<std::uint64_t>(delta) / 1'000);  // ps -> ns
+      tm_samples_.add(1);
     }
-    finish_sample(true);
+    finish_sample(Outcome::kSample);
   } else {
-    finish_sample(false);
+    // Negative delta: clock-sync estimation error exceeded the true
+    // latency. The packet did arrive, so this is not a loss.
+    finish_sample(Outcome::kDiscarded);
   }
 }
 
-void Timestamper::finish_sample(bool success) {
+void Timestamper::finish_sample(Outcome outcome) {
   armed_ = false;
-  if (!success) resync_pending_ = true;
+  // Every launched attempt resolves into exactly one terminal state, so
+  // attempts == samples + lost + discarded + in_flight stays exact — the
+  // identity the health plane reconciles against the always-on RTT
+  // plane's drop books. Keeping discarded separate from lost means
+  // lost still equals genuine wire drops under fault injection.
+  switch (outcome) {
+    case Outcome::kSample:
+      break;
+    case Outcome::kLost:
+      ++lost_;
+      tm_lost_.add(1);
+      resync_pending_ = true;
+      break;
+    case Outcome::kDiscarded:
+      ++discarded_;
+      tm_discarded_.add(1);
+      resync_pending_ = true;
+      break;
+  }
   if (!running_) return;
   // In stream mode the next take_sample marks a frame in the generator
   // mid-stream; batched TX must not serialize past that instant, or the

@@ -62,7 +62,23 @@ class Timestamper {
   [[nodiscard]] const stats::Histogram& histogram() const { return hist_; }
   [[nodiscard]] const stats::RunningStats& latency_ns() const { return latency_ns_; }
   [[nodiscard]] std::uint64_t samples() const { return samples_; }
+  /// Probes that never produced an RX stamp before the timeout — the
+  /// packet died in flight. Under fault injection this equals the
+  /// injected wire drops exactly (the reconciliation the health plane
+  /// cross-checks against the always-on RTT plane's drop books).
   [[nodiscard]] std::uint64_t lost() const { return lost_; }
+  /// Samples abandoned for measurement reasons although the probe
+  /// arrived: TX stamp register occupied when the packet left, or a
+  /// negative delta (clock-sync estimation error exceeding the true
+  /// latency). Not drops — counted separately so lost() stays exact.
+  [[nodiscard]] std::uint64_t discarded() const { return discarded_; }
+  /// Timestamped packets launched so far (successful or not). Every
+  /// attempt ends in exactly one state:
+  /// attempts() == samples() + lost() + discarded() + (0 or 1 in flight).
+  [[nodiscard]] std::uint64_t attempts() const { return attempts_; }
+  /// True while a timestamped packet is in flight (launched, not yet
+  /// resolved as a sample or a loss).
+  [[nodiscard]] bool sample_in_flight() const { return armed_; }
   /// Forced clock resyncs after a failed sample (recovery actions; only
   /// incremented when sync_clocks_each_sample is off, where a stepped clock
   /// would otherwise poison every later sample).
@@ -72,13 +88,18 @@ class Timestamper {
   /// `registry` and counts samples/lost packets in `<prefix>.samples` /
   /// `<prefix>.lost`. The log-linear registry histogram spans ns..ms, so
   /// one geometry fits both loopback cables and overloaded-DuT latencies.
+  void bind_telemetry(telemetry::MetricTree& tree, const std::string& prefix);
+  /// Convenience overload: binds into the registry's default tree (shard 0).
   void bind_telemetry(telemetry::MetricRegistry& registry, const std::string& prefix);
 
  private:
+  /// How one attempt resolved (see attempts() for the identity).
+  enum class Outcome { kSample, kLost, kDiscarded };
+
   void init(nic::Port& rx_port);
   void take_sample();
   void on_rx_stamp();
-  void finish_sample(bool success);
+  void finish_sample(Outcome outcome);
 
   sim::EventQueue& events_;
   nic::Port& tx_port_;
@@ -97,15 +118,18 @@ class Timestamper {
   /// next sample so one clock fault cannot poison the rest of the run.
   bool resync_pending_ = false;
   std::uint64_t resyncs_ = 0;
-  telemetry::ShardedCounter* tm_resync_ = nullptr;
+  telemetry::CounterHandle tm_resync_;
 
   stats::Histogram hist_;
   stats::RunningStats latency_ns_;
   std::uint64_t samples_ = 0;
   std::uint64_t lost_ = 0;
-  telemetry::ShardedHistogram* tm_latency_ns_ = nullptr;
-  telemetry::ShardedCounter* tm_samples_ = nullptr;
-  telemetry::ShardedCounter* tm_lost_ = nullptr;
+  std::uint64_t discarded_ = 0;
+  std::uint64_t attempts_ = 0;
+  telemetry::HistogramHandle tm_latency_ns_;
+  telemetry::CounterHandle tm_samples_;
+  telemetry::CounterHandle tm_lost_;
+  telemetry::CounterHandle tm_discarded_;
 };
 
 }  // namespace moongen::core

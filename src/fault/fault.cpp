@@ -145,8 +145,8 @@ namespace detail {
 
 void FaultSite::record_fire() {
   ++fires;
-  if (tm_fires != nullptr) tm_fires->add(1);
-  if (plane != nullptr && plane->tm_total_ != nullptr) plane->tm_total_->add(1);
+  tm_fires.add(1);
+  if (plane != nullptr) plane->tm_total_.add(1);
   if (plane != nullptr && plane->fire_hook_) plane->fire_hook_(name, kind, plane->now_ps());
 }
 
@@ -196,7 +196,7 @@ detail::FaultSite* FaultPlane::make_site(FaultKind kind, const std::string& site
   s.kind = kind;
   s.rng.seed(splitmix64(spec_.seed ^ fnv1a(site) ^
                         (static_cast<std::uint64_t>(kind) + 1) * 0x9e3779b97f4a7c15ull));
-  if (registry_ != nullptr) bind_site(s);
+  if (tree_ != nullptr) bind_site(s);
   return &s;
 }
 
@@ -243,19 +243,22 @@ void FaultPlane::arm_clock_faults(sim::PtpClock& clock, const std::string& site)
 }
 
 void FaultPlane::bind_site(detail::FaultSite& site) {
-  site.tm_fires =
-      &registry_->counter(prefix_ + "." + to_string(site.kind) + "." + site.name);
-  site.tm_fires->add(site.fires);  // late binding: seed with history
+  site.tm_fires = tree_->counter(prefix_ + "." + to_string(site.kind) + "." + site.name);
+  site.tm_fires.add(site.fires);  // late binding: seed with history
+}
+
+void FaultPlane::bind_telemetry(telemetry::MetricTree& tree, const std::string& prefix) {
+  if (tree_ != nullptr) return;  // already bound
+  tree_ = &tree;
+  prefix_ = prefix;
+  tm_total_ = tree.counter(prefix + ".total");
+  tm_total_.add(total_fires());
+  for (auto& s : sites_) bind_site(s);
 }
 
 void FaultPlane::bind_telemetry(telemetry::MetricRegistry& registry,
                                 const std::string& prefix) {
-  if (registry_ != nullptr) return;  // already bound
-  registry_ = &registry;
-  prefix_ = prefix;
-  tm_total_ = &registry.counter(prefix + ".total");
-  tm_total_->add(total_fires());
-  for (auto& s : sites_) bind_site(s);
+  bind_telemetry(registry.shard(0), prefix);
 }
 
 std::uint64_t FaultPlane::total_fires() const {

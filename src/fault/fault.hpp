@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "sim/time.hpp"
+#include "telemetry/handles.hpp"
 
 namespace moongen::sim {
 class EventQueue;
@@ -42,7 +43,6 @@ class PtpClock;
 
 namespace moongen::telemetry {
 class MetricRegistry;
-class ShardedCounter;
 }  // namespace moongen::telemetry
 
 namespace moongen::fault {
@@ -133,7 +133,7 @@ struct FaultSite {
   std::vector<ArmedRule> armed;
   std::uint64_t probes = 0;
   std::uint64_t fires = 0;
-  telemetry::ShardedCounter* tm_fires = nullptr;
+  telemetry::CounterHandle tm_fires;
 };
 
 }  // namespace detail
@@ -183,7 +183,10 @@ class FaultPlane {
   void arm_clock_faults(sim::PtpClock& clock, const std::string& site);
 
   /// Mirrors per-site fire counts into `<prefix>.<kind>.<site>` counters
-  /// plus `<prefix>.total`. Sites created later are bound on creation.
+  /// plus `<prefix>.total` of `tree`. Sites created later are bound on
+  /// creation.
+  void bind_telemetry(telemetry::MetricTree& tree, const std::string& prefix = "fault");
+  /// Convenience overload: binds into the registry's default tree (shard 0).
   void bind_telemetry(telemetry::MetricRegistry& registry, const std::string& prefix = "fault");
 
   [[nodiscard]] const FaultSpec& spec() const { return spec_; }
@@ -232,9 +235,9 @@ class FaultPlane {
   std::deque<detail::FaultSite> sites_;  // deque: stable addresses for points
   std::vector<RequestedSite> requested_;
   FireHook fire_hook_;
-  telemetry::MetricRegistry* registry_ = nullptr;
+  telemetry::MetricTree* tree_ = nullptr;
   std::string prefix_;
-  telemetry::ShardedCounter* tm_total_ = nullptr;
+  telemetry::CounterHandle tm_total_;
 };
 
 }  // namespace moongen::fault

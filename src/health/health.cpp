@@ -2,8 +2,10 @@
 
 #include <sstream>
 
+#include "core/timestamper.hpp"
 #include "membuf/mempool.hpp"
 #include "rpc/open_loop.hpp"
+#include "telemetry/rtt_plane.hpp"
 #include "sim/event_queue.hpp"
 #include "telemetry/registry.hpp"
 #include "testbed/testbed.hpp"
@@ -25,10 +27,10 @@ std::vector<Violation> CheckerRegistry::run_all(sim::SimTime now_ps) {
     fresh.push_back(Violation{names_[i], std::move(r.detail), now_ps});
   }
   for (const auto& v : fresh) violations_.push_back(v);
-  if (tm_checks_ != nullptr) {
-    tm_checks_->add(checks_run_ - tm_checks_published_);
+  if (tm_checks_.valid()) {
+    tm_checks_.add(checks_run_ - tm_checks_published_);
     tm_checks_published_ = checks_run_;
-    tm_violations_->add(violations_.size() - tm_violations_published_);
+    tm_violations_.add(violations_.size() - tm_violations_published_);
     tm_violations_published_ = violations_.size();
   }
   return fresh;
@@ -36,9 +38,14 @@ std::vector<Violation> CheckerRegistry::run_all(sim::SimTime now_ps) {
 
 void CheckerRegistry::bind_telemetry(telemetry::MetricRegistry& registry,
                                      const std::string& prefix) {
-  tm_checks_ = &registry.counter(prefix + ".checks_run");
-  tm_violations_ = &registry.counter(prefix + ".violations");
-  registry.gauge(prefix + ".checkers").set(static_cast<double>(checkers_.size()));
+  bind_telemetry(registry.shard(0), prefix);
+}
+
+void CheckerRegistry::bind_telemetry(telemetry::MetricTree& tree,
+                                     const std::string& prefix) {
+  tm_checks_ = tree.counter(prefix + ".checks_run");
+  tm_violations_ = tree.counter(prefix + ".violations");
+  tree.gauge(prefix + ".checkers").set(static_cast<double>(checkers_.size()));
 }
 
 // --- factories --------------------------------------------------------------
@@ -159,6 +166,46 @@ CheckFn make_mempool_checker(const membuf::Mempool& pool, std::function<std::siz
       }
     }
     return CheckResult::pass();
+  };
+}
+
+CheckFn make_rtt_checker(const telemetry::RttPlane& plane) {
+  return [&plane](sim::SimTime) -> CheckResult {
+    const std::int64_t in_flight = plane.in_flight();
+    if (in_flight < 0) {
+      std::ostringstream os;
+      os << "rtt plane: in_flight " << in_flight << " < 0: births (tx_stamped "
+         << plane.tx_stamped() << " + tx_forwarded " << plane.tx_forwarded()
+         << " + duplicated " << plane.duplicated() << ") < deaths (rx_seen "
+         << plane.rx_seen() << " + dropped " << plane.dropped() << ")";
+      return CheckResult::fail(os.str());
+    }
+    if (plane.cumulative().total() != plane.recorded()) {
+      std::ostringstream os;
+      os << "rtt plane: cumulative histogram population " << plane.cumulative().total()
+         << " != recorded " << plane.recorded();
+      return CheckResult::fail(os.str());
+    }
+    if (plane.recorded() > plane.rx_seen()) {
+      std::ostringstream os;
+      os << "rtt plane: recorded " << plane.recorded() << " exceeds rx_seen "
+         << plane.rx_seen() << " (a sample was recorded outside an accepted RX)";
+      return CheckResult::fail(os.str());
+    }
+    return CheckResult::pass();
+  };
+}
+
+CheckFn make_timestamper_checker(const core::Timestamper& ts) {
+  return [&ts](sim::SimTime) -> CheckResult {
+    const std::uint64_t in_flight = ts.sample_in_flight() ? 1 : 0;
+    if (ts.attempts() == ts.samples() + ts.lost() + ts.discarded() + in_flight)
+      return CheckResult::pass();
+    std::ostringstream os;
+    os << "timestamper: attempts " << ts.attempts() << " != samples " << ts.samples()
+       << " + lost " << ts.lost() << " + discarded " << ts.discarded() << " + in_flight "
+       << in_flight << " (an attempt resolved without being counted)";
+    return CheckResult::fail(os.str());
   };
 }
 

@@ -26,12 +26,16 @@
 #include <vector>
 
 #include "sim/time.hpp"
+#include "telemetry/handles.hpp"
 
 namespace moongen::telemetry {
 class MetricRegistry;
-class ShardedCounter;
-class Gauge;
+class RttPlane;
 }  // namespace moongen::telemetry
+
+namespace moongen::core {
+class Timestamper;
+}
 
 namespace moongen::sim {
 class EventQueue;
@@ -92,6 +96,8 @@ class CheckerRegistry {
 
   /// Mirrors `<prefix>.checks_run` / `<prefix>.violations` counters and the
   /// `<prefix>.checkers` gauge into `registry`.
+  void bind_telemetry(telemetry::MetricTree& tree, const std::string& prefix = "health");
+  /// Convenience overload: binds into the registry's default tree (shard 0).
   void bind_telemetry(telemetry::MetricRegistry& registry, const std::string& prefix = "health");
 
  private:
@@ -99,8 +105,8 @@ class CheckerRegistry {
   std::vector<CheckFn> checkers_;
   std::vector<Violation> violations_;
   std::uint64_t checks_run_ = 0;
-  telemetry::ShardedCounter* tm_checks_ = nullptr;
-  telemetry::ShardedCounter* tm_violations_ = nullptr;
+  telemetry::CounterHandle tm_checks_;
+  telemetry::CounterHandle tm_violations_;
   std::uint64_t tm_checks_published_ = 0;
   std::uint64_t tm_violations_published_ = 0;
 };
@@ -143,5 +149,23 @@ class CheckerRegistry {
 /// validates the free list itself (foreign pointers, duplicates).
 [[nodiscard]] CheckFn make_mempool_checker(const membuf::Mempool& pool,
                                            std::function<std::size_t()> held_fn = {});
+
+/// RTT-plane stamp conservation across all shards' RttShards:
+///   births (tx_stamped + tx_forwarded + duplicated)
+///     == deaths (rx_seen + dropped) + in-flight,   in-flight >= 0
+/// A negative in-flight means a stamped frame was double-counted or an RTT
+/// was conjured from nothing. Also: the cumulative histogram population
+/// equals recorded() (every recorded sample landed in exactly one bucket)
+/// and recorded() <= rx_seen() (recording only happens at accepted RX).
+[[nodiscard]] CheckFn make_rtt_checker(const telemetry::RttPlane& plane);
+
+/// Timestamper sampled-pair conservation:
+///   attempts == samples + lost + discarded + (0 or 1 in flight)
+/// Under fault-plane loss the sampled path must count the lost stamp as
+/// lost — not leave it dangling — so that it and the always-on RTT plane
+/// tell the same drop story (both are audited at the same instants).
+/// Discarded covers attempts whose probe arrived but whose measurement
+/// was unusable (occupied stamp register, clock-sync negative delta).
+[[nodiscard]] CheckFn make_timestamper_checker(const core::Timestamper& ts);
 
 }  // namespace moongen::health

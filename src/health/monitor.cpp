@@ -35,23 +35,28 @@ void DegradationGovernor::tick() {
   if (!active_ && hot_streak_ >= cfg_.enter_windows) {
     active_ = true;
     ++enters_;
-    if (tm_enter_ != nullptr) tm_enter_->add(1);
+    tm_enter_.add(1);
     if (apply_) apply_(true, cfg_.degraded_keep);
   } else if (active_ && cool_streak_ >= cfg_.exit_windows) {
     active_ = false;
     ++recovers_;
-    if (tm_recover_ != nullptr) tm_recover_->add(1);
+    tm_recover_.add(1);
     if (apply_) apply_(false, 1.0);
   }
-  if (tm_active_ != nullptr) tm_active_->set(active_ ? 1.0 : 0.0);
+  tm_active_.set(active_ ? 1.0 : 0.0);
 }
 
 void DegradationGovernor::bind_telemetry(telemetry::MetricRegistry& registry,
                                          const std::string& prefix) {
-  tm_enter_ = &registry.counter(prefix + ".enter");
-  tm_recover_ = &registry.counter(prefix + ".recover");
-  tm_active_ = &registry.gauge(prefix + ".active");
-  tm_active_->set(0.0);
+  bind_telemetry(registry.shard(0), prefix);
+}
+
+void DegradationGovernor::bind_telemetry(telemetry::MetricTree& tree,
+                                         const std::string& prefix) {
+  tm_enter_ = tree.counter(prefix + ".enter");
+  tm_recover_ = tree.counter(prefix + ".recover");
+  tm_active_ = tree.gauge(prefix + ".active");
+  tm_active_.set(0.0);
 }
 
 // --- HealthMonitor ----------------------------------------------------------

@@ -35,8 +35,7 @@ class Testbed;
 }
 
 namespace moongen::telemetry {
-class ShardedCounter;
-class Gauge;
+
 }
 
 namespace moongen::health {
@@ -80,6 +79,8 @@ class DegradationGovernor {
 
   /// `<prefix>.enter` / `<prefix>.recover` counters + `<prefix>.active`
   /// gauge (prefix is typically "health.degraded.<label>").
+  void bind_telemetry(telemetry::MetricTree& tree, const std::string& prefix);
+  /// Convenience overload: binds into the registry's default tree (shard 0).
   void bind_telemetry(telemetry::MetricRegistry& registry, const std::string& prefix);
 
  private:
@@ -94,9 +95,9 @@ class DegradationGovernor {
   bool active_ = false;
   std::uint64_t enters_ = 0;
   std::uint64_t recovers_ = 0;
-  telemetry::ShardedCounter* tm_enter_ = nullptr;
-  telemetry::ShardedCounter* tm_recover_ = nullptr;
-  telemetry::Gauge* tm_active_ = nullptr;
+  telemetry::CounterHandle tm_enter_;
+  telemetry::CounterHandle tm_recover_;
+  telemetry::GaugeHandle tm_active_;
 };
 
 // --- the monitor ------------------------------------------------------------

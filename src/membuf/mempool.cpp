@@ -21,7 +21,7 @@ Mempool::Mempool(std::size_t capacity, InitFn init) {
 
 void Mempool::note_exhausted() {
   ++exhausted_events_;
-  if (tm_exhausted_ != nullptr) tm_exhausted_->add(1);
+  tm_exhausted_.add(1);
 }
 
 std::size_t Mempool::alloc_batch(std::span<PktBuf*> out, std::size_t frame_length) {
@@ -47,13 +47,17 @@ std::size_t Mempool::alloc_batch(std::span<PktBuf*> out, std::size_t frame_lengt
   return n;
 }
 
-void Mempool::bind_telemetry(telemetry::MetricRegistry& registry, const std::string& prefix) {
-  if (tm_exhausted_ != nullptr) return;  // already bound
-  auto& counter = registry.counter(prefix + ".exhausted");
+void Mempool::bind_telemetry(telemetry::MetricTree& tree, const std::string& prefix) {
+  if (tm_exhausted_.valid()) return;  // already bound
+  auto counter = tree.counter(prefix + ".exhausted");
   lock();
   counter.add(exhausted_events_);  // seed with history, as elsewhere
-  tm_exhausted_ = &counter;
+  tm_exhausted_ = counter;
   unlock();
+}
+
+void Mempool::bind_telemetry(telemetry::MetricRegistry& registry, const std::string& prefix) {
+  bind_telemetry(registry.shard(0), prefix);
 }
 
 void Mempool::install_faults(fault::FaultPlane& plane, const std::string& site) {

@@ -16,10 +16,10 @@
 
 #include "fault/fault.hpp"
 #include "membuf/pktbuf.hpp"
+#include "telemetry/handles.hpp"
 
 namespace moongen::telemetry {
 class MetricRegistry;
-class ShardedCounter;
 }  // namespace moongen::telemetry
 
 namespace moongen::membuf {
@@ -71,7 +71,10 @@ class Mempool {
   /// the `<prefix>.exhausted` telemetry counter are built on.
   [[nodiscard]] std::uint64_t exhausted_events() const { return exhausted_events_; }
 
-  /// Mirrors exhaustion events into `<prefix>.exhausted` of `registry`.
+  /// Mirrors exhaustion events into `<prefix>.exhausted` of `tree`,
+  /// resolving the counter handle once (per-shard metric API).
+  void bind_telemetry(telemetry::MetricTree& tree, const std::string& prefix);
+  /// Convenience overload: binds into the registry's default tree (shard 0).
   void bind_telemetry(telemetry::MetricRegistry& registry, const std::string& prefix);
 
   /// Arms the alloc-failure fault site: a fire makes the next alloc_batch
@@ -107,7 +110,7 @@ class Mempool {
   std::size_t low_watermark_;
   mutable std::atomic_flag lock_ = ATOMIC_FLAG_INIT;
   std::uint64_t exhausted_events_ = 0;  // guarded by lock_
-  telemetry::ShardedCounter* tm_exhausted_ = nullptr;
+  telemetry::CounterHandle tm_exhausted_;
   fault::FaultPoint fp_alloc_fail_;
   fault::FaultPlane* fault_plane_ = nullptr;  // set with fp_alloc_fail_
 };

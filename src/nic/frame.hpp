@@ -16,14 +16,27 @@
 
 namespace moongen::nic {
 
+// Member order is deliberate: flow and fcs_valid pack into the tail
+// padding, keeping sizeof(Frame) at 40 so per-frame event closures
+// ([port, frame]) still fit InlineFunction's 48-byte inline buffer.
 struct Frame {
   /// Frame bytes excluding the 4-byte FCS.
   std::shared_ptr<const std::vector<std::uint8_t>> data;
+  /// Generator-assigned sequence number for end-to-end matching.
+  std::uint64_t seq = 0;
+  /// Departure stamp of the always-on RTT plane (ps; 0 = unstamped). Set
+  /// once at first MAC serialization of a valid frame when a plane is
+  /// attached — the same payload-stamp idea as the RPC codec, but carried
+  /// as frame metadata so the wire bytes (and thus captures, RSS, CRC
+  /// behaviour) are untouched. Forwarded copies keep the stamp, so the
+  /// receive side measures true end-to-end latency.
+  std::uint64_t tx_stamp_ps = 0;
+  /// Flow-group label for the RTT plane's per-group histograms (masked by
+  /// the plane's group count; 0 is the default group).
+  std::uint32_t flow = 0;
   /// False for the deliberately corrupted frames of the CRC-based rate
   /// control (paper Section 8); receivers drop these in hardware.
   bool fcs_valid = true;
-  /// Generator-assigned sequence number for end-to-end matching.
-  std::uint64_t seq = 0;
 
   /// Frame size including FCS (the "packet size" of the paper).
   [[nodiscard]] std::size_t frame_size() const { return data->size() + proto::kFcsSize; }
@@ -33,8 +46,9 @@ struct Frame {
 
 inline Frame make_frame(std::vector<std::uint8_t> bytes, bool fcs_valid = true,
                         std::uint64_t seq = 0) {
-  return Frame{std::make_shared<const std::vector<std::uint8_t>>(std::move(bytes)), fcs_valid,
-               seq};
+  return Frame{.data = std::make_shared<const std::vector<std::uint8_t>>(std::move(bytes)),
+               .seq = seq,
+               .fcs_valid = fcs_valid};
 }
 
 /// Builds an opaque filler frame of `wire_len` bytes on the wire (>= 33),
@@ -53,7 +67,7 @@ inline Frame make_gap_frame(std::size_t wire_len, std::uint64_t seq = 0) {
   if (data_len >= cache.size()) cache.resize(data_len + 1);
   auto& slot = cache[data_len];
   if (!slot) slot = std::make_shared<const std::vector<std::uint8_t>>(data_len, std::uint8_t{0});
-  return Frame{slot, /*fcs_valid=*/false, seq};
+  return Frame{.data = slot, .seq = seq, .fcs_valid = false};
 }
 
 }  // namespace moongen::nic

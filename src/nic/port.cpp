@@ -188,18 +188,21 @@ void Port::start_transmission(TxQueueModel& q) {
   if (!tx_stamp_register_.has_value() && frame_matches_ptp_filter(frame)) {
     tx_stamp_register_ = ptp_clock_.read(t0);
   }
+  stamp_departure(frame, t0);
 
   apply_rate_limit(q, frame, t0);
 
   const sim::SimTime busy_until = t0 + frame.wire_bytes() * byte_time_ps_;
   last_busy_end_ = busy_until;
-  events_.schedule_at_inline(busy_until, [this, frame = std::move(frame), t0] {
+  // t0 is recomputed from the completion time rather than captured: the
+  // [this, frame] closure fills InlineFunction's buffer exactly, and the
+  // serialization span is fixed by the frame's wire bytes.
+  events_.schedule_at_inline(busy_until, [this, frame = std::move(frame)] {
+    const sim::SimTime t0 = events_.now() - frame.wire_bytes() * byte_time_ps_;
     stats_.tx_packets += 1;
     stats_.tx_bytes += frame.wire_bytes();
-    if (tm_.tx_packets != nullptr) {
-      tm_.tx_packets->add(1);
-      tm_.tx_bytes->add(frame.wire_bytes());
-    }
+    tm_.tx_packets.add(1);
+    tm_.tx_bytes.add(frame.wire_bytes());
     serializer_busy_ = false;
     if (sink_ != nullptr) sink_->on_frame(frame, t0);
     try_transmit();
@@ -244,6 +247,7 @@ void Port::start_batch_transmission(TxQueueModel& q) {
     if (!tx_stamp_register_.has_value() && frame_matches_ptp_filter(frame)) {
       tx_stamp_register_ = ptp_clock_.read(t0);
     }
+    stamp_departure(frame, t0);
     const std::uint64_t wire = frame.wire_bytes();
     if (sink_ != nullptr) sink_->on_frame(frame, t0);
     t0 += wire * byte_time_ps_;
@@ -257,10 +261,8 @@ void Port::start_batch_transmission(TxQueueModel& q) {
   events_.schedule_at_inline(t0, [this, frames, bytes] {
     stats_.tx_packets += frames;
     stats_.tx_bytes += bytes;
-    if (tm_.tx_packets != nullptr) {
-      tm_.tx_packets->add(frames);
-      tm_.tx_bytes->add(bytes);
-    }
+    tm_.tx_packets.add(frames);
+    tm_.tx_bytes.add(bytes);
     serializer_busy_ = false;
     try_transmit();
   });
@@ -326,20 +328,24 @@ bool Port::frame_matches_ptp_filter(const Frame& frame) const {
 void Port::deliver_frame(const Frame& frame, sim::SimTime first_bit_ps) {
   const sim::SimTime complete =
       first_bit_ps + (frame.frame_size() + 8) * byte_time_ps_;  // preamble + frame
-  events_.schedule_at_inline(complete, [this, frame, first_bit_ps]() mutable {
+  // first_bit_ps is recovered from the completion time inside the closure
+  // so [this, frame] stays within the inline buffer (see start_transmission).
+  events_.schedule_at_inline(complete, [this, frame]() mutable {
+    const sim::SimTime first_bit_ps = events_.now() - (frame.frame_size() + 8) * byte_time_ps_;
     // Hardware drop of bad-FCS frames and runts: they never reach a receive
     // queue, only the error counter moves (Section 8.1).
     if (!frame.fcs_valid || frame.frame_size() < proto::kMinFrameSize) {
       stats_.crc_errors += 1;
-      if (tm_.crc_errors != nullptr) tm_.crc_errors->add(1);
+      tm_.crc_errors.add(1);
+      // A stamped frame corrupted on the wire dies here: account the stamp
+      // as dropped, never silently shrink the RTT population.
+      if (rtt_ != nullptr && frame.tx_stamp_ps != 0) rtt_->note_dropped();
       return;
     }
     stats_.rx_packets += 1;
     stats_.rx_bytes += frame.frame_size();
-    if (tm_.rx_packets != nullptr) {
-      tm_.rx_packets->add(1);
-      tm_.rx_bytes->add(frame.frame_size());
-    }
+    tm_.rx_packets.add(1);
+    tm_.rx_bytes.add(frame.frame_size());
 
     std::uint64_t hw_ts = 0;
     if (spec_.rx_timestamp_all) {
@@ -357,7 +363,10 @@ void Port::deliver_frame(const Frame& frame, sim::SimTime first_bit_ps) {
     int queue_index = 0;
     const auto verdict = flow_director_.match(frame);
     if (verdict.matched) {
-      if (verdict.drop) return;  // filtered in hardware
+      if (verdict.drop) {  // filtered in hardware
+        if (rtt_ != nullptr && frame.tx_stamp_ps != 0) rtt_->note_dropped();
+        return;
+      }
       queue_index = verdict.queue;
     } else if (steering_) {
       queue_index = steering_(frame);
@@ -376,8 +385,21 @@ void Port::deliver_frame(const Frame& frame, sim::SimTime first_bit_ps) {
     if (ring_full ||
         (fp_rx_overflow_.installed() && fp_rx_overflow_.fire(events_.now()) != nullptr)) {
       stats_.rx_ring_drops += 1;
-      if (tm_.rx_ring_drops != nullptr) tm_.rx_ring_drops->add(1);
+      tm_.rx_ring_drops.add(1);
+      if (rtt_ != nullptr && frame.tx_stamp_ps != 0) rtt_->note_dropped();
       return;
+    }
+    // Always-on RTT plane: every accepted stamped frame is accounted, and
+    // measurement endpoints additionally fold arrival - departure into the
+    // shard's flow-group histogram. first_bit_ps is the same latch point
+    // the PTP RX unit uses, so sampled and always-on paths agree.
+    if (rtt_ != nullptr && frame.tx_stamp_ps != 0) {
+      rtt_->note_rx_seen();
+      if (rtt_record_) {
+        const std::uint64_t rtt_ps =
+            first_bit_ps > frame.tx_stamp_ps ? first_bit_ps - frame.tx_stamp_ps : 0;
+        rtt_->record_ps(frame.flow, rtt_ps);
+      }
     }
     RxQueueModel::Entry entry{std::move(frame), events_.now(), hw_ts};
     if (q.store_) {
@@ -395,24 +417,24 @@ void Port::deliver_frame(const Frame& frame, sim::SimTime first_bit_ps) {
   });
 }
 
-void Port::bind_telemetry(telemetry::MetricRegistry& registry, const std::string& prefix) {
-  if (tm_.tx_packets != nullptr) return;  // already bound; re-seeding would double-count
-  tm_.tx_packets = &registry.counter(prefix + ".tx_packets");
-  tm_.tx_bytes = &registry.counter(prefix + ".tx_bytes");
-  tm_.rx_packets = &registry.counter(prefix + ".rx_packets");
-  tm_.rx_bytes = &registry.counter(prefix + ".rx_bytes");
-  tm_.crc_errors = &registry.counter(prefix + ".crc_errors");
-  tm_.rx_ring_drops = &registry.counter(prefix + ".rx_ring_drops");
-  tm_.link_resume = &registry.counter("recover." + prefix + ".link_resume");
+void Port::bind_telemetry(telemetry::MetricTree& tree, const std::string& prefix) {
+  if (tm_.tx_packets.valid()) return;  // already bound; re-seeding would double-count
+  tm_.tx_packets = tree.counter(prefix + ".tx_packets");
+  tm_.tx_bytes = tree.counter(prefix + ".tx_bytes");
+  tm_.rx_packets = tree.counter(prefix + ".rx_packets");
+  tm_.rx_bytes = tree.counter(prefix + ".rx_bytes");
+  tm_.crc_errors = tree.counter(prefix + ".crc_errors");
+  tm_.rx_ring_drops = tree.counter(prefix + ".rx_ring_drops");
+  tm_.link_resume = tree.counter("recover." + prefix + ".link_resume");
   // Re-binding mid-run would double-count history; seed the counters with
   // the current totals so registry and PortStats agree from this point on.
-  tm_.tx_packets->add(stats_.tx_packets);
-  tm_.tx_bytes->add(stats_.tx_bytes);
-  tm_.rx_packets->add(stats_.rx_packets);
-  tm_.rx_bytes->add(stats_.rx_bytes);
-  tm_.crc_errors->add(stats_.crc_errors);
-  tm_.rx_ring_drops->add(stats_.rx_ring_drops);
-  tm_.link_resume->add(stats_.link_up_events);
+  tm_.tx_packets.add(stats_.tx_packets);
+  tm_.tx_bytes.add(stats_.tx_bytes);
+  tm_.rx_packets.add(stats_.rx_packets);
+  tm_.rx_bytes.add(stats_.rx_bytes);
+  tm_.crc_errors.add(stats_.crc_errors);
+  tm_.rx_ring_drops.add(stats_.rx_ring_drops);
+  tm_.link_resume.add(stats_.link_up_events);
 }
 
 void Port::set_link_state(bool up) {
@@ -420,7 +442,7 @@ void Port::set_link_state(bool up) {
   link_up_ = up;
   if (up) {
     stats_.link_up_events += 1;
-    if (tm_.link_resume != nullptr) tm_.link_resume->add(1);
+    tm_.link_resume.add(1);
     // Resume: drain everything that queued up during the outage.
     try_transmit();
   } else {

@@ -36,7 +36,9 @@
 #include "nic/rss.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/ptp_clock.hpp"
+#include "telemetry/handles.hpp"
 #include "telemetry/registry.hpp"
+#include "telemetry/rtt_plane.hpp"
 
 namespace moongen::nic {
 
@@ -75,16 +77,17 @@ struct PortStats {
   std::uint64_t link_up_events = 0;
 };
 
-/// Registry counters mirroring PortStats, filled by bind_telemetry.
+/// Metric handles mirroring PortStats, resolved once by bind_telemetry
+/// (per-shard tree handles; default-constructed handles are no-op sinks).
 struct PortTelemetry {
-  telemetry::ShardedCounter* tx_packets = nullptr;
-  telemetry::ShardedCounter* tx_bytes = nullptr;
-  telemetry::ShardedCounter* rx_packets = nullptr;
-  telemetry::ShardedCounter* rx_bytes = nullptr;
-  telemetry::ShardedCounter* crc_errors = nullptr;
-  telemetry::ShardedCounter* rx_ring_drops = nullptr;
+  telemetry::CounterHandle tx_packets;
+  telemetry::CounterHandle tx_bytes;
+  telemetry::CounterHandle rx_packets;
+  telemetry::CounterHandle rx_bytes;
+  telemetry::CounterHandle crc_errors;
+  telemetry::CounterHandle rx_ring_drops;
   /// `recover.<prefix>.link_resume`: carrier-up transitions after an outage.
-  telemetry::ShardedCounter* link_resume = nullptr;
+  telemetry::CounterHandle link_resume;
 };
 
 /// One hardware transmit queue.
@@ -226,9 +229,26 @@ class Port {
 
   [[nodiscard]] const PortStats& stats() const { return stats_; }
 
-  /// Mirrors the TX/RX/drop/CRC-error paths into `<prefix>.tx_packets` etc.
-  /// of `registry`. The registry must outlive the port.
-  void bind_telemetry(telemetry::MetricRegistry& registry, const std::string& prefix);
+  /// Resolves `<prefix>.tx_packets` etc. handles from `tree` (the metric
+  /// tree of this port's simulation shard). The tree must outlive the port.
+  void bind_telemetry(telemetry::MetricTree& tree, const std::string& prefix);
+  /// Convenience: binds against `registry.shard(0)` (single-shard setups).
+  void bind_telemetry(telemetry::MetricRegistry& registry, const std::string& prefix) {
+    bind_telemetry(registry.shard(0), prefix);
+  }
+
+  /// Attaches this port to the always-on RTT plane: `rtt` is the RttShard
+  /// of this port's simulation shard. The TX path stamps departures on
+  /// every valid frame (once — forwarded frames keep their stamp) and the
+  /// RX path accounts every stamped frame as seen or dropped. With
+  /// `record` set, accepted stamped frames additionally fold their RTT
+  /// into the shard's histograms — enable it on measurement endpoints
+  /// (the generator's receive port), not on intermediate DuT ports.
+  void attach_rtt(telemetry::RttShard* rtt, bool record) {
+    rtt_ = rtt;
+    rtt_record_ = record;
+  }
+  [[nodiscard]] bool rtt_attached() const { return rtt_ != nullptr; }
 
   // --- link state (propagated from the attached wire on carrier faults) ----
   /// Carrier up/down. Down pauses the transmit path (frames queue in the
@@ -309,6 +329,22 @@ class Port {
   [[nodiscard]] bool batching_allowed(const TxQueueModel& q) const;
   void apply_rate_limit(TxQueueModel& q, const Frame& frame, sim::SimTime tx_start);
   [[nodiscard]] bool frame_matches_ptp_filter(const Frame& frame) const;
+  /// RTT-plane departure stamping at serialization start (same latch point
+  /// as the PTP TX unit). Stamps a valid frame once; a frame that already
+  /// carries a stamp (DuT re-transmission) keeps it and counts as
+  /// forwarded. No-op without an attached plane — the frame metadata and
+  /// every counter stay exactly as before.
+  void stamp_departure(Frame& frame, sim::SimTime t0) {
+    if (rtt_ == nullptr || !frame.fcs_valid) return;
+    if (frame.tx_stamp_ps == 0) {
+      // t0 == 0 would read as "unstamped"; nudge by 1 ps (invisible at the
+      // plane's ns resolution).
+      frame.tx_stamp_ps = t0 == 0 ? 1 : t0;
+      rtt_->note_tx_stamped();
+    } else {
+      rtt_->note_tx_forwarded();
+    }
+  }
 
   sim::EventQueue& events_;
   ChipSpec spec_;
@@ -334,6 +370,8 @@ class Port {
 
   PortStats stats_;
   PortTelemetry tm_;
+  telemetry::RttShard* rtt_ = nullptr;
+  bool rtt_record_ = false;
   sim::PtpClock ptp_clock_;
   PtpFilterConfig ptp_filter_;
   std::optional<std::uint64_t> tx_stamp_register_;

@@ -77,7 +77,7 @@ std::pair<std::span<std::uint8_t>, nic::Frame> FramePool::acquire() {
   // the mutable handle, so the next acquisition of this slot can rewrite
   // the per-request fields in place without reallocating.
   return {std::span<std::uint8_t>{buf->data(), buf->size()},
-          nic::Frame{std::shared_ptr<const std::vector<std::uint8_t>>(buf), true, 0}};
+          nic::Frame{.data = std::shared_ptr<const std::vector<std::uint8_t>>(buf)}};
 }
 
 }  // namespace moongen::rpc

@@ -136,25 +136,29 @@ void ClientBase::timeout_sweep() {
   if (now < stop_ps_ + cfg_.timeout_ps) arm_timeout_sweep();
 }
 
-void ClientBase::bind_telemetry(telemetry::MetricRegistry& registry, const std::string& prefix) {
-  if (tm_.issued != nullptr) return;
-  tm_.issued = &registry.gauge(prefix + ".issued");
-  tm_.matched = &registry.gauge(prefix + ".matched");
-  tm_.inflight = &registry.gauge(prefix + ".inflight");
-  tm_.peak_inflight = &registry.gauge(prefix + ".peak_inflight");
-  tm_.timed_out = &registry.gauge(prefix + ".timed_out");
-  tm_.send_drops = &registry.gauge(prefix + ".send_drops");
+void ClientBase::bind_telemetry(telemetry::MetricTree& tree, const std::string& prefix) {
+  if (tm_.issued.valid()) return;
+  tm_.issued = tree.gauge(prefix + ".issued");
+  tm_.matched = tree.gauge(prefix + ".matched");
+  tm_.inflight = tree.gauge(prefix + ".inflight");
+  tm_.peak_inflight = tree.gauge(prefix + ".peak_inflight");
+  tm_.timed_out = tree.gauge(prefix + ".timed_out");
+  tm_.send_drops = tree.gauge(prefix + ".send_drops");
   publish_telemetry();
 }
 
+void ClientBase::bind_telemetry(telemetry::MetricRegistry& registry, const std::string& prefix) {
+  bind_telemetry(registry.shard(0), prefix);
+}
+
 void ClientBase::publish_telemetry() {
-  if (tm_.issued == nullptr) return;
-  tm_.issued->set(static_cast<double>(issued_));
-  tm_.matched->set(static_cast<double>(matched_));
-  tm_.inflight->set(static_cast<double>(table_.size()));
-  tm_.peak_inflight->set(static_cast<double>(table_.peak()));
-  tm_.timed_out->set(static_cast<double>(timed_out_));
-  tm_.send_drops->set(static_cast<double>(send_drops_));
+  if (!tm_.issued.valid()) return;
+  tm_.issued.set(static_cast<double>(issued_));
+  tm_.matched.set(static_cast<double>(matched_));
+  tm_.inflight.set(static_cast<double>(table_.size()));
+  tm_.peak_inflight.set(static_cast<double>(table_.peak()));
+  tm_.timed_out.set(static_cast<double>(timed_out_));
+  tm_.send_drops.set(static_cast<double>(send_drops_));
 }
 
 }  // namespace detail

@@ -94,6 +94,8 @@ class ClientBase {
 
   /// Gauges under `<prefix>.*`; the hot path never touches the registry —
   /// call publish_telemetry() at sampling instants.
+  void bind_telemetry(telemetry::MetricTree& tree, const std::string& prefix);
+  /// Convenience overload: binds into the registry's default tree (shard 0).
   void bind_telemetry(telemetry::MetricRegistry& registry, const std::string& prefix);
   void publish_telemetry();
 
@@ -154,12 +156,12 @@ class ClientBase {
   std::uint64_t tx_deferrals_ = 0;
 
   struct Gauges {
-    telemetry::Gauge* issued = nullptr;
-    telemetry::Gauge* matched = nullptr;
-    telemetry::Gauge* inflight = nullptr;
-    telemetry::Gauge* peak_inflight = nullptr;
-    telemetry::Gauge* timed_out = nullptr;
-    telemetry::Gauge* send_drops = nullptr;
+    telemetry::GaugeHandle issued;
+    telemetry::GaugeHandle matched;
+    telemetry::GaugeHandle inflight;
+    telemetry::GaugeHandle peak_inflight;
+    telemetry::GaugeHandle timed_out;
+    telemetry::GaugeHandle send_drops;
   } tm_;
 };
 

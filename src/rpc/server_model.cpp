@@ -143,23 +143,27 @@ void ServerModel::drain_tx_retry() {
   }
 }
 
-void ServerModel::bind_telemetry(telemetry::MetricRegistry& registry, const std::string& prefix) {
-  if (tm_.received != nullptr) return;
-  tm_.received = &registry.gauge(prefix + ".received");
-  tm_.completed = &registry.gauge(prefix + ".completed");
-  tm_.queue_depth = &registry.gauge(prefix + ".queue_depth");
-  tm_.queue_drops = &registry.gauge(prefix + ".queue_drops");
-  tm_.stalls = &registry.gauge(prefix + ".stalls");
+void ServerModel::bind_telemetry(telemetry::MetricTree& tree, const std::string& prefix) {
+  if (tm_.received.valid()) return;
+  tm_.received = tree.gauge(prefix + ".received");
+  tm_.completed = tree.gauge(prefix + ".completed");
+  tm_.queue_depth = tree.gauge(prefix + ".queue_depth");
+  tm_.queue_drops = tree.gauge(prefix + ".queue_drops");
+  tm_.stalls = tree.gauge(prefix + ".stalls");
   publish_telemetry();
 }
 
+void ServerModel::bind_telemetry(telemetry::MetricRegistry& registry, const std::string& prefix) {
+  bind_telemetry(registry.shard(0), prefix);
+}
+
 void ServerModel::publish_telemetry() {
-  if (tm_.received == nullptr) return;
-  tm_.received->set(static_cast<double>(received_));
-  tm_.completed->set(static_cast<double>(completed_));
-  tm_.queue_depth->set(static_cast<double>(queue_.size()));
-  tm_.queue_drops->set(static_cast<double>(queue_drops_));
-  tm_.stalls->set(static_cast<double>(stalls_));
+  if (!tm_.received.valid()) return;
+  tm_.received.set(static_cast<double>(received_));
+  tm_.completed.set(static_cast<double>(completed_));
+  tm_.queue_depth.set(static_cast<double>(queue_.size()));
+  tm_.queue_drops.set(static_cast<double>(queue_drops_));
+  tm_.stalls.set(static_cast<double>(stalls_));
 }
 
 }  // namespace moongen::rpc

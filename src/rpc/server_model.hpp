@@ -81,6 +81,8 @@ class ServerModel {
 
   /// Pushes the counters above into `<prefix>.*` gauges (call at sampling
   /// instants; the hot path deliberately never touches the registry).
+  void bind_telemetry(telemetry::MetricTree& tree, const std::string& prefix);
+  /// Convenience overload: binds into the registry's default tree (shard 0).
   void bind_telemetry(telemetry::MetricRegistry& registry, const std::string& prefix);
   void publish_telemetry();
 
@@ -123,11 +125,11 @@ class ServerModel {
   std::size_t peak_queue_ = 0;
 
   struct Gauges {
-    telemetry::Gauge* received = nullptr;
-    telemetry::Gauge* completed = nullptr;
-    telemetry::Gauge* queue_depth = nullptr;
-    telemetry::Gauge* queue_drops = nullptr;
-    telemetry::Gauge* stalls = nullptr;
+    telemetry::GaugeHandle received;
+    telemetry::GaugeHandle completed;
+    telemetry::GaugeHandle queue_depth;
+    telemetry::GaugeHandle queue_drops;
+    telemetry::GaugeHandle stalls;
   } tm_;
 };
 

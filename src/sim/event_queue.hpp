@@ -26,11 +26,10 @@
 
 #include "sim/inline_function.hpp"
 #include "sim/time.hpp"
+#include "telemetry/handles.hpp"
 
 namespace moongen::telemetry {
 class MetricRegistry;
-class ShardedCounter;
-class Gauge;
 }  // namespace moongen::telemetry
 
 namespace moongen::sim {
@@ -144,6 +143,8 @@ class EventQueue {
   /// `<prefix>.events_per_wall_second` (gauge) in `registry`. Metrics are
   /// NOT updated per event — call publish_telemetry() at sampling points /
   /// end of run to flush the deltas.
+  void bind_telemetry(telemetry::MetricTree& tree, const std::string& prefix);
+  /// Convenience overload: binds into the registry's default tree (shard 0).
   void bind_telemetry(telemetry::MetricRegistry& registry, const std::string& prefix);
   /// Flushes executed/scheduled deltas into the bound registry counters and
   /// refreshes the events-per-wall-second gauge.
@@ -242,11 +243,11 @@ class EventQueue {
 
   EventTraceSink* trace_sink_ = nullptr;
 
-  // Telemetry bindings (null until bind_telemetry).
-  telemetry::ShardedCounter* tm_executed_ = nullptr;
-  telemetry::ShardedCounter* tm_wheel_ = nullptr;
-  telemetry::ShardedCounter* tm_heap_ = nullptr;
-  telemetry::Gauge* tm_rate_ = nullptr;
+  // Telemetry bindings (invalid/no-op until bind_telemetry).
+  telemetry::CounterHandle tm_executed_;
+  telemetry::CounterHandle tm_wheel_;
+  telemetry::CounterHandle tm_heap_;
+  telemetry::GaugeHandle tm_rate_;
   std::uint64_t tm_executed_published_ = 0;
   std::uint64_t tm_wheel_published_ = 0;
   std::uint64_t tm_heap_published_ = 0;

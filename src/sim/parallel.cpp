@@ -45,14 +45,40 @@ void ParallelRuntime::schedule_global(SimTime t, std::function<void()> fn) {
   globals_.emplace(t, std::move(fn));
 }
 
+void ParallelRuntime::add_window_hook(SimTime period_ps, std::function<void(SimTime)> fn) {
+  if (period_ps == 0)
+    throw std::invalid_argument("ParallelRuntime::add_window_hook: zero period");
+  WindowHook hook;
+  hook.period_ps = period_ps;
+  // First firing strictly after now(): a hook registered at t=0 first runs
+  // at period_ps, so every window spans exactly one period.
+  hook.next_due = (now_ / period_ps + 1) * period_ps;
+  hook.fn = std::move(fn);
+  hooks_.push_back(std::move(hook));
+}
+
 SimTime ParallelRuntime::next_target(SimTime cur, SimTime end) const {
   SimTime next = end;
   if (window_ps_ != UINT64_MAX && end - cur > window_ps_) next = cur + window_ps_;
   if (!globals_.empty() && globals_.begin()->first < next) next = globals_.begin()->first;
+  for (const auto& hook : hooks_)
+    if (hook.next_due < next) next = hook.next_due;
   return next;
 }
 
 void ParallelRuntime::run_globals() {
+  // Periodic hooks first: a window closer must publish before the global
+  // events (sampling ticks) due at the same instant read it. next_target
+  // stops every run at each due time, so the catch-up loop runs at most
+  // once per hook except when run_until jumps past due times with no
+  // shards to advance (t == now_ fast path never does).
+  for (auto& hook : hooks_) {
+    while (hook.next_due <= now_) {
+      const SimTime due = hook.next_due;
+      hook.next_due += hook.period_ps;
+      hook.fn(due);
+    }
+  }
   // Callbacks may schedule further globals at the current time; keep
   // draining until none are due (mirrors the event queue's same-time FIFO).
   while (!globals_.empty() && globals_.begin()->first <= now_) {

@@ -74,6 +74,20 @@ class ParallelRuntime {
   /// another global callback — never from shard events.
   void schedule_global(SimTime t, std::function<void()> fn);
 
+  /// Registers a periodic hook on the global timeline: `fn(due)` runs
+  /// single-threaded at every multiple of `period_ps` while all shards are
+  /// quiesced there (the barrier completion step in parallel runs), starting
+  /// with the first multiple strictly after now(). Hook due times bound the
+  /// window target exactly like globals, so shards stop *at* the due time —
+  /// a hook never observes a shard past its boundary. Hooks fire before any
+  /// global events due at the same instant (window closers run before the
+  /// sampling ticks that read them) and must be registered before run_until.
+  /// This is the telemetry window-merge hook: RttPlane window closes and
+  /// streaming-export ticks ride on it.
+  void add_window_hook(SimTime period_ps, std::function<void(SimTime)> fn);
+
+  [[nodiscard]] std::size_t window_hook_count() const { return hooks_.size(); }
+
   void set_executor(Executor executor) { executor_ = std::move(executor); }
 
   /// Advances every shard to `t`: all events with time <= t run, clocks end
@@ -134,6 +148,12 @@ class ParallelRuntime {
     std::atomic<std::uint64_t> count{0};
   };
 
+  struct WindowHook {
+    SimTime period_ps = 0;
+    SimTime next_due = 0;
+    std::function<void(SimTime)> fn;
+  };
+
   std::vector<std::unique_ptr<EventQueue>> shards_;
   std::unique_ptr<Heartbeat[]> heartbeats_;
   std::atomic<bool> running_{false};
@@ -142,6 +162,7 @@ class ParallelRuntime {
   std::vector<std::vector<Channel*>> outgoing_;  // per source shard
   SimTime window_ps_ = UINT64_MAX;
   std::multimap<SimTime, std::function<void()>> globals_;
+  std::vector<WindowHook> hooks_;
   Executor executor_;
   SimTime now_ = 0;
   std::uint64_t windows_ = 0;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 
 namespace moongen::telemetry {
 
@@ -159,6 +160,27 @@ void write_prometheus(std::ostream& os, const Snapshot& snap, const std::string&
     os << name << "_sum " << sum << '\n';
     os << name << "_count " << h.hist.total() << '\n';
   }
+}
+
+void JsonExporter::write(std::ostream& os, const Snapshot& snapshot) {
+  write_json(os, snapshot);
+  os << '\n';
+}
+
+void CsvExporter::write(std::ostream& os, const Snapshot& snapshot) {
+  write_csv(os, snapshot, !header_written_);
+  header_written_ = true;
+}
+
+void PrometheusExporter::write(std::ostream& os, const Snapshot& snapshot) {
+  write_prometheus(os, snapshot, prefix_);
+}
+
+std::unique_ptr<Exporter> make_exporter(std::string_view format) {
+  if (format == "json") return std::make_unique<JsonExporter>();
+  if (format == "csv") return std::make_unique<CsvExporter>();
+  if (format == "prometheus" || format == "prom") return std::make_unique<PrometheusExporter>();
+  return nullptr;
 }
 
 bool dump_json_to_file(const std::string& path, const Snapshot& snap) {

@@ -11,13 +11,64 @@
 //    for scraping a long-running generator.
 #pragma once
 
+#include <memory>
 #include <ostream>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "telemetry/registry.hpp"
 
 namespace moongen::telemetry {
+
+/// One serialization format behind a uniform interface: `write` renders a
+/// single Snapshot to `os`, terminated by a newline, so a sequence of
+/// calls produces a valid stream (newline-delimited JSON, CSV rows under
+/// one header, repeated Prometheus expositions). The streaming telemetry
+/// shard and the end-of-run `--json` path both go through the same
+/// underlying serializers (write_json & friends below), so a metric
+/// renders identically no matter which path exported it.
+class Exporter {
+ public:
+  virtual ~Exporter() = default;
+  virtual void write(std::ostream& os, const Snapshot& snapshot) = 0;
+  /// Format tag ("json", "csv", "prometheus") — stream headers, file names.
+  [[nodiscard]] virtual std::string_view format() const = 0;
+};
+
+/// Newline-delimited "moongen-telemetry-v1" objects.
+class JsonExporter final : public Exporter {
+ public:
+  void write(std::ostream& os, const Snapshot& snapshot) override;
+  [[nodiscard]] std::string_view format() const override { return "json"; }
+};
+
+/// Flat CSV rows; the column header is emitted once, before the first
+/// snapshot, so a stream of writes forms one coherent CSV document.
+class CsvExporter final : public Exporter {
+ public:
+  void write(std::ostream& os, const Snapshot& snapshot) override;
+  [[nodiscard]] std::string_view format() const override { return "csv"; }
+
+ private:
+  bool header_written_ = false;
+};
+
+/// Prometheus text exposition (one full exposition per snapshot).
+class PrometheusExporter final : public Exporter {
+ public:
+  explicit PrometheusExporter(std::string prefix = "moongen_") : prefix_(std::move(prefix)) {}
+  void write(std::ostream& os, const Snapshot& snapshot) override;
+  [[nodiscard]] std::string_view format() const override { return "prometheus"; }
+
+ private:
+  std::string prefix_;
+};
+
+/// Exporter for `format` in {"json", "csv", "prometheus"/"prom"}; nullptr
+/// on an unknown format (callers report and fall back).
+std::unique_ptr<Exporter> make_exporter(std::string_view format);
 
 /// One snapshot as a JSON object (schema "moongen-telemetry-v1").
 void write_json(std::ostream& os, const Snapshot& snapshot);

@@ -13,6 +13,7 @@
 // per-thread shards (ShardedHistogram) and cross-run aggregation work.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -68,6 +69,18 @@ class LogLinearHistogram {
   /// Merges a histogram with identical geometry; throws
   /// std::invalid_argument on mismatching sub_bucket_bits or max_value.
   void merge(const LogLinearHistogram& other);
+
+  /// Clears every bucket and statistic, keeping the geometry (and the
+  /// bucket storage — no allocation). Windowed histograms (RttPlane) reset
+  /// in place between windows.
+  void reset() {
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    total_ = 0;
+    overflow_ = 0;
+    sum_ = 0.0;
+    min_ = UINT64_MAX;
+    max_ = 0;
+  }
 
  private:
   HistogramConfig cfg_;

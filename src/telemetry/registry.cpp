@@ -1,24 +1,38 @@
 #include "telemetry/registry.hpp"
 
+#include <optional>
 #include <stdexcept>
+#include <utility>
 
 namespace moongen::telemetry {
 
-ShardedCounter& MetricRegistry::counter(const std::string& name) {
+MetricTree& MetricRegistry::shard(std::size_t index) {
+  std::scoped_lock lock(mutex_);
+  while (trees_.size() <= index) trees_.push_back(std::make_unique<MetricTree>());
+  return *trees_[index];
+}
+
+std::size_t MetricRegistry::tree_count() const {
+  std::scoped_lock lock(mutex_);
+  return trees_.size();
+}
+
+ShardedCounter& MetricRegistry::legacy_counter(const std::string& name) {
   std::scoped_lock lock(mutex_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<ShardedCounter>();
   return *slot;
 }
 
-Gauge& MetricRegistry::gauge(const std::string& name) {
+Gauge& MetricRegistry::legacy_gauge(const std::string& name) {
   std::scoped_lock lock(mutex_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
-ShardedHistogram& MetricRegistry::histogram(const std::string& name, HistogramConfig config) {
+ShardedHistogram& MetricRegistry::legacy_histogram(const std::string& name,
+                                                   HistogramConfig config) {
   std::scoped_lock lock(mutex_);
   auto& slot = histograms_[name];
   if (!slot) {
@@ -31,22 +45,105 @@ ShardedHistogram& MetricRegistry::histogram(const std::string& name, HistogramCo
   return *slot;
 }
 
+// The deprecated shim bodies forward to the non-deprecated internals; a
+// definition of a deprecated function does not itself warn.
+ShardedCounter& MetricRegistry::counter(const std::string& name) { return legacy_counter(name); }
+
+Gauge& MetricRegistry::gauge(const std::string& name) { return legacy_gauge(name); }
+
+ShardedHistogram& MetricRegistry::histogram(const std::string& name, HistogramConfig config) {
+  return legacy_histogram(name, config);
+}
+
 Snapshot MetricRegistry::snapshot(std::uint64_t timestamp_ns) const {
-  std::scoped_lock lock(mutex_);
+  // Merge under name-sorted maps: counters sum, gauges last-writer-wins in
+  // (legacy, tree 0, tree 1, ...) order, histograms merge losslessly.
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, LogLinearHistogram> hists;
+  std::vector<const MetricTree*> trees;
+  {
+    std::scoped_lock lock(mutex_);
+    for (const auto& [name, c] : counters_) counters[name] += c->value();
+    for (const auto& [name, g] : gauges_) gauges[name] = g->value();
+    for (const auto& [name, h] : histograms_) hists.emplace(name, h->merged());
+    trees.reserve(trees_.size());
+    for (const auto& tree : trees_) trees.push_back(tree.get());
+  }
+  for (const MetricTree* tree : trees) {
+    tree->visit_counters([&](const std::string& name, std::uint64_t v) { counters[name] += v; });
+    tree->visit_gauges([&](const std::string& name, double v) { gauges[name] = v; });
+    tree->visit_histograms([&](const std::string& name, const LogLinearHistogram& h) {
+      auto [it, inserted] = hists.emplace(name, h);
+      if (!inserted) it->second.merge(h);
+    });
+  }
   Snapshot snap;
   snap.timestamp_ns = timestamp_ns;
-  snap.counters.reserve(counters_.size());
-  for (const auto& [name, c] : counters_) snap.counters.push_back({name, c->value()});
-  snap.gauges.reserve(gauges_.size());
-  for (const auto& [name, g] : gauges_) snap.gauges.push_back({name, g->value()});
-  snap.histograms.reserve(histograms_.size());
-  for (const auto& [name, h] : histograms_) snap.histograms.push_back({name, h->merged()});
+  snap.counters.reserve(counters.size());
+  for (auto& [name, v] : counters) snap.counters.push_back({name, v});
+  snap.gauges.reserve(gauges.size());
+  for (auto& [name, v] : gauges) snap.gauges.push_back({name, v});
+  snap.histograms.reserve(hists.size());
+  for (auto& [name, h] : hists) snap.histograms.push_back({name, std::move(h)});
   return snap;
 }
 
+std::uint64_t MetricRegistry::counter_value(const std::string& name) const {
+  std::uint64_t total = 0;
+  std::vector<const MetricTree*> trees;
+  {
+    std::scoped_lock lock(mutex_);
+    if (auto it = counters_.find(name); it != counters_.end()) total += it->second->value();
+    trees.reserve(trees_.size());
+    for (const auto& tree : trees_) trees.push_back(tree.get());
+  }
+  for (const MetricTree* tree : trees)
+    tree->visit_counters([&](const std::string& n, std::uint64_t v) {
+      if (n == name) total += v;
+    });
+  return total;
+}
+
+double MetricRegistry::gauge_value(const std::string& name) const {
+  double value = 0.0;
+  std::vector<const MetricTree*> trees;
+  {
+    std::scoped_lock lock(mutex_);
+    if (auto it = gauges_.find(name); it != gauges_.end()) value = it->second->value();
+    trees.reserve(trees_.size());
+    for (const auto& tree : trees_) trees.push_back(tree.get());
+  }
+  for (const MetricTree* tree : trees)
+    tree->visit_gauges([&](const std::string& n, double v) {
+      if (n == name) value = v;
+    });
+  return value;
+}
+
+LogLinearHistogram MetricRegistry::histogram_merged(const std::string& name) const {
+  std::optional<LogLinearHistogram> merged;
+  std::vector<const MetricTree*> trees;
+  {
+    std::scoped_lock lock(mutex_);
+    if (auto it = histograms_.find(name); it != histograms_.end()) merged = it->second->merged();
+    trees.reserve(trees_.size());
+    for (const auto& tree : trees_) trees.push_back(tree.get());
+  }
+  for (const MetricTree* tree : trees)
+    tree->visit_histograms([&](const std::string& n, const LogLinearHistogram& h) {
+      if (n != name) return;
+      if (merged.has_value())
+        merged->merge(h);
+      else
+        merged = h;
+    });
+  return merged.has_value() ? *merged : LogLinearHistogram{HistogramConfig{}};
+}
+
 std::size_t MetricRegistry::metric_count() const {
-  std::scoped_lock lock(mutex_);
-  return counters_.size() + gauges_.size() + histograms_.size();
+  const Snapshot snap = snapshot();
+  return snap.counters.size() + snap.gauges.size() + snap.histograms.size();
 }
 
 }  // namespace moongen::telemetry

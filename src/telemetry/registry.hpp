@@ -1,11 +1,19 @@
 // MetricRegistry: the process-wide namespace of telemetry instruments.
 //
-// Subsystems register named counters / gauges / histograms once (at wiring
-// time, e.g. Port::bind_telemetry) and then write through the returned
-// reference from their hot loops without ever touching the registry again:
-// registration takes a mutex, updates are lock-free (ShardedCounter) or
-// shard-local (ShardedHistogram). `snapshot()` materializes a consistent,
-// name-sorted view for the Sampler and the exporters.
+// Since the per-shard metric API redesign (DESIGN.md Section 15) the
+// registry is a collection of per-shard MetricTrees (handles.hpp):
+// components resolve CounterHandle/GaugeHandle/HistogramHandle once at
+// wiring time from the tree of the simulation shard that owns them, and
+// hot-path updates are raw slot bumps with no name or shard lookup.
+// `snapshot()` merges every tree (plus any legacy instruments) into one
+// consistent, name-sorted view for the Sampler and the exporters: counters
+// sum across trees, histograms merge losslessly (identical geometry
+// enforced), gauges are last-writer-wins in shard order.
+//
+// The name-keyed instrument accessors (`counter()` / `gauge()` /
+// `histogram()` returning shared ShardedCounter/Gauge/ShardedHistogram
+// references) are a deprecated shim kept for one release; migrate to
+// `shard(i).counter(name)` handles (see CHANGES.md).
 #pragma once
 
 #include <cstdint>
@@ -15,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "telemetry/handles.hpp"
 #include "telemetry/log_linear_histogram.hpp"
 #include "telemetry/sharded_counter.hpp"
 
@@ -49,23 +58,55 @@ class MetricRegistry {
   MetricRegistry(const MetricRegistry&) = delete;
   MetricRegistry& operator=(const MetricRegistry&) = delete;
 
+  /// The metric tree of simulation shard `index`, created on first use.
+  /// Tree 0 doubles as the default tree for single-shard and main-thread
+  /// components. References stay valid for the registry's lifetime.
+  [[nodiscard]] MetricTree& shard(std::size_t index = 0);
+
+  /// Number of shard trees created so far.
+  [[nodiscard]] std::size_t tree_count() const;
+
   /// Returns the counter named `name`, creating it on first use. The
   /// reference stays valid for the registry's lifetime.
-  ShardedCounter& counter(const std::string& name);
+  [[deprecated("name-keyed shared instruments are a one-release shim; resolve a "
+               "CounterHandle once via shard(i).counter(name)")]] ShardedCounter&
+  counter(const std::string& name);
 
-  Gauge& gauge(const std::string& name);
+  [[deprecated("resolve a GaugeHandle once via shard(i).gauge(name)")]] Gauge& gauge(
+      const std::string& name);
 
   /// Returns the histogram named `name`; `config` applies on first creation
   /// and throws std::invalid_argument if a later caller asks for the same
   /// name with a different geometry (merging such shards would corrupt).
-  ShardedHistogram& histogram(const std::string& name, HistogramConfig config = {});
+  [[deprecated("resolve a HistogramHandle once via shard(i).histogram(name)")]] ShardedHistogram&
+  histogram(const std::string& name, HistogramConfig config = {});
 
+  /// Merged view across the legacy instruments and every shard tree.
+  /// Exact at quiesced instants (window boundaries, after run_until).
   [[nodiscard]] Snapshot snapshot(std::uint64_t timestamp_ns = 0) const;
 
+  // --- shard-agnostic reads -------------------------------------------------
+  // Sum/merge the named instrument across the legacy shim and every tree,
+  // without creating it (absent names read as zero/empty). These are the
+  // read-side replacement for `registry.counter(name).value()` patterns:
+  // exact at quiesced instants, no knowledge of which shard wrote it.
+
+  [[nodiscard]] std::uint64_t counter_value(const std::string& name) const;
+  /// Last-writer-wins in (legacy, tree 0, tree 1, ...) order.
+  [[nodiscard]] double gauge_value(const std::string& name) const;
+  [[nodiscard]] LogLinearHistogram histogram_merged(const std::string& name) const;
+
+  /// Distinct instrument names across legacy instruments and all trees.
   [[nodiscard]] std::size_t metric_count() const;
 
  private:
+  // Non-deprecated internals backing the shim (so this TU compiles clean).
+  ShardedCounter& legacy_counter(const std::string& name);
+  Gauge& legacy_gauge(const std::string& name);
+  ShardedHistogram& legacy_histogram(const std::string& name, HistogramConfig config);
+
   mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<MetricTree>> trees_;
   std::map<std::string, std::unique_ptr<ShardedCounter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<ShardedHistogram>> histograms_;

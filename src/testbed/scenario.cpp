@@ -74,6 +74,30 @@ Scenario& Scenario::telemetry(telemetry::MetricRegistry& external) {
   return *this;
 }
 
+Scenario& Scenario::rtt_groups(std::uint32_t n) {
+  if (n == 0) throw std::invalid_argument("Scenario::rtt_groups: need at least one group");
+  rtt_groups_ = n;
+  return *this;
+}
+
+Scenario& Scenario::rtt_window_ns(std::uint64_t ns) {
+  if (ns == 0) throw std::invalid_argument("Scenario::rtt_window_ns: zero window");
+  rtt_window_ps_ = ns * 1'000;
+  return *this;
+}
+
+Scenario& Scenario::stream_telemetry(std::string path, std::uint64_t period_ns,
+                                     std::string format) {
+  if (path.empty()) throw std::invalid_argument("Scenario::stream_telemetry: empty path");
+  if (period_ns == 0) throw std::invalid_argument("Scenario::stream_telemetry: zero period");
+  telemetry::TelemetryStreamConfig cfg;
+  cfg.path = std::move(path);
+  cfg.period_ps = period_ns * 1'000;
+  cfg.format = std::move(format);
+  stream_ = std::move(cfg);
+  return *this;
+}
+
 Scenario::DeviceDecl& Scenario::cur_device() {
   if (cursor_ != Cursor::kDevice || devices_.empty())
     throw std::logic_error("Scenario: device modifier without a preceding device()");
@@ -119,6 +143,11 @@ Scenario& Scenario::queues(int n) {
 
 Scenario& Scenario::rx_store(bool store) {
   cur_device().rx_store = store;
+  return *this;
+}
+
+Scenario& Scenario::rtt_record(bool record) {
+  cur_device().rtt_record = record;
   return *this;
 }
 
@@ -387,16 +416,59 @@ std::unique_ptr<Testbed> Scenario::build() {
   }
 
   // 10. Telemetry: same metric names as the hand-wired examples on one
-  // shard; engines gain a .shard<k> suffix when there are several.
+  // shard; engines gain a .shard<k> suffix when there are several. Every
+  // component resolves its handles from the tree of the shard that owns it
+  // (the per-shard metric API), so hot-path bumps never cross shards;
+  // MetricRegistry::snapshot merges the trees at quiesced instants.
   if (telemetry_enabled_) {
-    for (auto& plane : tb->planes_) plane->bind_telemetry(*tb->registry_);
+    for (std::size_t k = 0; k < tb->planes_.size(); ++k)
+      tb->planes_[k]->bind_telemetry(tb->registry_->shard(k));
     for (std::size_t k = 0; k < effective; ++k) {
       const std::string prefix =
           effective == 1 ? "engine" : "engine.shard" + std::to_string(k);
-      tb->runtime_->shard(k).bind_telemetry(*tb->registry_, prefix);
+      tb->runtime_->shard(k).bind_telemetry(tb->registry_->shard(k), prefix);
     }
     for (auto& [id, entry] : tb->devices_)
-      entry.port->bind_telemetry(*tb->registry_, "port." + entry.name);
+      entry.port->bind_telemetry(tb->registry_->shard(entry.shard), "port." + entry.name);
+
+    // 10b. The always-on RTT plane: one single-writer shard slice per
+    // simulation shard; every port stamps departures and accounts
+    // receptions/drops, links account wire losses on the *source* port's
+    // shard (on_frame runs there). Windows close via a runtime window
+    // hook — before any same-instant globals, so sampling ticks and the
+    // stream see freshly closed windows.
+    telemetry::RttPlaneConfig rtt_cfg;
+    rtt_cfg.flow_groups = rtt_groups_;
+    rtt_cfg.window_ps = rtt_window_ps_;
+    tb->rtt_plane_ = std::make_unique<telemetry::RttPlane>(rtt_cfg, effective);
+    telemetry::RttPlane* plane = tb->rtt_plane_.get();
+    for (auto& [id, entry] : tb->devices_) {
+      const std::size_t di = device_index(id, "rtt");
+      entry.port->attach_rtt(&plane->shard(entry.shard), devices_[di].rtt_record);
+    }
+    for (std::size_t li = 0; li < expanded.size(); ++li) {
+      const std::size_t from_shard = shard_of[device_index(expanded[li].from, "link")];
+      tb->links_[li].link->attach_rtt(&plane->shard(from_shard));
+    }
+    plane->bind_telemetry(tb->registry_->shard(0));
+    tb->runtime_->add_window_hook(rtt_window_ps_,
+                                  [plane](sim::SimTime t) { plane->close_window(t); });
+
+    // 10c. Streaming exporter: one snapshot (plus freshly closed RTT
+    // windows) per period, written to a file at quiesced instants —
+    // stdout stays byte-identical with streaming on or off.
+    if (stream_.has_value()) {
+      tb->stream_ = std::make_unique<telemetry::TelemetryStream>(*tb->registry_, *stream_);
+      tb->stream_->attach_rtt(plane);
+      telemetry::TelemetryStream* stream = tb->stream_.get();
+      auto* tb_raw = tb.get();
+      tb->runtime_->add_window_hook(stream_->period_ps, [stream, tb_raw](sim::SimTime t) {
+        // Engines batch their counters; flush so the streamed snapshot is
+        // exact at this quiesced instant.
+        tb_raw->publish_engine_telemetry();
+        stream->tick(t);
+      });
+    }
   }
 
   // 11. Fast-path devices.

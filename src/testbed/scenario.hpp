@@ -67,11 +67,25 @@ class Scenario {
   /// Parses the --faults mini-language; throws std::invalid_argument on a
   /// malformed spec.
   Scenario& faults(std::string_view text);
-  /// Disables (or re-enables) telemetry binding; default on.
+  /// Disables (or re-enables) telemetry binding; default on. Also gates the
+  /// always-on RTT plane.
   Scenario& telemetry(bool enabled);
   /// Binds all components into a caller-owned registry instead of the
   /// testbed-owned one (it must outlive the testbed).
   Scenario& telemetry(telemetry::MetricRegistry& external);
+  /// Flow groups of the always-on RTT plane (rounded up to a power of two;
+  /// default 1). A frame's `flow` label selects its group modulo this.
+  Scenario& rtt_groups(std::uint32_t n);
+  /// Window length of the RTT plane's quantile snapshots in nanoseconds of
+  /// virtual time (default 100 ms). Windows close automatically during
+  /// run_until at every multiple of this period.
+  Scenario& rtt_window_ns(std::uint64_t ns);
+  /// Streams one registry snapshot per `period_ns` of virtual time to
+  /// `path` (format: "json", "csv" or "prometheus"), plus every RTT window
+  /// closed in between as a JSON line. stdout is untouched — an
+  /// instrumented run prints byte-identically to an uninstrumented one.
+  Scenario& stream_telemetry(std::string path, std::uint64_t period_ns,
+                             std::string format = "json");
 
   // --- simulated devices ---------------------------------------------------
 
@@ -87,6 +101,12 @@ class Scenario {
   Scenario& queues(int n);
   /// Disables payload storage on RX queue 0 (pure counting sinks).
   Scenario& rx_store(bool store);
+  /// Whether this device's RX path folds stamped frames into the RTT
+  /// plane's histograms (default on — the plane is always in-path).
+  /// Conservation counting (rx_seen / drops) stays on either way; turn
+  /// this off for ports whose RX is not an end-to-end measurement point
+  /// (e.g. a DuT's ingress, where the frame is still mid-journey).
+  Scenario& rtt_record(bool record);
   /// Pins this device's group to a specific shard (0-based, must be below
   /// the effective shard count). Default: groups are assigned round-robin.
   Scenario& pin_shard(int shard);
@@ -140,6 +160,7 @@ class Scenario {
     std::uint64_t link_mbit = 10'000;
     int queues = -1;  // -1: chip default
     bool rx_store = true;
+    bool rtt_record = true;
     std::optional<std::uint64_t> seed;
     int pin = -1;  // -1: round-robin
   };
@@ -178,6 +199,9 @@ class Scenario {
   fault::FaultSpec fault_spec_;
   bool telemetry_enabled_ = true;
   telemetry::MetricRegistry* external_registry_ = nullptr;
+  std::uint32_t rtt_groups_ = 1;
+  std::uint64_t rtt_window_ps_ = 100'000'000'000ull;  // 100 ms
+  std::optional<telemetry::TelemetryStreamConfig> stream_;
 
   std::vector<DeviceDecl> devices_;
   std::vector<LinkDecl> links_;

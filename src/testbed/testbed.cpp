@@ -85,6 +85,12 @@ void Testbed::publish_engine_telemetry() {
     runtime_->shard(i).publish_telemetry();
 }
 
+telemetry::RttPlane& Testbed::rtt_plane() {
+  if (rtt_plane_ == nullptr)
+    throw std::logic_error("Testbed::rtt_plane: telemetry is disabled for this scenario");
+  return *rtt_plane_;
+}
+
 fault::FaultPlane* Testbed::fault_plane(std::size_t shard) {
   if (shard >= planes_.size()) return nullptr;
   return planes_[shard].get();

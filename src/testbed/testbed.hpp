@@ -32,6 +32,8 @@
 #include "nic/port.hpp"
 #include "sim/parallel.hpp"
 #include "telemetry/registry.hpp"
+#include "telemetry/rtt_plane.hpp"
+#include "telemetry/stream.hpp"
 #include "wire/link.hpp"
 
 namespace moongen::testbed {
@@ -110,6 +112,17 @@ class Testbed {
   /// before sampling a snapshot (mirrors EventQueue::publish_telemetry).
   void publish_engine_telemetry();
 
+  /// The always-on RTT plane (present whenever telemetry is enabled).
+  /// Windows close automatically at every rtt window boundary of run_until;
+  /// the last partial window is closed by a final run_until landing on a
+  /// window multiple, or explicitly via rtt_plane().close_window(now()).
+  [[nodiscard]] bool has_rtt_plane() const { return rtt_plane_ != nullptr; }
+  [[nodiscard]] telemetry::RttPlane& rtt_plane();
+
+  /// The streaming exporter declared with Scenario::stream_telemetry, or
+  /// null when none was requested.
+  [[nodiscard]] telemetry::TelemetryStream* stream() { return stream_.get(); }
+
   // --- fault plane ---------------------------------------------------------
 
   [[nodiscard]] bool has_faults() const { return !planes_.empty(); }
@@ -161,6 +174,10 @@ class Testbed {
   core::RunState run_state_;
   std::unique_ptr<telemetry::MetricRegistry> owned_registry_;
   telemetry::MetricRegistry* registry_ = nullptr;
+  // Ports and links hold RttShard pointers into the plane, and the stream
+  // reads the registry and plane: both must outlive devices_/links_ below.
+  std::unique_ptr<telemetry::RttPlane> rtt_plane_;
+  std::unique_ptr<telemetry::TelemetryStream> stream_;
   std::unique_ptr<sim::ParallelRuntime> runtime_;
   std::vector<std::unique_ptr<fault::FaultPlane>> planes_;  // one per shard
   std::deque<wire::FrameChannel> channels_;

@@ -124,17 +124,21 @@ void Link::on_frame(const nic::Frame& frame, sim::SimTime tx_start_ps) {
   if (!carrier_up_) {
     // Carrier is down mid-flap: the frame vanishes on the dead wire.
     ++flap_drops_;
+    if (rtt_ != nullptr && frame.tx_stamp_ps != 0) rtt_->note_dropped();
     return;
   }
   if (fp_flap_.installed()) {
     if (const auto* rule = fp_flap_.fire(tx_start_ps); rule != nullptr) {
       begin_flap(tx_start_ps, rule->param);
       ++flap_drops_;  // the frame that hit the dying carrier is lost too
+      if (rtt_ != nullptr && frame.tx_stamp_ps != 0) rtt_->note_dropped();
       return;
     }
   }
   if (fp_loss_.installed() && fp_loss_.fire(tx_start_ps) != nullptr) {
     ++fault_drops_;
+    // Lost stamps count as drops, not a silently smaller population.
+    if (rtt_ != nullptr && frame.tx_stamp_ps != 0) rtt_->note_dropped();
     return;
   }
   const std::int64_t delay = static_cast<std::int64_t>(cable_.k_ps + cable_.propagation_ps()) +
@@ -164,6 +168,9 @@ void Link::on_frame(const nic::Frame& frame, sim::SimTime tx_start_ps) {
     // The duplicate follows as a separate frame, one frame time behind.
     deliver(out, arrival + out.wire_bytes() * to_.byte_time_ps());
     ++duplicated_;
+    // A duplicated stamp is one more in-flight stamp the receive side will
+    // see (or drop); without this the conservation ledger would go negative.
+    if (rtt_ != nullptr && out.tx_stamp_ps != 0) rtt_->note_duplicated();
   }
 }
 

@@ -81,6 +81,13 @@ class Link : public nic::FrameSink {
   /// True while carrier is present (false during an injected flap).
   [[nodiscard]] bool carrier_up() const { return carrier_up_; }
 
+  /// Attaches the always-on RTT plane: `rtt` is the RttShard of the shard
+  /// this link's *source* port runs on (on_frame executes there). The link
+  /// accounts stamped frames it kills (fault loss, flap) as dropped and
+  /// stamped frames it duplicates as extra in-flight stamps, so the
+  /// plane's conservation law stays exact under fault injection.
+  void attach_rtt(telemetry::RttShard* rtt) { rtt_ = rtt; }
+
   // --- fault accounting (all zero when no faults installed) ----------------
   [[nodiscard]] std::uint64_t fault_drops() const { return fault_drops_; }
   [[nodiscard]] std::uint64_t flap_drops() const { return flap_drops_; }
@@ -113,6 +120,7 @@ class Link : public nic::FrameSink {
   nic::Port& from_;
   nic::Port& to_;
   CableSpec cable_;
+  telemetry::RttShard* rtt_ = nullptr;
   std::mt19937_64 rng_;
   std::uint64_t frames_ = 0;
   std::uint64_t delivered_ = 0;

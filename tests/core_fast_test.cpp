@@ -322,7 +322,7 @@ TEST(FastDevice, ShortBatchesAreCountedAndExported) {
   ASSERT_EQ(bufs.alloc(60), 8u);
   EXPECT_EQ(q.send(bufs), 8u);
   EXPECT_EQ(q.short_batches(), 1u);
-  EXPECT_EQ(registry.counter("txq.short_batches").value(), 1u);
-  EXPECT_EQ(registry.counter("txq.sent_packets").value(), 8u);
-  EXPECT_EQ(registry.counter("recover.txq.link_wait").value(), 0u);
+  EXPECT_EQ(registry.counter_value("txq.short_batches"), 1u);
+  EXPECT_EQ(registry.counter_value("txq.sent_packets"), 8u);
+  EXPECT_EQ(registry.counter_value("recover.txq.link_wait"), 0u);
 }

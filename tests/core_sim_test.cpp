@@ -260,10 +260,11 @@ TEST(Timestamper, SingleSampleInFlight) {
   ts.start();
   bed.events.run_until(ms::kPsPerMs);
   ts.stop();
-  // samples + lost == number of probes injected (one may still be in
-  // flight at the end of the run); every probe accounted.
-  EXPECT_GE(bed.a.stats().tx_packets, ts.samples() + ts.lost());
-  EXPECT_LE(bed.a.stats().tx_packets, ts.samples() + ts.lost() + 1);
+  // samples + lost + discarded == number of probes injected (one may
+  // still be in flight at the end of the run); every probe accounted.
+  const auto resolved = ts.samples() + ts.lost() + ts.discarded();
+  EXPECT_GE(bed.a.stats().tx_packets, resolved);
+  EXPECT_LE(bed.a.stats().tx_packets, resolved + 1);
 }
 
 TEST(Timestamper, LostPacketsAreCountedNotRecorded) {

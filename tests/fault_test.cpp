@@ -183,14 +183,14 @@ TEST(FaultPlane, TelemetryCountsFiresPerSiteAndTotal) {
   mt::MetricRegistry registry;
   plane.bind_telemetry(registry);
   // History is seeded at bind time, not lost.
-  EXPECT_EQ(registry.counter("fault.loss.pre.bind").value(), 2u);
-  EXPECT_EQ(registry.counter("fault.total").value(), 2u);
+  EXPECT_EQ(registry.counter_value("fault.loss.pre.bind"), 2u);
+  EXPECT_EQ(registry.counter_value("fault.total"), 2u);
 
   // Sites created after binding are wired up on creation.
   auto late = plane.point(mf::FaultKind::kFrameLoss, "post.bind");
   (void)late.fire(0);
-  EXPECT_EQ(registry.counter("fault.loss.post.bind").value(), 1u);
-  EXPECT_EQ(registry.counter("fault.total").value(), 3u);
+  EXPECT_EQ(registry.counter_value("fault.loss.post.bind"), 1u);
+  EXPECT_EQ(registry.counter_value("fault.total"), 3u);
   EXPECT_EQ(plane.total_fires(), 3u);
   EXPECT_EQ(plane.fires_at("pre.bind"), 2u);
   EXPECT_EQ(plane.fires_at("post.bind"), 1u);
@@ -315,7 +315,7 @@ TEST(WireFaults, LinkFlapBackpressuresAndRecovers) {
   EXPECT_GE(bed.link.flap_drops(), flaps);  // at least the flap-triggering frame
   EXPECT_EQ(bed.b.stats().rx_packets, 2000u - bed.link.flap_drops());
   // Recovery telemetry: carrier-up transitions are recoveries.
-  EXPECT_EQ(registry.counter("recover.port.a.link_resume").value(), flaps);
+  EXPECT_EQ(registry.counter_value("recover.port.a.link_resume"), flaps);
 }
 
 TEST(NicFaults, RxOverflowDropsLookLikeAFullRing) {
@@ -360,7 +360,7 @@ TEST(MempoolFaults, InjectedExhaustionIsCountedAndExported) {
   // genuinely empties), so all three counts agree exactly.
   EXPECT_EQ(failures, plane.fires_at("pool.tx"));
   EXPECT_EQ(failures, pool.exhausted_events());
-  EXPECT_EQ(registry.counter("mempool.exhausted").value(), failures);
+  EXPECT_EQ(registry.counter_value("mempool.exhausted"), failures);
 }
 
 TEST(MempoolFaults, AllocFullRetriesThroughTransientFailures) {
@@ -507,8 +507,8 @@ TEST(TimestamperFaults, LostSamplesEqualInjectedDropsExactly) {
   EXPECT_EQ(ts.lost(), drops);
   EXPECT_GT(ts.samples(), 0u);
   // Telemetry mirrors agree with the injected counts exactly.
-  EXPECT_EQ(registry.counter("timestamper.lost").value(), drops);
-  EXPECT_EQ(registry.counter("fault.loss.wire.ab").value(), drops);
+  EXPECT_EQ(registry.counter_value("timestamper.lost"), drops);
+  EXPECT_EQ(registry.counter_value("fault.loss.wire.ab"), drops);
   // Lost samples forced resyncs on the following samples.
-  EXPECT_EQ(registry.counter("recover.timestamper.resync").value(), ts.resyncs());
+  EXPECT_EQ(registry.counter_value("recover.timestamper.resync"), ts.resyncs());
 }

@@ -281,9 +281,9 @@ TEST(TaskSetTelemetry, CountsLaunchesAndFinishes) {
   for (int i = 0; i < 5; ++i) tasks.launch("worker", [&ran] { ran.fetch_add(1); });
   tasks.wait();
   EXPECT_EQ(ran.load(), 5);
-  EXPECT_EQ(reg.counter("tasks.tasks_launched").value(), 5u);
-  EXPECT_EQ(reg.counter("tasks.tasks_finished").value(), 5u);
-  EXPECT_EQ(reg.gauge("tasks.tasks_active").value(), 0.0);
+  EXPECT_EQ(reg.counter_value("tasks.tasks_launched"), 5u);
+  EXPECT_EQ(reg.counter_value("tasks.tasks_finished"), 5u);
+  EXPECT_EQ(reg.gauge_value("tasks.tasks_active"), 0.0);
 }
 
 // ---------------------------------------------------------------------------
