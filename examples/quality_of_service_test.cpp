@@ -13,6 +13,15 @@
 // With `--json FILE` the end-of-run totals (per-flow TX/RX packets and
 // the receiver's ring drops) are exported as a one-snapshot telemetry
 // series; stdout is unchanged.
+//
+// After the fast-path run, a simulated cross-check sends the same two
+// classes as 802.1Q-tagged frames whose PCP is stamped into `Frame.flow`
+// (the flow-labeling contract, DESIGN.md Section 16): the always-on RTT
+// plane then buckets each class into its own flow group and publishes
+// per-class windowed quantiles. The example asserts that the per-class
+// numbers agree — the sum of every window's group count equals the
+// group's cumulative population, and no frame leaked into a foreign
+// group — and exits nonzero when they don't.
 #include <cstdio>
 #include <iostream>
 #include <thread>
@@ -22,18 +31,22 @@
 #include "cli.hpp"
 #include "core/device.hpp"
 #include "core/field_modifier.hpp"
+#include "core/rate_control.hpp"
 #include "core/task.hpp"
 #include "membuf/buf_array.hpp"
 #include "membuf/mempool.hpp"
+#include "nic/chip.hpp"
 #include "proto/packet_view.hpp"
 #include "stats/counters.hpp"
 #include "telemetry/exporters.hpp"
 #include "telemetry/registry.hpp"
+#include "telemetry/rtt_plane.hpp"
 #include "testbed/scenario.hpp"
 
 namespace mc = moongen::core;
 namespace mb = moongen::membuf;
 namespace me = moongen::examples;
+namespace mn = moongen::nic;
 namespace mp = moongen::proto;
 namespace st = moongen::stats;
 namespace mt = moongen::telemetry;
@@ -108,6 +121,86 @@ void counter_slave(mc::RxQueue* queue, const mc::RunState* run,
   }
 }
 
+// Simulated PCP-labeled cross-check: both classes through the RTT plane's
+// flow groups. Returns false (after printing why) when the per-class books
+// disagree.
+bool sim_flow_group_check(double bg_rate, double fg_rate) {
+  constexpr std::uint8_t kBgPcp = 0;  // best effort
+  constexpr std::uint8_t kFgPcp = 5;  // voice-class PCP for the foreground
+  auto tb = mtb::Scenario()
+                .seed(1)
+                .rtt_groups(8)  // one group per PCP value
+                .device(0, mn::intel_x540()).name("gen").with_seed(1)
+                .device(1, mn::intel_x540()).name("sink").with_seed(2).rx_store(false)
+                .link(0, 1).with_seed(3)
+                .build();
+  auto& gen_port = tb->port("gen");
+
+  // PCP -> Frame.flow: each class's tag priority is also its flow label,
+  // so the plane's group index *is* the 802.1p class.
+  mc::UdpTemplateOptions bg;
+  bg.frame_size = kPktSize + 4;  // + 802.1Q tag
+  bg.udp_dst = 42;
+  bg.vlan = true;
+  bg.vlan_vid = 10;
+  bg.vlan_pcp = kBgPcp;
+  bg.flow = kBgPcp;
+  mc::UdpTemplateOptions fg = bg;
+  fg.udp_dst = 43;
+  fg.vlan_pcp = kFgPcp;
+  fg.flow = kFgPcp;
+
+  gen_port.tx_queue(0).set_rate_wire_mbit(bg_rate);
+  gen_port.tx_queue(1).set_rate_wire_mbit(fg_rate);
+  auto bg_gen = mc::SimLoadGen::hardware_paced(gen_port.tx_queue(0), mc::make_udp_frame(bg));
+  auto fg_gen = mc::SimLoadGen::hardware_paced(gen_port.tx_queue(1), mc::make_udp_frame(fg));
+
+  tb->run_until(1'000'000'000'000ull);  // 1 s of virtual time, 10 windows
+
+  auto& plane = tb->rtt_plane();
+  bool ok = true;
+  for (std::uint32_t group = 0; group < plane.group_count(); ++group) {
+    std::uint64_t windowed = 0;
+    for (const auto& w : plane.windows()) windowed += w.groups[group].count;
+    const std::uint64_t cumulative = plane.cumulative_group(group).total();
+    if (windowed != cumulative) {
+      std::printf("FAIL: class %u windowed count %llu != cumulative %llu\n", group,
+                  static_cast<unsigned long long>(windowed),
+                  static_cast<unsigned long long>(cumulative));
+      ok = false;
+    }
+    if (group != kBgPcp && group != kFgPcp && cumulative != 0) {
+      std::printf("FAIL: class %u has %llu frames but nothing was labeled with it\n", group,
+                  static_cast<unsigned long long>(cumulative));
+      ok = false;
+    }
+  }
+  for (const std::uint8_t pcp : {kBgPcp, kFgPcp}) {
+    const auto cum = plane.cumulative_group(pcp);
+    if (cum.total() == 0) {
+      std::printf("FAIL: class %u recorded no frames\n", pcp);
+      ok = false;
+      continue;
+    }
+    const auto* last = plane.latest_window();
+    std::printf("class %u (port %u): %llu frames, window p50 %.2f us / p99 %.2f,"
+                " cumulative p50 %.2f us / p99 %.2f\n",
+                pcp, pcp == kBgPcp ? 42 : 43, static_cast<unsigned long long>(cum.total()),
+                last != nullptr ? static_cast<double>(last->groups[pcp].p50) / 1e3 : 0.0,
+                last != nullptr ? static_cast<double>(last->groups[pcp].p99) / 1e3 : 0.0,
+                static_cast<double>(cum.percentile(50.0)) / 1e3,
+                static_cast<double>(cum.percentile(99.0)) / 1e3);
+  }
+  const std::uint64_t sent = bg_gen->valid_frames() + fg_gen->valid_frames();
+  if (plane.recorded() > sent) {
+    std::printf("FAIL: plane recorded %llu frames but only %llu were sent\n",
+                static_cast<unsigned long long>(plane.recorded()),
+                static_cast<unsigned long long>(sent));
+    ok = false;
+  }
+  return ok;
+}
+
 }  // namespace
 
 // Listing 1: the master function.
@@ -150,6 +243,9 @@ int main(int argc, char** argv) {
   std::printf("[rx device] ring drops: %llu (receiver starved of CPU time)\n",
               static_cast<unsigned long long>(r_dev.get_rx_queue(0).ring_drops()));
 
+  std::printf("\nsimulated cross-check: PCP-labeled classes through RTT-plane flow groups\n");
+  const bool classes_consistent = sim_flow_group_check(bg_rate, fg_rate);
+
   if (cli->has_json()) {
     mt::MetricRegistry registry;
     registry.shard(0).gauge("qos.bg.offered_mbit").set(bg_rate);
@@ -166,5 +262,5 @@ int main(int argc, char** argv) {
     else
       std::fprintf(stderr, "failed to write telemetry to %s\n", cli->json_path.c_str());
   }
-  return 0;
+  return classes_consistent ? 0 : 1;
 }

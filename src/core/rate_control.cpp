@@ -72,6 +72,24 @@ void SimLoadGen::mark_next_valid(nic::Frame stamped, int n) {
   marked_remaining_ = n;
 }
 
+void SimLoadGen::set_flow(std::uint32_t flow) {
+  flow_ = flow;
+  frame_.flow = flow;
+  for (auto& t : templates_) {
+    if (t.flow == 0) t.flow = flow;
+  }
+}
+
+void SimLoadGen::set_templates(std::vector<nic::Frame> templates) {
+  templates_ = std::move(templates);
+  template_index_ = 0;
+  if (flow_ != 0) {
+    for (auto& t : templates_) {
+      if (t.flow == 0) t.flow = flow_;
+    }
+  }
+}
+
 void SimLoadGen::bind_telemetry(telemetry::MetricTree& tree, const std::string& prefix) {
   if (tm_valid_.valid()) return;  // already bound; re-seeding would double-count
   tm_valid_ = tree.counter(prefix + ".valid_frames");
@@ -93,7 +111,9 @@ nic::Frame SimLoadGen::next_frame() {
     return nic::make_gap_frame(pending_gaps_[pending_index_++], ++frame_seq_);
   }
 
-  nic::Frame out = frame_;
+  nic::Frame out = templates_.empty()
+                       ? frame_
+                       : templates_[template_index_++ % templates_.size()];
   if (marked_remaining_ > 0) {
     out = marked_frame_;
     --marked_remaining_;
@@ -127,10 +147,14 @@ nic::Frame SimLoadGen::next_frame() {
 // ---------------------------------------------------------------------------
 
 nic::Frame make_udp_frame(const UdpTemplateOptions& opts) {
-  std::vector<std::uint8_t> bytes(opts.frame_size, 0);
+  // An 802.1Q tag is inserted after the fill: the view fills the untagged
+  // layout, then the Ethernet header is re-typed and the 4 tag bytes
+  // spliced in. IP/UDP lengths are unaffected (the tag lives below L3).
+  const std::size_t tag_bytes = opts.vlan ? sizeof(proto::VlanTag) : 0;
+  std::vector<std::uint8_t> bytes(opts.frame_size - tag_bytes, 0);
   proto::UdpPacketView view{{bytes.data(), bytes.size()}};
   proto::UdpFillOptions fill;
-  fill.packet_length = opts.frame_size;
+  fill.packet_length = opts.frame_size - tag_bytes;
   fill.eth_src = proto::MacAddress::from_uint64(0x020000000001ull);
   fill.eth_dst = proto::MacAddress::from_uint64(0x020000000002ull);
   fill.udp_src = opts.udp_src;
@@ -146,7 +170,24 @@ nic::Frame make_udp_frame(const UdpTemplateOptions& opts) {
       ptp->set_version(proto::PtpHeader::kVersion2);
     }
   }
-  return nic::make_frame(std::move(bytes));
+
+  if (opts.vlan) {
+    std::vector<std::uint8_t> tagged(opts.frame_size, 0);
+    std::memcpy(tagged.data(), bytes.data(), sizeof(proto::EthernetHeader));
+    auto* eth = reinterpret_cast<proto::EthernetHeader*>(tagged.data());
+    eth->set_ether_type(proto::EtherType::kVlan);
+    auto* tag = reinterpret_cast<proto::VlanTag*>(tagged.data() + sizeof(proto::EthernetHeader));
+    tag->set(opts.vlan_vid, opts.vlan_pcp);
+    tag->ether_type_be = proto::hton16(static_cast<std::uint16_t>(proto::EtherType::kIPv4));
+    std::memcpy(tagged.data() + sizeof(proto::EthernetHeader) + sizeof(proto::VlanTag),
+                bytes.data() + sizeof(proto::EthernetHeader),
+                bytes.size() - sizeof(proto::EthernetHeader));
+    bytes = std::move(tagged);
+  }
+
+  auto frame = nic::make_frame(std::move(bytes));
+  frame.flow = opts.flow;
+  return frame;
 }
 
 nic::Frame make_ptp_ethernet_frame(std::size_t frame_size, std::uint8_t message_type) {

@@ -163,6 +163,17 @@ class SimLoadGen {
   /// stream-sampling mode (Section 6.4).
   void mark_next_valid(nic::Frame stamped, int n = 1);
 
+  /// Labels every valid frame this generator emits with `flow` (the RTT
+  /// plane's flow-group id). Applies to the base template and to any
+  /// cycling templates installed afterwards that left flow at 0.
+  void set_flow(std::uint32_t flow);
+
+  /// Installs a set of templates cycled round-robin across valid frames
+  /// (one frame per template per cycle) — e.g. one VLAN-tagged template
+  /// per tenant, each carrying its own Frame.flow label. Replaces the
+  /// single base template for valid frames; marked frames still win.
+  void set_templates(std::vector<nic::Frame> templates);
+
   [[nodiscard]] std::uint64_t valid_frames() const { return valid_frames_; }
   [[nodiscard]] std::uint64_t gap_frames() const { return gap_frames_; }
 
@@ -180,6 +191,9 @@ class SimLoadGen {
 
   nic::Frame frame_;
   nic::Frame marked_frame_;
+  std::vector<nic::Frame> templates_;  // round-robin when non-empty
+  std::size_t template_index_ = 0;
+  std::uint32_t flow_ = 0;
   int marked_remaining_ = 0;
   std::unique_ptr<DeparturePattern> pattern_;
   std::unique_ptr<CrcGapFiller> filler_;
@@ -203,6 +217,14 @@ struct UdpTemplateOptions {
   std::size_t frame_size = 124;  ///< buffer length (without FCS), Listing 2
   std::uint16_t udp_src = 1234;
   std::uint16_t udp_dst = 42;
+  /// If true, insert an 802.1Q tag (vid/pcp below) after the Ethernet
+  /// header. frame_size includes the 4 tag bytes.
+  bool vlan = false;
+  std::uint16_t vlan_vid = 0;
+  std::uint8_t vlan_pcp = 0;
+  /// Flow-group label stamped on the template (Frame.flow): selects the
+  /// RTT plane histogram group this traffic is accounted under.
+  std::uint32_t flow = 0;
   /// If true, append a PTP header after UDP (dst port forced to 319) so the
   /// NIC timestamp units can stamp the packet.
   bool ptp_payload = false;

@@ -1,0 +1,438 @@
+#include "dut/vswitch.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "proto/packet_view.hpp"
+
+namespace moongen::dut {
+
+namespace {
+
+constexpr std::size_t kRetagCacheCapacity = 16;
+
+std::uint64_t hash_key(const FiveTupleKey& k) {
+  // splitmix64 over the packed tuple; the table is power-of-two sized so
+  // only the low bits are used, and splitmix mixes all input bits into
+  // them.
+  std::uint64_t z = (static_cast<std::uint64_t>(k.src_ip) << 32) | k.dst_ip;
+  z ^= (static_cast<std::uint64_t>(k.src_port) << 24) ^
+       (static_cast<std::uint64_t>(k.dst_port) << 8) ^ k.protocol;
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+VSwitch::VSwitch(sim::EventQueue& events, nic::Port& in_port, int in_queue,
+                 std::vector<nic::Port*> out_ports, VSwitchConfig config)
+    : events_(events),
+      in_port_(in_port),
+      rx_(in_port.rx_queue(in_queue)),
+      cfg_(std::move(config)),
+      service_ps_(static_cast<sim::SimTime>(cfg_.cycles_per_packet / cfg_.cpu_hz * 1e12)),
+      out_ports_(std::move(out_ports)) {
+  if (out_ports_.empty()) throw std::invalid_argument("VSwitch: no egress vports");
+  for (const auto* p : out_ports_) {
+    if (p == nullptr) throw std::invalid_argument("VSwitch: null egress vport");
+  }
+  const auto vport_count = static_cast<int>(out_ports_.size());
+  if (cfg_.flood_vport < 0 || cfg_.flood_vport >= vport_count)
+    throw std::invalid_argument("VSwitch: flood_vport out of range");
+
+  // Five-tuple table: power-of-two slots, kept at most half full so probe
+  // chains stay short and insertion never rehashes.
+  std::size_t slots = 8;
+  while (slots < cfg_.five_tuple_capacity * 2) slots <<= 1;
+  flows_.resize(slots);
+  flow_mask_ = slots - 1;
+
+  vid_table_.assign(4096, -1);
+  tenants_.reserve(cfg_.tenants.size() + 1);
+  for (std::size_t i = 0; i < cfg_.tenants.size(); ++i) {
+    const TenantConfig& tc = cfg_.tenants[i];
+    if (tc.vport < 0 || tc.vport >= vport_count)
+      throw std::invalid_argument("VSwitch: tenant vport out of range");
+    if (tc.priority >= VSwitchConfig::kPriorityClasses)
+      throw std::invalid_argument("VSwitch: tenant priority out of range");
+    if (tc.quantum_bytes == 0)
+      throw std::invalid_argument("VSwitch: tenant quantum must be positive");
+    QueueState q;
+    q.cfg = tc;
+    q.bucket = TokenBucket(tc.rate_mbit, tc.burst_bytes);
+    q.ring.slots.resize(std::max<std::size_t>(1, tc.queue_frames));
+    q.retag_cache.reserve(kRetagCacheCapacity);
+    if (tc.vid != 0) {
+      auto& slot = vid_table_[tc.vid & 0x0fff];
+      if (slot != -1) throw std::invalid_argument("VSwitch: duplicate tenant vid");
+      slot = static_cast<std::int32_t>(i);
+    }
+    tenants_.push_back(std::move(q));
+  }
+
+  // The flood queue: table-miss frames fan out here at the lowest priority
+  // class, unshaped.
+  flood_queue_ = tenants_.size();
+  {
+    QueueState q;
+    q.cfg.vport = cfg_.flood_vport;
+    q.cfg.priority = VSwitchConfig::kPriorityClasses - 1;
+    q.cfg.quantum_bytes = std::max<std::uint32_t>(1, cfg_.flood_quantum_bytes);
+    q.ring.slots.resize(std::max<std::size_t>(1, cfg_.flood_queue_frames));
+    q.retag_cache.reserve(kRetagCacheCapacity);
+    tenants_.push_back(std::move(q));
+  }
+
+  vports_.resize(out_ports_.size());
+  for (std::size_t v = 0; v < out_ports_.size(); ++v) {
+    VportState& vp = vports_[v];
+    vp.port = out_ports_[v];
+    vp.tx = &out_ports_[v]->tx_queue(0);
+    vp.members.resize(VSwitchConfig::kPriorityClasses);
+    vp.rr.assign(VSwitchConfig::kPriorityClasses, 0);
+    vp.backlog.assign(VSwitchConfig::kPriorityClasses, 0);
+  }
+  for (std::size_t qi = 0; qi < tenants_.size(); ++qi) {
+    const QueueState& q = tenants_[qi];
+    vports_[static_cast<std::size_t>(q.cfg.vport)].members[q.cfg.priority].push_back(qi);
+  }
+
+  rx_.set_callback([this](const nic::RxQueueModel::Entry&) { packet_arrived(); });
+}
+
+void VSwitch::add_flow(const FiveTupleKey& key, std::size_t tenant) {
+  if (tenant >= cfg_.tenants.size())
+    throw std::invalid_argument("VSwitch::add_flow: tenant index out of range");
+  if (flow_count_ >= cfg_.five_tuple_capacity)
+    throw std::length_error("VSwitch::add_flow: five-tuple table at capacity");
+  std::size_t idx = hash_key(key) & flow_mask_;
+  while (flows_[idx].tenant != -1) {
+    if (flows_[idx].key == key) {
+      flows_[idx].tenant = static_cast<std::int32_t>(tenant);  // re-point
+      return;
+    }
+    idx = (idx + 1) & flow_mask_;
+  }
+  flows_[idx].key = key;
+  flows_[idx].tenant = static_cast<std::int32_t>(tenant);
+  ++flow_count_;
+}
+
+std::size_t VSwitch::queued() const {
+  std::size_t n = 0;
+  for (const QueueState& q : tenants_) n += q.ring.count;
+  return n;
+}
+
+TenantCounters VSwitch::tenant_counters(std::size_t tenant) const {
+  const QueueState& q = tenants_.at(tenant);
+  return TenantCounters{q.matched,     q.emitted,     q.emitted_wire_bytes,
+                        q.shaped_drops, q.queue_drops, q.ring.count};
+}
+
+void VSwitch::install_faults(fault::FaultPlane& plane, const std::string& site) {
+  fp_drop_ = plane.point(fault::FaultKind::kFrameLoss, site + ".drop");
+  fp_stall_ = plane.point(fault::FaultKind::kStall, site + ".stall");
+}
+
+void VSwitch::bind_telemetry(telemetry::MetricTree& tree, const std::string& prefix) {
+  if (tm_received_.valid()) return;  // already bound; re-seeding would double-count
+  tm_received_ = tree.counter(prefix + ".received");
+  tm_matched_ = tree.counter(prefix + ".matched");
+  tm_flooded_ = tree.counter(prefix + ".flooded");
+  tm_shaped_drops_ = tree.counter(prefix + ".shaped_drops");
+  tm_queue_drops_ = tree.counter(prefix + ".queue_drops");
+  tm_fault_drops_ = tree.counter(prefix + ".fault_drops");
+  tm_emitted_ = tree.counter(prefix + ".emitted");
+  tm_received_.add(received_);
+  tm_matched_.add(matched_);
+  tm_flooded_.add(flooded_);
+  tm_shaped_drops_.add(shaped_drops_);
+  tm_queue_drops_.add(queue_drops_);
+  tm_fault_drops_.add(fault_drops_);
+  tm_emitted_.add(emitted_);
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    QueueState& q = tenants_[i];
+    const std::string tp =
+        i == flood_queue_ ? prefix + ".flood" : prefix + ".t" + std::to_string(i);
+    q.tm_matched = tree.counter(tp + ".matched");
+    q.tm_emitted = tree.counter(tp + ".emitted");
+    q.tm_shaped_drops = tree.counter(tp + ".shaped_drops");
+    q.tm_queue_drops = tree.counter(tp + ".queue_drops");
+    q.tm_matched.add(q.matched);
+    q.tm_emitted.add(q.emitted);
+    q.tm_shaped_drops.add(q.shaped_drops);
+    q.tm_queue_drops.add(q.queue_drops);
+  }
+}
+
+void VSwitch::packet_arrived() {
+  if (polling_ || service_scheduled_) return;
+  service_scheduled_ = true;
+  events_.schedule_in_inline(cfg_.ingress_latency_ps, [this] { fire_service(); });
+}
+
+void VSwitch::fire_service() {
+  service_scheduled_ = false;
+  if (polling_) return;  // a service loop took over in the meantime
+  polling_ = true;
+  poll();
+}
+
+void VSwitch::poll() {
+  if (fp_stall_.installed()) {
+    if (const auto* rule = fp_stall_.fire(events_.now()); rule != nullptr) {
+      // The switching core is preempted; the loop resumes after the stall
+      // and finds a fuller RX ring.
+      ++stalls_;
+      const auto stall_ps =
+          rule->param > 0 ? static_cast<sim::SimTime>(rule->param) : sim::SimTime{50'000'000};
+      events_.schedule_in(stall_ps, [this] { poll(); });
+      return;
+    }
+  }
+  ++polls_;
+  poll_scratch_.clear();
+  rx_.drain_into(poll_scratch_, static_cast<std::size_t>(cfg_.poll_budget));
+
+  sim::SimTime t = events_.now();
+  for (auto& entry : poll_scratch_) {
+    t += service_ps_;  // one switching core: frames are serviced in order
+    events_.schedule_at_inline(t, [this, frame = std::move(entry.frame)]() mutable {
+      ingest(std::move(frame));
+    });
+  }
+
+  const bool budget_exhausted =
+      poll_scratch_.size() >= static_cast<std::size_t>(cfg_.poll_budget);
+  if (budget_exhausted || rx_.pending() > 0) {
+    events_.schedule_at_inline(t, [this] { poll(); });
+    return;
+  }
+  events_.schedule_at(t, [this] {
+    polling_ = false;
+    if (rx_.pending() > 0) packet_arrived();  // frames raced in meanwhile
+  });
+}
+
+void VSwitch::note_stamped_drop(const nic::Frame& frame) {
+  // A stamped frame dying inside the switch must be accounted to the RTT
+  // plane, or the plane's in-flight count would leak (its conservation
+  // checker audits exactly this).
+  if (rtt_ != nullptr && frame.tx_stamp_ps != 0) rtt_->note_dropped();
+}
+
+void VSwitch::ingest(nic::Frame frame) {
+  ++received_;
+  tm_received_.add(1);
+  if (fp_drop_.installed() && fp_drop_.fire(events_.now()) != nullptr) {
+    ++fault_drops_;
+    tm_fault_drops_.add(1);
+    note_stamped_drop(frame);
+    return;
+  }
+  const std::int32_t qi = match(frame);
+  if (qi < 0) {
+    enqueue(flood_queue_, std::move(frame), /*is_flood=*/true);
+  } else {
+    enqueue(static_cast<std::size_t>(qi), std::move(frame), /*is_flood=*/false);
+  }
+}
+
+std::int32_t VSwitch::match(const nic::Frame& frame) const {
+  const auto& bytes = *frame.data;
+  const auto pc = proto::classify({bytes.data(), bytes.size()});
+  if (!pc.has_value()) return -1;  // malformed: flood, let the sink count it
+
+  // Five-tuple rules win over the VID table (a pinned flow overrides its
+  // VLAN's tenant).
+  if (flow_count_ > 0 && pc->ether_type == proto::EtherType::kIPv4 && pc->l4_offset != 0 &&
+      pc->l4_protocol.has_value() &&
+      (*pc->l4_protocol == proto::IpProtocol::kUdp ||
+       *pc->l4_protocol == proto::IpProtocol::kTcp) &&
+      bytes.size() >= pc->l4_offset + 4) {
+    const auto* ip = reinterpret_cast<const proto::Ipv4Header*>(bytes.data() + pc->l3_offset);
+    // UDP and TCP share the src/dst port layout in their first four bytes.
+    const auto* l4 = reinterpret_cast<const proto::UdpHeader*>(bytes.data() + pc->l4_offset);
+    FiveTupleKey key;
+    key.src_ip = ip->src().value;
+    key.dst_ip = ip->dst().value;
+    key.src_port = l4->src_port();
+    key.dst_port = l4->dst_port();
+    key.protocol = static_cast<std::uint8_t>(*pc->l4_protocol);
+    std::size_t idx = hash_key(key) & flow_mask_;
+    while (flows_[idx].tenant != -1) {
+      if (flows_[idx].key == key) return flows_[idx].tenant;
+      idx = (idx + 1) & flow_mask_;
+    }
+  }
+
+  if (pc->has_vlan) {
+    // The innermost tag (C-tag of a QinQ stack) names the tenant; the
+    // S-tag is the carrier's.
+    const std::uint16_t vid = pc->vlan_tags == 2 ? pc->inner_vid : pc->outer_vid;
+    return vid_table_[vid & 0x0fff];
+  }
+  return -1;
+}
+
+void VSwitch::enqueue(std::size_t queue_idx, nic::Frame&& frame, bool is_flood) {
+  QueueState& q = tenants_[queue_idx];
+  if (!is_flood && !q.bucket.admit(events_.now(), frame.wire_bytes())) {
+    ++shaped_drops_;
+    tm_shaped_drops_.add(1);
+    ++q.shaped_drops;
+    q.tm_shaped_drops.add(1);
+    note_stamped_drop(frame);
+    return;
+  }
+  if (q.ring.full()) {
+    ++queue_drops_;
+    tm_queue_drops_.add(1);
+    ++q.queue_drops;
+    q.tm_queue_drops.add(1);
+    note_stamped_drop(frame);
+    return;
+  }
+  // Rewrite at enqueue time so the DRR deficits and the egress pacing see
+  // the frame's actual wire size after a tag push/pop.
+  rewrite_frame(q, frame);
+  if (is_flood) {
+    ++flooded_;
+    tm_flooded_.add(1);
+  } else {
+    ++matched_;
+    tm_matched_.add(1);
+  }
+  ++q.matched;
+  q.tm_matched.add(1);
+  q.ring.push(std::move(frame));
+  VportState& vp = vports_[static_cast<std::size_t>(q.cfg.vport)];
+  ++vp.backlog[q.cfg.priority];
+  ++vp.backlog_total;
+  if (!vp.busy) {
+    vp.busy = true;
+    drain_vport(static_cast<std::size_t>(q.cfg.vport));
+  }
+}
+
+void VSwitch::drain_vport(std::size_t vp_idx) {
+  VportState& vp = vports_[vp_idx];
+  if (vp.backlog_total == 0) {
+    vp.busy = false;
+    return;
+  }
+  // Strict priority: the lowest-numbered class with backlog is served
+  // first, always.
+  std::size_t cls = 0;
+  while (vp.backlog[cls] == 0) ++cls;
+
+  // Deficit round robin within the class. Each visit to a backlogged queue
+  // with an insufficient deficit tops it up by one quantum and moves on;
+  // the loop terminates because deficits only grow until a dequeue.
+  const auto& members = vp.members[cls];
+  std::size_t winner = 0;
+  nic::Frame frame;
+  for (;;) {
+    std::size_t& rr = vp.rr[cls];
+    QueueState& q = tenants_[members[rr]];
+    if (q.ring.empty()) {
+      q.deficit = 0;  // an idle queue must not bank credit (DRR rule)
+      rr = (rr + 1) % members.size();
+      continue;
+    }
+    const auto bytes = static_cast<std::uint32_t>(q.ring.front().wire_bytes());
+    if (q.deficit >= bytes) {
+      q.deficit -= bytes;
+      winner = members[rr];
+      frame = q.ring.pop();
+      break;
+    }
+    q.deficit += q.cfg.quantum_bytes;
+    rr = (rr + 1) % members.size();
+  }
+
+  QueueState& q = tenants_[winner];
+  --vp.backlog[cls];
+  --vp.backlog_total;
+  const std::size_t wire = frame.wire_bytes();
+  const bool stamped = frame.tx_stamp_ps != 0;
+  if (vp.tx->post(std::move(frame))) {
+    ++emitted_;
+    tm_emitted_.add(1);
+    ++q.emitted;
+    q.emitted_wire_bytes += wire;
+    q.tm_emitted.add(1);
+  } else {
+    // TX ring full despite pacing (e.g. the link is flapped down): the
+    // frame is gone; both identities account it here.
+    ++egress_ring_drops_;
+    if (rtt_ != nullptr && stamped) rtt_->note_dropped();
+  }
+  // Self-pace at the vport's wire rate: the TX ring stays shallow, so the
+  // *next* priority decision is made when this frame has serialized
+  // instead of being queued behind a ring full of low-priority frames.
+  events_.schedule_at_inline(events_.now() + wire * vp.port->byte_time_ps(),
+                             [this, vp_idx] { drain_vport(vp_idx); });
+}
+
+void VSwitch::rewrite_frame(QueueState& q, nic::Frame& frame) {
+  if (q.cfg.flow != 0) frame.flow = q.cfg.flow;
+  if (q.cfg.tag == TenantConfig::Tag::kKeep) return;
+
+  const void* source = frame.data.get();
+  for (const RetagCacheEntry& e : q.retag_cache) {
+    if (e.source == source) {
+      frame.data = e.rewritten;
+      return;
+    }
+  }
+
+  const auto& bytes = *frame.data;
+  const bool tagged =
+      bytes.size() >= sizeof(proto::EthernetHeader) + sizeof(proto::VlanTag) &&
+      (reinterpret_cast<const proto::EthernetHeader*>(bytes.data())->ether_type() ==
+           proto::EtherType::kVlan ||
+       reinterpret_cast<const proto::EthernetHeader*>(bytes.data())->ether_type() ==
+           proto::EtherType::kQinQ);
+  std::vector<std::uint8_t> out;
+  constexpr std::size_t kTagOffset = 12;  // TPID lives where ether_type was
+  if (q.cfg.tag == TenantConfig::Tag::kPop) {
+    if (!tagged) return;  // nothing to pop; leave the frame as-is
+    out.reserve(bytes.size() - sizeof(proto::VlanTag));
+    out.insert(out.end(), bytes.begin(), bytes.begin() + kTagOffset);
+    out.insert(out.end(), bytes.begin() + kTagOffset + sizeof(proto::VlanTag), bytes.end());
+  } else {  // kPush: retag in place, or insert a tag into an untagged frame
+    proto::VlanTag tag{};
+    tag.set(q.cfg.push_vid, q.cfg.push_pcp);
+    if (tagged) {
+      out = bytes;
+      std::memcpy(out.data() + kTagOffset + 2, &tag.tci_be, sizeof(tag.tci_be));
+    } else {
+      out.reserve(bytes.size() + sizeof(proto::VlanTag));
+      out.insert(out.end(), bytes.begin(), bytes.begin() + kTagOffset);
+      const std::uint16_t tpid =
+          proto::hton16(static_cast<std::uint16_t>(proto::EtherType::kVlan));
+      const auto* tpid_bytes = reinterpret_cast<const std::uint8_t*>(&tpid);
+      out.insert(out.end(), tpid_bytes, tpid_bytes + 2);
+      const auto* tci_bytes = reinterpret_cast<const std::uint8_t*>(&tag.tci_be);
+      out.insert(out.end(), tci_bytes, tci_bytes + 2);
+      out.insert(out.end(), bytes.begin() + kTagOffset, bytes.end());
+    }
+  }
+
+  auto rewritten = std::make_shared<const std::vector<std::uint8_t>>(std::move(out));
+  if (q.retag_cache.size() < kRetagCacheCapacity) {
+    q.retag_cache.push_back(RetagCacheEntry{source, rewritten});
+  } else {
+    // Round-robin eviction: generators cycle a bounded template set, so a
+    // hot source re-enters the cache within one cycle.
+    q.retag_cache[q.retag_evict] = RetagCacheEntry{source, rewritten};
+    q.retag_evict = (q.retag_evict + 1) % kRetagCacheCapacity;
+  }
+  frame.data = std::move(rewritten);
+}
+
+}  // namespace moongen::dut

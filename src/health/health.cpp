@@ -138,6 +138,52 @@ CheckFn make_port_checker(testbed::Testbed& tb) {
   };
 }
 
+CheckFn make_vswitch_checker(testbed::Testbed& tb) {
+  return [&tb](sim::SimTime) -> CheckResult {
+    for (std::size_t vi = 0; vi < tb.vswitch_count(); ++vi) {
+      const auto& vs = tb.vswitch(vi);
+      std::ostringstream os;
+      const std::uint64_t settled = vs.matched() + vs.flooded() + vs.shaped_drops() +
+                                    vs.queue_drops() + vs.fault_drops();
+      if (settled != vs.received()) {
+        os << "vswitch " << vi << ": ingress conservation broken: received " << vs.received()
+           << " != matched " << vs.matched() << " + flooded " << vs.flooded()
+           << " + shaped_drops " << vs.shaped_drops() << " + queue_drops " << vs.queue_drops()
+           << " + fault_drops " << vs.fault_drops();
+        return CheckResult::fail(os.str());
+      }
+      const std::uint64_t admitted = vs.matched() + vs.flooded();
+      const std::uint64_t out = vs.emitted() + vs.egress_ring_drops() + vs.queued();
+      if (admitted != out) {
+        os << "vswitch " << vi << ": egress conservation broken: matched+flooded " << admitted
+           << " != emitted " << vs.emitted() << " + egress_ring_drops " << vs.egress_ring_drops()
+           << " + queued " << vs.queued();
+        return CheckResult::fail(os.str());
+      }
+      // Per-tenant books (incl. the built-in flood queue) must sum to the
+      // switch-wide totals — a mismatch means a frame was booked to the
+      // wrong tenant or to none.
+      std::uint64_t t_matched = 0, t_shaped = 0, t_queue_drops = 0, t_queued = 0;
+      for (std::size_t k = 0; k <= vs.tenant_count(); ++k) {
+        const auto& c = vs.tenant_counters(k);
+        t_matched += c.matched;
+        t_shaped += c.shaped_drops;
+        t_queue_drops += c.queue_drops;
+        t_queued += c.queued;
+      }
+      if (t_matched != admitted || t_shaped != vs.shaped_drops() ||
+          t_queue_drops != vs.queue_drops() || t_queued != vs.queued()) {
+        os << "vswitch " << vi << ": per-tenant books disagree with totals: sum matched "
+           << t_matched << " vs " << admitted << ", shaped " << t_shaped << " vs "
+           << vs.shaped_drops() << ", queue_drops " << t_queue_drops << " vs "
+           << vs.queue_drops() << ", queued " << t_queued << " vs " << vs.queued();
+        return CheckResult::fail(os.str());
+      }
+    }
+    return CheckResult::pass();
+  };
+}
+
 CheckFn make_rpc_checker(const rpc::detail::ClientBase& client) {
   return [&client](sim::SimTime) -> CheckResult {
     const std::uint64_t settled = client.matched() + client.timed_out() + client.send_drops();

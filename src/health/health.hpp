@@ -137,6 +137,16 @@ class CheckerRegistry {
 /// receipt in this model).
 [[nodiscard]] CheckFn make_port_checker(testbed::Testbed& tb);
 
+/// Virtual-switch frame conservation across every vswitch of `tb`. Two
+/// disjoint-outcome identities, exact at any quiesced instant:
+///   ingress: received == matched + flooded + shaped_drops + queue_drops
+///            + fault_drops
+///   egress:  matched + flooded == emitted + egress_ring_drops + queued
+/// A broken ingress identity means a frame took two outcomes (or none); a
+/// broken egress identity means a queued frame leaked or was emitted twice.
+/// Per-tenant books must also sum to the switch-wide totals.
+[[nodiscard]] CheckFn make_vswitch_checker(testbed::Testbed& tb);
+
 /// RPC client conservation: issued == matched + timed_out + send_drops +
 /// in-flight table size. Exact at any quiesced instant — every issued
 /// request is in exactly one of those states.

@@ -84,6 +84,8 @@ HealthMonitor::HealthMonitor(testbed::Testbed& tb, MonitorConfig cfg) : tb_(tb),
                     make_engine_checker(rt.shard(s), "shard" + std::to_string(s)));
     checkers_.add("link.conservation", make_link_checker(tb_));
     checkers_.add("port.accounting", make_port_checker(tb_));
+    if (tb_.vswitch_count() > 0)
+      checkers_.add("vswitch.conservation", make_vswitch_checker(tb_));
   }
   checkers_.bind_telemetry(tb_.registry(), "health");
 

@@ -22,6 +22,7 @@ enum class EtherType : std::uint16_t {
   kIPv4 = 0x0800,
   kArp = 0x0806,
   kVlan = 0x8100,
+  kQinQ = 0x88A8,  // 802.1ad service tag (S-tag) of a stacked VLAN pair
   kIPv6 = 0x86DD,
   kPtp = 0x88F7,  // IEEE 1588 PTP directly over Ethernet
 };

@@ -103,12 +103,33 @@ std::optional<PacketClass> classify(std::span<const std::uint8_t> frame) {
   std::size_t offset = sizeof(EthernetHeader);
   std::uint16_t etype = ntoh16(eth->ether_type_be);
 
-  if (etype == static_cast<std::uint16_t>(EtherType::kVlan)) {
+  // Up to two stacked tags: 802.1ad S-tag (0x88A8) or plain 0x8100 outer,
+  // then an optional 0x8100 C-tag. A tag EtherType with a truncated tag
+  // body is malformed, as is a third tag (deeper stacks are rejected
+  // rather than misparsed as payload).
+  for (int tag = 0; tag < 2 && (etype == static_cast<std::uint16_t>(EtherType::kVlan) ||
+                                etype == static_cast<std::uint16_t>(EtherType::kQinQ));
+       ++tag) {
+    if (etype == static_cast<std::uint16_t>(EtherType::kQinQ) && tag == 1) {
+      return std::nullopt;  // S-tag may only appear outermost
+    }
     if (frame.size() < offset + sizeof(VlanTag)) return std::nullopt;
     const auto* vlan = reinterpret_cast<const VlanTag*>(frame.data() + offset);
     pc.has_vlan = true;
+    pc.vlan_tags += 1;
+    if (tag == 0) {
+      pc.outer_vid = vlan->vid();
+      pc.outer_pcp = vlan->pcp();
+    } else {
+      pc.inner_vid = vlan->vid();
+      pc.inner_pcp = vlan->pcp();
+    }
     etype = ntoh16(vlan->ether_type_be);
     offset += sizeof(VlanTag);
+  }
+  if (etype == static_cast<std::uint16_t>(EtherType::kVlan) ||
+      etype == static_cast<std::uint16_t>(EtherType::kQinQ)) {
+    return std::nullopt;  // three or more stacked tags: refuse to misparse
   }
   pc.ether_type = static_cast<EtherType>(etype);
   pc.l3_offset = offset;

@@ -184,7 +184,12 @@ class AhPacketView : public Ipv4PacketView {
 /// timestamp units (PTP detection) and example scripts.
 struct PacketClass {
   EtherType ether_type{};
-  bool has_vlan = false;
+  bool has_vlan = false;  // at least one 802.1Q/802.1ad tag present
+  std::uint8_t vlan_tags = 0;  // 0, 1 or 2 parsed tags
+  std::uint16_t outer_vid = 0;  // first tag on the wire (S-tag if QinQ)
+  std::uint8_t outer_pcp = 0;
+  std::uint16_t inner_vid = 0;  // second tag (C-tag); valid iff vlan_tags == 2
+  std::uint8_t inner_pcp = 0;
   std::optional<IpProtocol> l4_protocol;  // set for IPv4/IPv6
   std::size_t l3_offset = 0;
   std::size_t l4_offset = 0;

@@ -65,6 +65,12 @@ bool ClientBase::post_request(const Request& req) {
   // queueing, or backpressure would silently shrink the measured tail.
   write_rpc_fields(bytes, req.op, req.seq, req.key, req.departed_ps);
   frame.seq = req.seq;
+  // Per-opcode flow labels: the RTT plane's flow-group histograms then
+  // publish GET and SET tails separately instead of folding both into
+  // group 0.
+  if (cfg_.label_flows) {
+    frame.flow = cfg_.flow_base + static_cast<std::uint32_t>(req.op);
+  }
   return port_.tx_queue(cfg_.tx_queue).post(std::move(frame));
 }
 

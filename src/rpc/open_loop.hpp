@@ -67,6 +67,12 @@ struct WorkloadConfig {
   /// First sequence id (nonzero); pairs sharing a wire need disjoint ranges.
   std::uint64_t seq_base = 1;
   std::uint64_t seed = 1;
+  /// Flow-group labeling of request frames for the RTT plane: each request
+  /// is stamped `Frame.flow = flow_base + opcode` (kGet → +0, kSet → +1)
+  /// so the plane's windowed quantiles separate GET and SET latency.
+  /// Leave 0 with label_flows=false for the legacy all-group-0 behaviour.
+  bool label_flows = false;
+  std::uint32_t flow_base = 0;
 };
 
 namespace detail {

@@ -56,7 +56,8 @@ void ServerModel::on_rx(const nic::RxQueueModel::Entry& entry) {
     ++queue_drops_;
     return;
   }
-  queue_.push_back(PendingRequest{decoded->op, decoded->seq, decoded->key, decoded->tx_time_ps});
+  queue_.push_back(PendingRequest{decoded->op, decoded->seq, decoded->key, decoded->tx_time_ps,
+                                  entry.frame.flow});
   if (queue_.size() > peak_queue_) peak_queue_ = queue_.size();
   try_dispatch();
 }
@@ -114,6 +115,7 @@ void ServerModel::send_response(const PendingRequest& req) {
   auto [bytes, frame] = pool_.acquire();
   write_rpc_fields(bytes, op, req.seq, req.key, req.tx_time_ps, value_len);
   frame.seq = req.seq;
+  frame.flow = req.flow;
   if (!port_.tx_queue(cfg_.tx_queue).post(std::move(frame))) {
     // TX ring full: park the request and retry on a timer; re-encoding at
     // retry time reuses a fresh pool buffer.

@@ -92,6 +92,9 @@ class ServerModel {
     std::uint64_t seq = 0;
     std::uint64_t key = 0;
     sim::SimTime tx_time_ps = 0;
+    /// Flow-group label carried over from the request frame so the
+    /// response leg lands in the same RTT-plane group as the request.
+    std::uint32_t flow = 0;
   };
 
   void on_rx(const nic::RxQueueModel::Entry& entry);

@@ -1,7 +1,7 @@
 #include "telemetry/registry.hpp"
 
+#include <map>
 #include <optional>
-#include <stdexcept>
 #include <utility>
 
 namespace moongen::telemetry {
@@ -17,56 +17,15 @@ std::size_t MetricRegistry::tree_count() const {
   return trees_.size();
 }
 
-ShardedCounter& MetricRegistry::legacy_counter(const std::string& name) {
-  std::scoped_lock lock(mutex_);
-  auto& slot = counters_[name];
-  if (!slot) slot = std::make_unique<ShardedCounter>();
-  return *slot;
-}
-
-Gauge& MetricRegistry::legacy_gauge(const std::string& name) {
-  std::scoped_lock lock(mutex_);
-  auto& slot = gauges_[name];
-  if (!slot) slot = std::make_unique<Gauge>();
-  return *slot;
-}
-
-ShardedHistogram& MetricRegistry::legacy_histogram(const std::string& name,
-                                                   HistogramConfig config) {
-  std::scoped_lock lock(mutex_);
-  auto& slot = histograms_[name];
-  if (!slot) {
-    slot = std::make_unique<ShardedHistogram>(config);
-  } else if (slot->config().sub_bucket_bits != config.sub_bucket_bits ||
-             slot->config().max_value != config.max_value) {
-    throw std::invalid_argument("MetricRegistry: histogram '" + name +
-                                "' re-registered with different geometry");
-  }
-  return *slot;
-}
-
-// The deprecated shim bodies forward to the non-deprecated internals; a
-// definition of a deprecated function does not itself warn.
-ShardedCounter& MetricRegistry::counter(const std::string& name) { return legacy_counter(name); }
-
-Gauge& MetricRegistry::gauge(const std::string& name) { return legacy_gauge(name); }
-
-ShardedHistogram& MetricRegistry::histogram(const std::string& name, HistogramConfig config) {
-  return legacy_histogram(name, config);
-}
-
 Snapshot MetricRegistry::snapshot(std::uint64_t timestamp_ns) const {
   // Merge under name-sorted maps: counters sum, gauges last-writer-wins in
-  // (legacy, tree 0, tree 1, ...) order, histograms merge losslessly.
+  // (tree 0, tree 1, ...) order, histograms merge losslessly.
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, double> gauges;
   std::map<std::string, LogLinearHistogram> hists;
   std::vector<const MetricTree*> trees;
   {
     std::scoped_lock lock(mutex_);
-    for (const auto& [name, c] : counters_) counters[name] += c->value();
-    for (const auto& [name, g] : gauges_) gauges[name] = g->value();
-    for (const auto& [name, h] : histograms_) hists.emplace(name, h->merged());
     trees.reserve(trees_.size());
     for (const auto& tree : trees_) trees.push_back(tree.get());
   }
@@ -94,7 +53,6 @@ std::uint64_t MetricRegistry::counter_value(const std::string& name) const {
   std::vector<const MetricTree*> trees;
   {
     std::scoped_lock lock(mutex_);
-    if (auto it = counters_.find(name); it != counters_.end()) total += it->second->value();
     trees.reserve(trees_.size());
     for (const auto& tree : trees_) trees.push_back(tree.get());
   }
@@ -110,7 +68,6 @@ double MetricRegistry::gauge_value(const std::string& name) const {
   std::vector<const MetricTree*> trees;
   {
     std::scoped_lock lock(mutex_);
-    if (auto it = gauges_.find(name); it != gauges_.end()) value = it->second->value();
     trees.reserve(trees_.size());
     for (const auto& tree : trees_) trees.push_back(tree.get());
   }
@@ -126,7 +83,6 @@ LogLinearHistogram MetricRegistry::histogram_merged(const std::string& name) con
   std::vector<const MetricTree*> trees;
   {
     std::scoped_lock lock(mutex_);
-    if (auto it = histograms_.find(name); it != histograms_.end()) merged = it->second->merged();
     trees.reserve(trees_.size());
     for (const auto& tree : trees_) trees.push_back(tree.get());
   }

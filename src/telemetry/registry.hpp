@@ -5,19 +5,17 @@
 // components resolve CounterHandle/GaugeHandle/HistogramHandle once at
 // wiring time from the tree of the simulation shard that owns them, and
 // hot-path updates are raw slot bumps with no name or shard lookup.
-// `snapshot()` merges every tree (plus any legacy instruments) into one
-// consistent, name-sorted view for the Sampler and the exporters: counters
-// sum across trees, histograms merge losslessly (identical geometry
-// enforced), gauges are last-writer-wins in shard order.
+// `snapshot()` merges every tree into one consistent, name-sorted view for
+// the Sampler and the exporters: counters sum across trees, histograms
+// merge losslessly (identical geometry enforced), gauges are
+// last-writer-wins in shard order.
 //
-// The name-keyed instrument accessors (`counter()` / `gauge()` /
-// `histogram()` returning shared ShardedCounter/Gauge/ShardedHistogram
-// references) are a deprecated shim kept for one release; migrate to
-// `shard(i).counter(name)` handles (see CHANGES.md).
+// The name-keyed shared-instrument accessors (`counter()` / `gauge()` /
+// `histogram()`) were a one-release deprecated shim after the per-shard
+// redesign; they are gone — resolve handles via `shard(i).counter(name)`.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -25,7 +23,6 @@
 
 #include "telemetry/handles.hpp"
 #include "telemetry/log_linear_histogram.hpp"
-#include "telemetry/sharded_counter.hpp"
 
 namespace moongen::telemetry {
 
@@ -66,50 +63,27 @@ class MetricRegistry {
   /// Number of shard trees created so far.
   [[nodiscard]] std::size_t tree_count() const;
 
-  /// Returns the counter named `name`, creating it on first use. The
-  /// reference stays valid for the registry's lifetime.
-  [[deprecated("name-keyed shared instruments are a one-release shim; resolve a "
-               "CounterHandle once via shard(i).counter(name)")]] ShardedCounter&
-  counter(const std::string& name);
-
-  [[deprecated("resolve a GaugeHandle once via shard(i).gauge(name)")]] Gauge& gauge(
-      const std::string& name);
-
-  /// Returns the histogram named `name`; `config` applies on first creation
-  /// and throws std::invalid_argument if a later caller asks for the same
-  /// name with a different geometry (merging such shards would corrupt).
-  [[deprecated("resolve a HistogramHandle once via shard(i).histogram(name)")]] ShardedHistogram&
-  histogram(const std::string& name, HistogramConfig config = {});
-
-  /// Merged view across the legacy instruments and every shard tree.
-  /// Exact at quiesced instants (window boundaries, after run_until).
+  /// Merged view across every shard tree. Exact at quiesced instants
+  /// (window boundaries, after run_until).
   [[nodiscard]] Snapshot snapshot(std::uint64_t timestamp_ns = 0) const;
 
   // --- shard-agnostic reads -------------------------------------------------
-  // Sum/merge the named instrument across the legacy shim and every tree,
-  // without creating it (absent names read as zero/empty). These are the
-  // read-side replacement for `registry.counter(name).value()` patterns:
-  // exact at quiesced instants, no knowledge of which shard wrote it.
+  // Sum/merge the named instrument across every tree, without creating it
+  // (absent names read as zero/empty). These are the read-side replacement
+  // for the old `registry.counter(name).value()` patterns: exact at
+  // quiesced instants, no knowledge of which shard wrote it.
 
   [[nodiscard]] std::uint64_t counter_value(const std::string& name) const;
-  /// Last-writer-wins in (legacy, tree 0, tree 1, ...) order.
+  /// Last-writer-wins in (tree 0, tree 1, ...) order.
   [[nodiscard]] double gauge_value(const std::string& name) const;
   [[nodiscard]] LogLinearHistogram histogram_merged(const std::string& name) const;
 
-  /// Distinct instrument names across legacy instruments and all trees.
+  /// Distinct instrument names across all trees.
   [[nodiscard]] std::size_t metric_count() const;
 
  private:
-  // Non-deprecated internals backing the shim (so this TU compiles clean).
-  ShardedCounter& legacy_counter(const std::string& name);
-  Gauge& legacy_gauge(const std::string& name);
-  ShardedHistogram& legacy_histogram(const std::string& name, HistogramConfig config);
-
   mutable std::mutex mutex_;
   std::vector<std::unique_ptr<MetricTree>> trees_;
-  std::map<std::string, std::unique_ptr<ShardedCounter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<ShardedHistogram>> histograms_;
 };
 
 }  // namespace moongen::telemetry

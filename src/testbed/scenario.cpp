@@ -213,6 +213,18 @@ Scenario& Scenario::forwarder(int in_device, int out_device, dut::ForwarderConfi
   return *this;
 }
 
+Scenario& Scenario::vswitch(int in_device, std::vector<int> out_devices,
+                            dut::VSwitchConfig cfg) {
+  if (out_devices.empty())
+    throw std::invalid_argument("Scenario::vswitch: need at least one vport");
+  for (const int out : out_devices) {
+    if (out == in_device) throw std::invalid_argument("Scenario::vswitch: in == out");
+  }
+  vswitches_.push_back(VSwitchDecl{in_device, std::move(out_devices), std::move(cfg)});
+  cursor_ = Cursor::kNone;
+  return *this;
+}
+
 Scenario& Scenario::fast_device(int id, int rx_queues, int tx_queues) {
   fast_devices_.push_back(FastDecl{id, rx_queues, tx_queues});
   cursor_ = Cursor::kNone;
@@ -243,6 +255,10 @@ std::unique_ptr<Testbed> Scenario::build() {
     uf.merge(device_index(c.a, "couple"), device_index(c.b, "couple"));
   for (const auto& f : forwarders_)
     uf.merge(device_index(f.in, "forwarder"), device_index(f.out, "forwarder"));
+  for (const auto& v : vswitches_) {
+    for (const int out : v.outs)
+      uf.merge(device_index(v.in, "vswitch"), device_index(out, "vswitch"));
+  }
   for (const auto& l : links_) {
     (void)device_index(l.from, "link");
     (void)device_index(l.to, "link");
@@ -387,11 +403,19 @@ std::unique_ptr<Testbed> Scenario::build() {
     tb->links_.push_back(std::move(entry));
   }
 
-  // 8. Forwarders, in declaration order.
+  // 8. Forwarders and vswitches, in declaration order.
   for (const ForwarderDecl& f : forwarders_) {
     const std::size_t shard = shard_of[device_index(f.in, "forwarder")];
     tb->forwarders_.push_back(std::make_unique<dut::Forwarder>(
         tb->runtime_->shard(shard), tb->port(f.in), 0, tb->port(f.out), 0, f.cfg));
+  }
+  for (const VSwitchDecl& v : vswitches_) {
+    const std::size_t shard = shard_of[device_index(v.in, "vswitch")];
+    std::vector<nic::Port*> vports;
+    vports.reserve(v.outs.size());
+    for (const int out : v.outs) vports.push_back(&tb->port(out));
+    tb->vswitches_.push_back(std::make_unique<dut::VSwitch>(
+        tb->runtime_->shard(shard), tb->port(v.in), 0, std::move(vports), v.cfg));
   }
 
   // 9. Fault installation, with the site names the hand-wired examples
@@ -413,6 +437,11 @@ std::unique_ptr<Testbed> Scenario::build() {
       const std::string site = fi == 0 ? "dut.fwd" : "dut.fwd" + std::to_string(fi + 1);
       tb->forwarders_[fi]->install_faults(*tb->planes_[shard], site);
     }
+    for (std::size_t vi = 0; vi < vswitches_.size(); ++vi) {
+      const std::size_t shard = shard_of[device_index(vswitches_[vi].in, "vswitch")];
+      const std::string site = vi == 0 ? "vswitch" : "vswitch" + std::to_string(vi + 1);
+      tb->vswitches_[vi]->install_faults(*tb->planes_[shard], site);
+    }
   }
 
   // 10. Telemetry: same metric names as the hand-wired examples on one
@@ -430,6 +459,11 @@ std::unique_ptr<Testbed> Scenario::build() {
     }
     for (auto& [id, entry] : tb->devices_)
       entry.port->bind_telemetry(tb->registry_->shard(entry.shard), "port." + entry.name);
+    for (std::size_t vi = 0; vi < vswitches_.size(); ++vi) {
+      const std::size_t shard = shard_of[device_index(vswitches_[vi].in, "vswitch")];
+      const std::string stem = vi == 0 ? "vswitch" : "vswitch" + std::to_string(vi + 1);
+      tb->vswitches_[vi]->bind_telemetry(tb->registry_->shard(shard), stem);
+    }
 
     // 10b. The always-on RTT plane: one single-writer shard slice per
     // simulation shard; every port stamps departures and accounts
@@ -449,6 +483,10 @@ std::unique_ptr<Testbed> Scenario::build() {
     for (std::size_t li = 0; li < expanded.size(); ++li) {
       const std::size_t from_shard = shard_of[device_index(expanded[li].from, "link")];
       tb->links_[li].link->attach_rtt(&plane->shard(from_shard));
+    }
+    for (std::size_t vi = 0; vi < vswitches_.size(); ++vi) {
+      const std::size_t shard = shard_of[device_index(vswitches_[vi].in, "vswitch")];
+      tb->vswitches_[vi]->attach_rtt(&plane->shard(shard));
     }
     plane->bind_telemetry(tb->registry_->shard(0));
     tb->runtime_->add_window_hook(rtt_window_ps_,

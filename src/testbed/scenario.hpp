@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "dut/forwarder.hpp"
+#include "dut/vswitch.hpp"
 #include "fault/fault.hpp"
 #include "nic/chip.hpp"
 #include "testbed/testbed.hpp"
@@ -135,6 +136,13 @@ class Scenario {
   /// Declares an OVS-like forwarder from `in_device` RX 0 to `out_device`
   /// TX 0; implies couple(in_device, out_device).
   Scenario& forwarder(int in_device, int out_device, dut::ForwarderConfig cfg = {});
+  /// Declares a multi-tenant virtual switch from `in_device` RX 0 to the
+  /// vports `out_devices` (TX 0 each, in the given order — TenantConfig
+  /// vport indices refer to this order); implies coupling the ingress with
+  /// every vport. Fault sites: `vswitch.drop` / `vswitch.stall` (suffix
+  /// `2`, `3`... on the site stem for later vswitches); telemetry under
+  /// `vswitch.*` with per-tenant `vswitch.t<k>.*`.
+  Scenario& vswitch(int in_device, std::vector<int> out_devices, dut::VSwitchConfig cfg);
 
   // --- fast-path devices ---------------------------------------------------
 
@@ -176,6 +184,11 @@ class Scenario {
     int out = -1;
     dut::ForwarderConfig cfg;
   };
+  struct VSwitchDecl {
+    int in = -1;
+    std::vector<int> outs;
+    dut::VSwitchConfig cfg;
+  };
   struct CoupleDecl {
     int a = -1;
     int b = -1;
@@ -206,6 +219,7 @@ class Scenario {
   std::vector<DeviceDecl> devices_;
   std::vector<LinkDecl> links_;
   std::vector<ForwarderDecl> forwarders_;
+  std::vector<VSwitchDecl> vswitches_;
   std::vector<CoupleDecl> couples_;
   std::vector<FastDecl> fast_devices_;
   std::vector<FastConnectDecl> fast_connects_;

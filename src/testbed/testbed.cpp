@@ -52,6 +52,12 @@ dut::Forwarder& Testbed::forwarder(std::size_t index) {
   return *forwarders_[index];
 }
 
+dut::VSwitch& Testbed::vswitch(std::size_t index) {
+  if (index >= vswitches_.size())
+    throw std::out_of_range("Testbed::vswitch: index out of range");
+  return *vswitches_[index];
+}
+
 sim::EventQueue& Testbed::engine(int device_id) {
   return runtime_->shard(shard_of(device_id));
 }

@@ -28,6 +28,7 @@
 #include "core/device.hpp"
 #include "core/task.hpp"
 #include "dut/forwarder.hpp"
+#include "dut/vswitch.hpp"
 #include "fault/fault.hpp"
 #include "nic/port.hpp"
 #include "sim/parallel.hpp"
@@ -58,6 +59,9 @@ class Testbed {
   /// The i-th forwarder in declaration order.
   [[nodiscard]] dut::Forwarder& forwarder(std::size_t index = 0);
   [[nodiscard]] std::size_t forwarder_count() const { return forwarders_.size(); }
+  /// The i-th virtual switch in declaration order.
+  [[nodiscard]] dut::VSwitch& vswitch(std::size_t index = 0);
+  [[nodiscard]] std::size_t vswitch_count() const { return vswitches_.size(); }
 
   // --- topology enumeration (health checkers walk every link/port) ---------
 
@@ -184,6 +188,7 @@ class Testbed {
   std::map<int, DeviceEntry> devices_;
   std::vector<LinkEntry> links_;
   std::vector<std::unique_ptr<dut::Forwarder>> forwarders_;
+  std::vector<std::unique_ptr<dut::VSwitch>> vswitches_;
   core::DeviceTable fast_devices_;
   bool fault_rules_validated_ = false;
 };

@@ -1,6 +1,7 @@
 #include "wire/link.hpp"
 
 #include <stdexcept>
+#include <string>
 
 #include "sim/event_queue.hpp"
 
@@ -25,6 +26,13 @@ std::uint64_t hash_site(std::string_view s) {
 
 Link::Link(nic::Port& from, nic::Port& to, CableSpec cable, std::uint64_t seed)
     : from_(from), to_(to), cable_(cable), rng_(seed) {
+  // Both ends of a cable negotiate one rate. A mismatch would let the
+  // receiver finish a frame before the sender's serialization of it ends
+  // (its completion math uses its own byte time) — events in the past.
+  if (from.link_mbit() != to.link_mbit())
+    throw std::invalid_argument("Link: port link rates differ (" +
+                                std::to_string(from.link_mbit()) + " vs " +
+                                std::to_string(to.link_mbit()) + " Mbit)");
   from.set_tx_sink(this);
 }
 

@@ -324,6 +324,115 @@ TEST(Classify, VlanTaggedIpv4) {
   EXPECT_EQ(pc->l3_offset, 18u);
 }
 
+TEST(Classify, SingleTagRecordsOuterVidPcp) {
+  std::vector<std::uint8_t> frame(64, 0);
+  auto* eth = reinterpret_cast<mp::EthernetHeader*>(frame.data());
+  eth->set_ether_type(mp::EtherType::kVlan);
+  auto* vlan = reinterpret_cast<mp::VlanTag*>(frame.data() + 14);
+  vlan->set(42, 3);
+  vlan->ether_type_be = mp::hton16(0x0800);
+  auto* ip = reinterpret_cast<mp::Ipv4Header*>(frame.data() + 18);
+  ip->set_defaults();
+  auto pc = mp::classify({frame.data(), 60});
+  ASSERT_TRUE(pc.has_value());
+  EXPECT_EQ(pc->vlan_tags, 1);
+  EXPECT_EQ(pc->outer_vid, 42);
+  EXPECT_EQ(pc->outer_pcp, 3);
+  EXPECT_EQ(pc->inner_vid, 0);
+}
+
+TEST(Classify, QinQStackedTags) {
+  // 0x88A8 S-tag (vid 100, pcp 5) around a 0x8100 C-tag (vid 7, pcp 2)
+  // around IPv4/TCP. Both tags must be recorded and L3 must land after
+  // the inner tag, not on it.
+  std::vector<std::uint8_t> frame(64, 0);
+  auto* eth = reinterpret_cast<mp::EthernetHeader*>(frame.data());
+  eth->set_ether_type(mp::EtherType::kQinQ);
+  auto* s_tag = reinterpret_cast<mp::VlanTag*>(frame.data() + 14);
+  s_tag->set(100, 5);
+  s_tag->ether_type_be = mp::hton16(0x8100);
+  auto* c_tag = reinterpret_cast<mp::VlanTag*>(frame.data() + 18);
+  c_tag->set(7, 2);
+  c_tag->ether_type_be = mp::hton16(0x0800);
+  auto* ip = reinterpret_cast<mp::Ipv4Header*>(frame.data() + 22);
+  ip->set_defaults();
+  ip->protocol = static_cast<std::uint8_t>(mp::IpProtocol::kTcp);
+  auto pc = mp::classify({frame.data(), 60});
+  ASSERT_TRUE(pc.has_value());
+  EXPECT_TRUE(pc->has_vlan);
+  EXPECT_EQ(pc->vlan_tags, 2);
+  EXPECT_EQ(pc->outer_vid, 100);
+  EXPECT_EQ(pc->outer_pcp, 5);
+  EXPECT_EQ(pc->inner_vid, 7);
+  EXPECT_EQ(pc->inner_pcp, 2);
+  EXPECT_EQ(pc->ether_type, mp::EtherType::kIPv4);
+  EXPECT_EQ(pc->l3_offset, 22u);
+  EXPECT_EQ(pc->l4_protocol, mp::IpProtocol::kTcp);
+}
+
+TEST(Classify, DoubleCTagStackedTags) {
+  // Two 0x8100 tags (legacy QinQ) are also accepted.
+  std::vector<std::uint8_t> frame(64, 0);
+  auto* eth = reinterpret_cast<mp::EthernetHeader*>(frame.data());
+  eth->set_ether_type(mp::EtherType::kVlan);
+  auto* outer = reinterpret_cast<mp::VlanTag*>(frame.data() + 14);
+  outer->set(200, 1);
+  outer->ether_type_be = mp::hton16(0x8100);
+  auto* inner = reinterpret_cast<mp::VlanTag*>(frame.data() + 18);
+  inner->set(9, 6);
+  inner->ether_type_be = mp::hton16(0x0800);
+  auto* ip = reinterpret_cast<mp::Ipv4Header*>(frame.data() + 22);
+  ip->set_defaults();
+  auto pc = mp::classify({frame.data(), 60});
+  ASSERT_TRUE(pc.has_value());
+  EXPECT_EQ(pc->vlan_tags, 2);
+  EXPECT_EQ(pc->outer_vid, 200);
+  EXPECT_EQ(pc->inner_vid, 9);
+  EXPECT_EQ(pc->l3_offset, 22u);
+}
+
+TEST(Classify, TruncatedVlanTagRejected) {
+  // EtherType says VLAN but the frame ends mid-tag.
+  std::vector<std::uint8_t> frame(16, 0);
+  auto* eth = reinterpret_cast<mp::EthernetHeader*>(frame.data());
+  eth->set_ether_type(mp::EtherType::kVlan);
+  EXPECT_FALSE(mp::classify({frame.data(), frame.size()}).has_value());
+}
+
+TEST(Classify, TruncatedInnerTagRejected) {
+  // Outer tag complete and pointing at an inner tag that is cut short.
+  std::vector<std::uint8_t> frame(20, 0);
+  auto* eth = reinterpret_cast<mp::EthernetHeader*>(frame.data());
+  eth->set_ether_type(mp::EtherType::kQinQ);
+  auto* s_tag = reinterpret_cast<mp::VlanTag*>(frame.data() + 14);
+  s_tag->set(1, 0);
+  s_tag->ether_type_be = mp::hton16(0x8100);
+  EXPECT_FALSE(mp::classify({frame.data(), frame.size()}).has_value());
+}
+
+TEST(Classify, InnerSTagRejected) {
+  // 0x88A8 must be outermost: 0x8100 wrapping 0x88A8 is malformed.
+  std::vector<std::uint8_t> frame(64, 0);
+  auto* eth = reinterpret_cast<mp::EthernetHeader*>(frame.data());
+  eth->set_ether_type(mp::EtherType::kVlan);
+  auto* outer = reinterpret_cast<mp::VlanTag*>(frame.data() + 14);
+  outer->set(1, 0);
+  outer->ether_type_be = mp::hton16(0x88A8);
+  EXPECT_FALSE(mp::classify({frame.data(), 60}).has_value());
+}
+
+TEST(Classify, TripleTagRejected) {
+  std::vector<std::uint8_t> frame(64, 0);
+  auto* eth = reinterpret_cast<mp::EthernetHeader*>(frame.data());
+  eth->set_ether_type(mp::EtherType::kVlan);
+  for (int i = 0; i < 3; ++i) {
+    auto* tag = reinterpret_cast<mp::VlanTag*>(frame.data() + 14 + 4 * i);
+    tag->set(static_cast<std::uint16_t>(i + 1), 0);
+    tag->ether_type_be = mp::hton16(i < 2 ? 0x8100 : 0x0800);
+  }
+  EXPECT_FALSE(mp::classify({frame.data(), 60}).has_value());
+}
+
 TEST(Classify, TruncatedFrameRejected) {
   std::vector<std::uint8_t> frame(10, 0);
   EXPECT_FALSE(mp::classify({frame.data(), frame.size()}).has_value());

@@ -251,31 +251,24 @@ TEST(TimestamperReconciliation, AttemptsEqualSamplesPlusLostUnderLoss) {
 }
 
 // ---------------------------------------------------------------------------
-// Handle-API parity: legacy shim vs per-shard trees
+// Handle-API reads across per-shard trees
 // ---------------------------------------------------------------------------
 
-TEST(HandleParity, ReadApisMergeLegacyAndTreeInstruments) {
+TEST(HandleParity, ReadApisMergeAcrossShardTrees) {
   mt::MetricRegistry registry;
-#ifdef __GNUC__
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-  registry.counter("x.count").add(2);  // legacy name-keyed shim
-  registry.gauge("x.level").set(1.0);
-  registry.histogram("x.hist").record(100);
-#ifdef __GNUC__
-#pragma GCC diagnostic pop
-#endif
+  registry.shard(0).counter("x.count").add(2);
+  registry.shard(0).gauge("x.level").set(1.0);
+  registry.shard(0).histogram("x.hist").record(100);
   registry.shard(0).counter("x.count").add(3);
   registry.shard(1).counter("x.count").add(5);
   registry.shard(1).gauge("x.level").set(4.0);
   registry.shard(0).histogram("x.hist").record(200);
 
   EXPECT_EQ(registry.counter_value("x.count"), 10u);
-  // Last-writer-wins in (legacy, tree 0, tree 1, ...) order.
+  // Last-writer-wins in (tree 0, tree 1, ...) order.
   EXPECT_EQ(registry.gauge_value("x.level"), 4.0);
   EXPECT_EQ(registry.histogram_merged("x.hist").total(), 2u);
-  // Both populations show up in one snapshot under the same names.
+  // Every tree's population shows up in one snapshot under the same names.
   const auto snap = registry.snapshot(0);
   std::uint64_t counted = 0;
   for (const auto& c : snap.counters)

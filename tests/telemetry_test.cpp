@@ -221,37 +221,41 @@ TEST(ShardedHistogram, ConcurrentRecordsMergeExactly) {
 // MetricRegistry
 // ---------------------------------------------------------------------------
 
-TEST(MetricRegistry, ReturnsStableReferences) {
+TEST(MetricRegistry, ResolvingSameNameYieldsSameSlot) {
   mt::MetricRegistry reg;
-  auto& c1 = reg.counter("a.packets");
-  auto& c2 = reg.counter("a.packets");
-  EXPECT_EQ(&c1, &c2);
-  auto& g1 = reg.gauge("a.rate");
-  auto& g2 = reg.gauge("a.rate");
-  EXPECT_EQ(&g1, &g2);
-  auto& h1 = reg.histogram("a.latency");
-  auto& h2 = reg.histogram("a.latency");
-  EXPECT_EQ(&h1, &h2);
+  auto c1 = reg.shard(0).counter("a.packets");
+  auto c2 = reg.shard(0).counter("a.packets");
+  c1.add(5);
+  EXPECT_EQ(c2.value(), 5u);
+  auto g1 = reg.shard(0).gauge("a.rate");
+  auto g2 = reg.shard(0).gauge("a.rate");
+  g1.set(2.5);
+  EXPECT_EQ(g2.value(), 2.5);
+  auto h1 = reg.shard(0).histogram("a.latency");
+  auto h2 = reg.shard(0).histogram("a.latency");
+  h1.record(100);
+  ASSERT_NE(h2.get(), nullptr);
+  EXPECT_EQ(h2.get()->total(), 1u);
   EXPECT_EQ(reg.metric_count(), 3u);
 }
 
 TEST(MetricRegistry, HistogramGeometryConflictThrows) {
   mt::MetricRegistry reg;
-  reg.histogram("lat", {.sub_bucket_bits = 5, .max_value = 1000});
+  (void)reg.shard(0).histogram("lat", {.sub_bucket_bits = 5, .max_value = 1000});
   // Same geometry: fine. Different geometry: the shards could never merge.
-  EXPECT_NO_THROW(reg.histogram("lat", {.sub_bucket_bits = 5, .max_value = 1000}));
-  EXPECT_THROW(reg.histogram("lat", {.sub_bucket_bits = 4, .max_value = 1000}),
+  EXPECT_NO_THROW((void)reg.shard(0).histogram("lat", {.sub_bucket_bits = 5, .max_value = 1000}));
+  EXPECT_THROW((void)reg.shard(0).histogram("lat", {.sub_bucket_bits = 4, .max_value = 1000}),
                std::invalid_argument);
-  EXPECT_THROW(reg.histogram("lat", {.sub_bucket_bits = 5, .max_value = 9999}),
+  EXPECT_THROW((void)reg.shard(0).histogram("lat", {.sub_bucket_bits = 5, .max_value = 9999}),
                std::invalid_argument);
 }
 
 TEST(MetricRegistry, SnapshotIsNameSortedAndConsistent) {
   mt::MetricRegistry reg;
-  reg.counter("z.count").add(7);
-  reg.counter("a.count").add(3);
-  reg.gauge("m.rate").set(1.5);
-  reg.histogram("lat").record(42);
+  reg.shard(0).counter("z.count").add(7);
+  reg.shard(0).counter("a.count").add(3);
+  reg.shard(0).gauge("m.rate").set(1.5);
+  reg.shard(0).histogram("lat").record(42);
   const auto snap = reg.snapshot(1234);
   EXPECT_EQ(snap.timestamp_ns, 1234u);
   ASSERT_EQ(snap.counters.size(), 2u);
@@ -264,7 +268,7 @@ TEST(MetricRegistry, SnapshotIsNameSortedAndConsistent) {
   ASSERT_EQ(snap.histograms.size(), 1u);
   EXPECT_EQ(snap.histograms[0].hist.total(), 1u);
   // The snapshot is a copy: later updates don't retro-change it.
-  reg.counter("a.count").add(100);
+  reg.shard(0).counter("a.count").add(100);
   EXPECT_EQ(snap.counters[0].value, 3u);
 }
 
@@ -293,7 +297,7 @@ TEST(TaskSetTelemetry, CountsLaunchesAndFinishes) {
 TEST(Sampler, PollHonoursPeriodAndCatchesUpOnce) {
   FakeTime t;
   mt::MetricRegistry reg;
-  auto& c = reg.counter("n");
+  auto c = reg.shard(0).counter("n");
   mt::Sampler sampler(reg, t.source(), {.period_ns = 100, .capacity = 512});
   EXPECT_TRUE(sampler.poll());  // due immediately at construction time
   EXPECT_FALSE(sampler.poll());
@@ -319,7 +323,7 @@ TEST(Sampler, PollHonoursPeriodAndCatchesUpOnce) {
 TEST(Sampler, RingDropsOldestBeyondCapacity) {
   FakeTime t;
   mt::MetricRegistry reg;
-  reg.counter("n");
+  (void)reg.shard(0).counter("n");
   mt::Sampler sampler(reg, t.source(), {.period_ns = 10, .capacity = 4});
   for (int i = 0; i < 10; ++i) {
     sampler.sample_now();
@@ -340,9 +344,9 @@ namespace {
 
 mt::Snapshot example_snapshot() {
   mt::MetricRegistry reg;
-  reg.counter("port.tx_packets").add(1000);
-  reg.gauge("load.offered_mpps").set(14.88);
-  auto& h = reg.histogram("lat.ns", {.sub_bucket_bits = 5, .max_value = 1 << 20});
+  reg.shard(0).counter("port.tx_packets").add(1000);
+  reg.shard(0).gauge("load.offered_mpps").set(14.88);
+  auto h = reg.shard(0).histogram("lat.ns", {.sub_bucket_bits = 5, .max_value = 1 << 20});
   for (std::uint64_t v = 1; v <= 100; ++v) h.record(v * 10);
   return reg.snapshot(42);
 }
@@ -380,7 +384,7 @@ TEST(Exporters, JsonSeriesWrapsSnapshots) {
 
 TEST(Exporters, JsonEscapesStrings) {
   mt::MetricRegistry reg;
-  reg.counter("weird\"name\\with\ncontrol").add(1);
+  reg.shard(0).counter("weird\"name\\with\ncontrol").add(1);
   std::ostringstream os;
   mt::write_json(os, reg.snapshot());
   const auto s = os.str();
